@@ -1,0 +1,68 @@
+// Reproduces the Section 3 measurement campaign on the simulated
+// testbed: per-fault-class outcomes and recovery-time measurements,
+// which justify the conservative Section 5 parameters.
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "faultinj/injector.h"
+#include "report/table.h"
+
+int main() {
+  using namespace rascal;
+
+  std::cout << "=== Section 3: fault injection campaign (simulated testbed) "
+               "===\n\n";
+
+  faultinj::CampaignOptions options;
+  options.trials = 3287;
+  const auto result = faultinj::run_campaign(options);
+
+  std::map<std::string, std::pair<int, int>> per_class;  // success/total
+  for (const auto& record : result.records) {
+    auto& [ok, total] = per_class[faultinj::to_string(record.fault)];
+    ++total;
+    if (record.service_stayed_available && record.target_recovered) ++ok;
+  }
+
+  report::TextTable table({"Fault class", "Injections", "Recovered",
+                           "Service stayed up"});
+  for (const auto& [name, counts] : per_class) {
+    table.add_row({name, std::to_string(counts.second),
+                   std::to_string(counts.first),
+                   counts.first == counts.second ? "yes (all)" : "NO"});
+  }
+  std::cout << table.to_string() << "\n";
+  std::printf("Total: %llu/%llu recoveries successful (paper: all of >3,000"
+              ")\n\n",
+              static_cast<unsigned long long>(result.successes),
+              static_cast<unsigned long long>(result.trials));
+
+  std::cout << "Recovery time by workload level at injection (the paper "
+               "fluctuated\nworkloads from idle to fully loaded):\n";
+  for (std::size_t level = 0; level < 3; ++level) {
+    const auto& summary = result.recovery_by_workload[level];
+    std::printf("  %-13s %5zu injections, mean recovery %5.1f s\n",
+                faultinj::to_string(
+                    static_cast<faultinj::WorkloadLevel>(level))
+                    .c_str(),
+                summary.count(), summary.mean() * 3600.0);
+  }
+  std::cout << "\nMeasured recovery times vs Section 5 model parameters:\n";
+  std::printf(
+      "  HADB restart : mean %4.0f s, max %4.0f s  -> model uses 60 s "
+      "(paper measured ~40 s)\n",
+      result.hadb_restart_times.mean() * 3600.0,
+      result.hadb_restart_times.max() * 3600.0);
+  std::printf(
+      "  HADB rebuild : mean %4.1f min, max %4.1f min -> model uses 30 min "
+      "(paper measured ~12 min/GB)\n",
+      result.hadb_rebuild_times.mean() * 60.0,
+      result.hadb_rebuild_times.max() * 60.0);
+  std::printf(
+      "  AS restart   : mean %4.0f s, max %4.0f s  -> model uses 90 s "
+      "(paper measured <25 s plus LB health-check latency)\n",
+      result.as_restart_times.mean() * 3600.0,
+      result.as_restart_times.max() * 3600.0);
+  return 0;
+}

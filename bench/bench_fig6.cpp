@@ -1,0 +1,46 @@
+// Reproduces Figure 6: the same Tstart_long sweep for Config 2, where
+// the 4-instance AS tier makes the system availability essentially
+// insensitive (variation in the 9th decimal).
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/parametric.h"
+#include "models/jsas_system.h"
+#include "models/params.h"
+#include "report/ascii_plot.h"
+
+int main() {
+  using namespace rascal;
+
+  std::cout << "=== Figure 6: Availability vs AS HW/OS recovery time, "
+               "Config 2 ===\n\n";
+
+  const analysis::ModelFunction availability =
+      [](const expr::ParameterSet& params) {
+        return models::solve_jsas(models::JsasConfig::config2(), params)
+            .availability;
+      };
+  const auto xs = analysis::linspace(0.5, 3.0, 11);
+  const auto sweep = analysis::parametric_sweep(
+      availability, models::default_parameters(), "as_Tstart_long", xs);
+
+  std::vector<double> ys;
+  std::printf("  %-18s %s\n", "Tstart_long (h)", "Availability");
+  for (const auto& point : sweep) {
+    ys.push_back(point.metric);
+    std::printf("  %-18.2f %.10f\n", point.parameter_value, point.metric);
+  }
+
+  report::PlotOptions options;
+  options.title = "\nParametric Analysis of Availability for Config 2";
+  options.x_label = "Tstart_long (hours)";
+  std::cout << report::line_plot(xs, ys, options);
+
+  const double swing = ys.front() - ys.back();
+  std::printf(
+      "\nTotal availability swing over [0.5 h, 3 h]: %.2e\n"
+      "Paper: availability stays above 99.9995%% even at 3 hours "
+      "(here: %.7f).\n",
+      swing, ys.back());
+  return 0;
+}

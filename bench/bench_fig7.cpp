@@ -1,0 +1,11 @@
+// Reproduces Figure 7: multivariate uncertainty analysis of yearly
+// downtime for Config 1 (paper: mean 3.78 min, 80% CI (1.89, 6.02),
+// 90% CI (1.56, 6.88), >80% of systems above five 9s).
+#include "uncertainty_common.h"
+
+int main() {
+  rascal::benchutil::run_uncertainty_figure(
+      rascal::models::JsasConfig::config1(), "Figure 7",
+      {3.78, 1.89, 6.02, 1.56, 6.88, 0.80});
+  return 0;
+}

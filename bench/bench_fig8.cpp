@@ -1,0 +1,11 @@
+// Reproduces Figure 8: multivariate uncertainty analysis of yearly
+// downtime for Config 2 (paper: mean 2.99 min, 80% CI (1.01, 5.19),
+// 90% CI (0.74, 5.74), >90% of systems above five 9s).
+#include "uncertainty_common.h"
+
+int main() {
+  rascal::benchutil::run_uncertainty_figure(
+      rascal::models::JsasConfig::config2(), "Figure 8",
+      {2.99, 1.01, 5.19, 0.74, 5.74, 0.90});
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation (DESIGN.md #2): hierarchical composition vs an exact flat
+// model.  The Figure 2 hierarchy abstracts each submodel to a
+// two-state equivalent; here we measure the error that introduces by
+// also solving the exact cross-product chain (AS x HADB^N_pair) built
+// from the same submodels.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/metrics.h"
+#include "ctmc/compose.h"
+#include "ctmc/steady_state.h"
+#include "models/app_server.h"
+#include "models/hadb_pair.h"
+#include "models/jsas_system.h"
+#include "models/params.h"
+
+using namespace rascal;
+
+int main() {
+  std::cout << "=== Ablation: hierarchical abstraction vs exact flat model "
+               "===\n\n";
+  const auto params = models::default_parameters();
+
+  for (std::size_t pairs : {1, 2}) {
+    models::JsasConfig config{2, pairs, 2};
+    const auto hierarchical = models::solve_jsas(config, params);
+
+    std::vector<ctmc::Ctmc> parts;
+    parts.push_back(models::app_server_two_instance_model().bind(params));
+    for (std::size_t p = 0; p < pairs; ++p) {
+      parts.push_back(models::hadb_pair_model().bind(params));
+    }
+    const ctmc::Ctmc flat = ctmc::compose_independent(parts);
+    const auto exact = core::solve_availability(flat);
+
+    std::printf("Config: 2 AS instances, %zu HADB pair(s)\n", pairs);
+    std::printf("  flat model size        : %zu states\n", flat.num_states());
+    std::printf("  exact unavailability   : %.6e  (%.4f min/yr)\n",
+                exact.unavailability, exact.downtime_minutes_per_year);
+    std::printf("  hierarchical estimate  : %.6e  (%.4f min/yr)\n",
+                1.0 - hierarchical.availability,
+                hierarchical.downtime_minutes_per_year);
+    const double rel_err =
+        std::abs((1.0 - hierarchical.availability) - exact.unavailability) /
+        exact.unavailability;
+    std::printf("  relative error         : %.3e\n", rel_err);
+    std::printf("  exact MTBF             : %.0f h   hierarchical: %.0f h\n\n",
+                exact.mtbf_hours, hierarchical.mtbf_hours);
+  }
+
+  std::cout
+      << "Reading: the two-state-equivalent hierarchy (RAScad's Figure 2\n"
+         "mechanism) matches the exact cross-product chain to a relative\n"
+         "error far below the paper's printed precision, because the\n"
+         "submodels' failures are rare and nearly independent.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Extension: interval (finite-mission) availability, the metric of
+// the paper's companion reference [18] ("Hierarchical Evaluation of
+// Interval Availability in RAScad").  Computes, for the Figure-2
+// system abstraction of Config 1, the expected fraction of a mission
+// of length T that the system is up, starting from the all-up state,
+// and the point availability at T — both by uniformization.
+#include <cstdio>
+#include <iostream>
+
+#include "ctmc/transient.h"
+#include "models/jsas_system.h"
+#include "models/params.h"
+#include "sim/ctmc_simulator.h"
+#include "stats/summary.h"
+
+int main() {
+  using namespace rascal;
+
+  std::cout << "=== Extension: interval availability (Config 1, Figure 2 "
+               "abstraction) ===\n\n";
+
+  // Solve the hierarchy once to obtain the root model with its
+  // equivalent rates bound.
+  const auto result =
+      models::solve_jsas(models::JsasConfig::config1(),
+                         models::default_parameters());
+  const auto& params = result.detail.effective_params;
+
+  ctmc::SymbolicCtmc root;
+  root.state("Ok", 1.0);
+  root.state("AS_Fail", 0.0);
+  root.state("HADB_Fail", 0.0);
+  root.rate("Ok", "AS_Fail", "La_appl");
+  root.rate("AS_Fail", "Ok", "Mu_appl");
+  root.rate("Ok", "HADB_Fail", "N_pair*La_hadb_pair");
+  root.rate("HADB_Fail", "Ok", "Mu_hadb_pair");
+  const ctmc::Ctmc chain = root.bind(params);
+  const auto ok = chain.state("Ok");
+
+  linalg::Vector start(chain.num_states(), 0.0);
+  start[ok] = 1.0;
+
+  std::printf("steady-state availability: %.9f\n\n", result.availability);
+  std::printf("  %-12s %-22s %-22s %s\n", "mission T", "interval avail.",
+              "expected downtime", "point avail. at T");
+  struct Mission {
+    const char* label;
+    double hours;
+  };
+  for (const Mission mission : {Mission{"1 hour", 1.0},
+                                Mission{"1 day", 24.0},
+                                Mission{"1 week", 168.0},
+                                Mission{"1 month", 730.0},
+                                Mission{"1 year", 8760.0}}) {
+    const auto interval =
+        ctmc::expected_interval_reward(chain, start, mission.hours);
+    const auto point =
+        ctmc::transient_distribution(chain, start, mission.hours);
+    std::printf("  %-12s %.12f        %8.4f s            %.9f\n",
+                mission.label, interval.time_averaged,
+                (1.0 - interval.time_averaged) * mission.hours * 3600.0,
+                point.probabilities[ok]);
+  }
+  std::cout
+      << "\nReading: starting from the all-up state the system banks\n"
+         "availability early (interval availability above the steady\n"
+         "state), converging to the steady-state value over missions of\n"
+         "months -- the paper's yearly-downtime numbers are effectively\n"
+         "the asymptote.\n\n";
+
+  // Distribution (not just expectation) of one-year interval
+  // availability, by simulating the same chain: most years see zero
+  // outages, a minority eat a whole restore interval.
+  sim::CtmcSimOptions sim_options;
+  sim_options.duration = 8760.0;
+  sim_options.replications = 4000;
+  sim_options.seed = 99;
+  sim_options.initial_state = ok;
+  const auto sim_result = sim::simulate_ctmc(chain, sim_options);
+  const auto& years = sim_result.replication_availabilities;
+  std::printf("Distribution of 1-year interval availability (%zu simulated "
+              "years):\n",
+              years.size());
+  std::printf("  mean              : %.9f (analytic expectation %.9f)\n",
+              sim_result.availability,
+              ctmc::expected_interval_reward(chain, start, 8760.0)
+                  .time_averaged);
+  std::printf("  P(zero downtime)  : %.1f%%\n",
+              stats::fraction_below(years, 1.0) < 1.0
+                  ? (1.0 - stats::fraction_below(years, 1.0)) * 100.0
+                  : 0.0);
+  std::printf("  10th percentile   : %.9f\n",
+              stats::percentile(years, 0.10));
+  std::printf("  1st percentile    : %.9f\n",
+              stats::percentile(years, 0.01));
+  return 0;
+}

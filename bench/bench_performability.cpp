@@ -1,0 +1,55 @@
+// Extension: performability view of the Application Server cluster.
+// The paper marks the Recovery state as "a degraded state in
+// performability modeling"; here the N-instance chain carries
+// capacity rewards (fraction of instances serving) and the workload
+// lens of Section 1 ("minimize loss of transactions") is applied.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/user_impact.h"
+#include "ctmc/steady_state.h"
+#include "models/app_server.h"
+#include "models/params.h"
+#include "report/table.h"
+
+int main() {
+  using namespace rascal;
+
+  std::cout << "=== Extension: performability of the AS cluster ===\n"
+            << "(workload: 100 req/s, 10,000 concurrent sessions — the\n"
+            << " paper's stated per-instance session capacity)\n\n";
+
+  const analysis::Workload workload{100.0 * 3600.0, 10000.0};
+  const auto params = models::default_parameters();
+
+  report::TextTable table(
+      {"Instances", "Strict availability", "Expected capacity",
+       "Capacity-min lost/yr", "Lost req/yr", "Degraded req/yr",
+       "Sessions aborted/yr"});
+  for (std::size_t n : {2, 4, 6, 8}) {
+    const auto strict = core::solve_availability(
+        models::app_server_n_instance_model(n).bind(params));
+    const auto capacity_chain =
+        models::app_server_capacity_model(n).bind(params);
+    const auto steady = ctmc::solve_steady_state(capacity_chain);
+    const auto impact = analysis::user_impact(capacity_chain, steady,
+                                              workload, /*up=*/1e-9);
+    table.add_row(
+        {std::to_string(n),
+         report::format_percent(strict.availability, 7),
+         report::format_percent(impact.expected_reward_rate, 5),
+         report::format_fixed(impact.capacity_minutes_lost_per_year, 1),
+         report::format_fixed(impact.lost_requests_per_year, 1),
+         report::format_fixed(impact.degraded_requests_per_year, 0),
+         report::format_fixed(impact.sessions_lost_per_year, 2)});
+  }
+  std::cout << table.to_string() << "\n";
+  std::cout
+      << "Reading: strict availability improves explosively with cluster\n"
+         "size, but expected capacity is nearly flat -- each instance\n"
+         "still spends the same ~52 failures/yr x ~90 s restarting, so\n"
+         "the capacity-minutes lost scale with the restart budget, not\n"
+         "with redundancy.  Redundancy buys continuity (no lost\n"
+         "requests), not capacity.\n";
+  return 0;
+}

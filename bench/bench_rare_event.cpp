@@ -1,0 +1,58 @@
+// Extension ablation: rare-event simulation.  At five-9s
+// availability, how do plain trajectory simulation, unbiased
+// regenerative simulation, and failure-biased importance sampling
+// compare at equal cycle budgets?  Ground truth comes from the GTH
+// solver.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "core/metrics.h"
+#include "models/hadb_pair.h"
+#include "models/params.h"
+#include "report/table.h"
+#include "sim/importance_sampling.h"
+
+int main() {
+  using namespace rascal;
+
+  std::cout << "=== Rare-event estimation of HADB pair unavailability ===\n";
+  const auto chain =
+      models::hadb_pair_model().bind(models::default_parameters());
+  const double exact = core::solve_availability(chain).unavailability;
+  std::printf("analytic (GTH) unavailability: %.6e\n\n", exact);
+
+  report::TextTable table({"Estimator", "Cycles", "Estimate", "Rel. error",
+                           "95% CI half-width", "Cycles w/ downtime"});
+  for (const std::size_t cycles : {2000, 10000, 50000}) {
+    for (const double bias : {0.0, 0.3, 0.5, 0.7}) {
+      sim::ImportanceSamplingOptions options;
+      options.cycles = cycles;
+      options.plain_cycles = cycles;
+      options.failure_bias = bias;
+      options.seed = 11 + cycles;
+      const auto result = sim::estimate_unavailability(chain, options);
+      const double rel_err =
+          std::abs(result.unavailability - exact) / exact;
+      table.add_row(
+          {bias == 0.0 ? "plain regenerative"
+                       : "IS, bias " + report::format_fixed(bias, 1),
+           std::to_string(cycles),
+           report::format_general(result.unavailability, 4),
+           report::format_percent(rel_err, 1),
+           report::format_percent(result.relative_half_width, 1),
+           std::to_string(result.cycles_observing_downtime)});
+    }
+  }
+  std::cout << table.to_string() << "\n";
+  std::cout
+      << "Reading: unbiased cycles almost never witness a pair failure\n"
+         "(the event needs a second fault inside a minutes-long window),\n"
+         "so the plain estimate rides on a handful of lucky cycles and\n"
+         "its CI spans the estimate itself.  Balanced failure biasing\n"
+         "makes half the cycles observe downtime and delivers\n"
+         "few-percent relative error at the same budget -- this is why\n"
+         "availability studies lean on analytic models or IS, never on\n"
+         "straight simulation.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation (DESIGN.md #3): plain Monte Carlo vs Latin hypercube
+// sampling for the Figure 7 uncertainty analysis — how fast does the
+// estimated mean yearly downtime stabilize with sample count?
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/uncertainty.h"
+#include "core/units.h"
+#include "models/jsas_system.h"
+#include "models/params.h"
+
+int main() {
+  using namespace rascal;
+  using core::per_year;
+
+  std::cout << "=== Ablation: Monte Carlo vs Latin hypercube sampling ===\n"
+            << "(Config 1 uncertainty analysis; spread of the mean over 10 "
+               "independent runs)\n\n";
+
+  const std::vector<stats::ParameterRange> ranges = {
+      {"as_La_as", per_year(10.0), per_year(50.0)},
+      {"hadb_La_hadb", per_year(1.0), per_year(4.0)},
+      {"as_La_os", per_year(0.5), per_year(2.0)},
+      {"as_La_hw", per_year(0.5), per_year(2.0)},
+      {"hadb_La_os", per_year(0.5), per_year(2.0)},
+      {"hadb_La_hw", per_year(0.5), per_year(2.0)},
+      {"as_Tstart_long", 0.5, 3.0},
+      {"hadb_FIR", 0.0, 0.002}};
+
+  const analysis::ModelFunction downtime =
+      [](const expr::ParameterSet& params) {
+        return models::solve_jsas(models::JsasConfig::config1(), params)
+            .downtime_minutes_per_year;
+      };
+  const auto base = models::default_parameters();
+
+  std::printf("  %-8s %-28s %-28s\n", "samples", "MC mean (stddev over runs)",
+              "LHS mean (stddev over runs)");
+  for (std::size_t samples : {25, 50, 100, 200, 400}) {
+    stats::Summary mc_means;
+    stats::Summary lhs_means;
+    for (std::uint64_t run = 0; run < 10; ++run) {
+      analysis::UncertaintyOptions options;
+      options.samples = samples;
+      options.seed = 1000 + run;
+      options.latin_hypercube = false;
+      mc_means.add(
+          analysis::uncertainty_analysis(downtime, base, ranges, options)
+              .mean);
+      options.latin_hypercube = true;
+      lhs_means.add(
+          analysis::uncertainty_analysis(downtime, base, ranges, options)
+              .mean);
+    }
+    std::printf("  %-8zu %.3f (%.3f)%15s %.3f (%.3f)\n", samples,
+                mc_means.mean(), mc_means.stddev(), "", lhs_means.mean(),
+                lhs_means.stddev());
+  }
+  std::cout << "\nReading: LHS cuts the run-to-run spread of the estimated\n"
+               "mean downtime vs plain MC at equal cost; both converge to\n"
+               "the paper's 3.78 min.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Extension: dual-cluster rolling upgrades (the deployment style the
+// paper mentions but leaves out of scope).  Quantifies the trade
+// between unplanned downtime (which dual clusters nearly eliminate)
+// and planned switchover downtime (which upgrades introduce).
+#include <cstdio>
+#include <iostream>
+
+#include "core/metrics.h"
+#include "models/jsas_system.h"
+#include "models/params.h"
+#include "models/upgrade.h"
+#include "report/table.h"
+
+int main() {
+  using namespace rascal;
+
+  std::cout << "=== Extension: dual-cluster rolling upgrades ===\n\n";
+
+  const auto base = models::default_parameters();
+  const auto single =
+      models::solve_jsas(models::JsasConfig::config1(), base);
+  std::printf(
+      "Baseline: one 2x2 cluster (Table 2 Config 1): %.2f min/yr downtime\n\n",
+      single.downtime_minutes_per_year);
+
+  report::TextTable table({"Upgrades/yr", "Switchover", "Downtime (min/yr)",
+                           "Planned share", "Availability"});
+  for (const double upgrades : {4.0, 12.0, 52.0}) {
+    for (const double switch_seconds : {5.0, 30.0, 120.0}) {
+      const auto params = models::upgrade_parameters_for(
+          base, 2, 2, upgrades, /*t_upgrade_hours=*/2.0,
+          switch_seconds / 3600.0);
+      const auto chain = models::dual_cluster_upgrade_model().bind(params);
+      const auto steady = ctmc::solve_steady_state(chain);
+      const auto m = core::availability_metrics(chain, steady);
+      double planned = 0.0;
+      for (const auto& entry : core::downtime_by_state(chain, steady)) {
+        if (chain.state_name(entry.state) == "Switchover") {
+          planned = entry.minutes_per_year;
+        }
+      }
+      table.add_row(
+          {report::format_fixed(upgrades, 0),
+           report::format_fixed(switch_seconds, 0) + " s",
+           report::format_fixed(m.downtime_minutes_per_year, 3),
+           report::format_percent(
+               planned / m.downtime_minutes_per_year, 1),
+           report::format_percent(m.availability, 5)});
+    }
+  }
+  std::cout << table.to_string() << "\n";
+  std::cout
+      << "Reading: the dual cluster wipes out unplanned outage (double\n"
+         "cluster faults are ~1e-4 min/yr) so total downtime is the\n"
+         "planned cut-over budget: upgrades_per_year x T_switch.  Weekly\n"
+         "upgrades need a sub-10-second switchover to stay under the\n"
+         "single cluster's 3.5 min/yr -- session failover via HADB (the\n"
+         "paper's mechanism) is exactly what makes that possible.\n";
+  return 0;
+}

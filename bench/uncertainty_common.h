@@ -1,0 +1,94 @@
+// Shared driver for the Figure 7 / Figure 8 uncertainty benches.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/uncertainty.h"
+#include "core/units.h"
+#include "models/jsas_system.h"
+#include "models/params.h"
+#include "report/ascii_plot.h"
+#include "stats/summary.h"
+
+namespace rascal::benchutil {
+
+/// The six uncertain parameters and ranges of Section 7.
+inline std::vector<stats::ParameterRange> paper_ranges() {
+  using core::per_year;
+  return {{"as_La_as", per_year(10.0), per_year(50.0)},
+          {"hadb_La_hadb", per_year(1.0), per_year(4.0)},
+          {"as_La_os", per_year(0.5), per_year(2.0)},
+          {"as_La_hw", per_year(0.5), per_year(2.0)},
+          {"hadb_La_os", per_year(0.5), per_year(2.0)},
+          {"hadb_La_hw", per_year(0.5), per_year(2.0)},
+          {"as_Tstart_long", 0.5, 3.0},
+          {"hadb_FIR", 0.0, 0.002}};
+}
+
+struct PaperFigure {
+  double mean;
+  double ci80_lo, ci80_hi;
+  double ci90_lo, ci90_hi;
+  double fraction_below_5_25;  // share of systems above five 9s
+};
+
+inline void run_uncertainty_figure(const models::JsasConfig& config,
+                                   const char* figure_name,
+                                   const PaperFigure& paper) {
+  std::cout << "=== " << figure_name
+            << ": Uncertainty analysis of yearly downtime, " << config.name()
+            << " ===\n(1,000 parameter snapshots, as in the paper)\n\n";
+
+  analysis::UncertaintyOptions options;
+  options.samples = 1000;
+  options.seed = 2004;
+  const auto result = analysis::uncertainty_analysis(
+      [&config](const expr::ParameterSet& params) {
+        return models::solve_jsas(config, params).downtime_minutes_per_year;
+      },
+      models::default_parameters(), paper_ranges(), options);
+
+  std::printf("  Mean yearly downtime : %.2f min     (paper: %.2f)\n",
+              result.mean, paper.mean);
+  std::printf("  80%% interval         : (%.2f, %.2f)  (paper: (%.2f, %.2f))\n",
+              result.interval80.lower, result.interval80.upper, paper.ci80_lo,
+              paper.ci80_hi);
+  std::printf("  90%% interval         : (%.2f, %.2f)  (paper: (%.2f, %.2f))\n",
+              result.interval90.lower, result.interval90.upper, paper.ci90_lo,
+              paper.ci90_hi);
+  std::printf(
+      "  Systems above five 9s: %.1f%% (downtime < 5.25 min; paper: over "
+      "%.0f%%)\n\n",
+      result.fraction_below(5.25) * 100.0, paper.fraction_below_5_25 * 100.0);
+
+  // Scatter of downtime vs snapshot index, as the paper plots it.
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (std::size_t i = 0; i < result.metrics.size(); ++i) {
+    xs.push_back(static_cast<double>(i));
+    ys.push_back(result.metrics[i]);
+  }
+  report::PlotOptions plot;
+  plot.title = "Yearly downtime (minutes) per parameter snapshot";
+  plot.x_label = "parameter snapshot";
+  std::cout << report::scatter_plot(xs, ys, plot) << "\n";
+
+  // Downtime histogram (not in the paper, but makes the spread
+  // readable in a terminal).
+  stats::Histogram histogram(0.0, 12.0, 12);
+  for (double v : result.metrics) histogram.add(v);
+  std::cout << "Histogram (minutes/year):\n";
+  for (std::size_t bin = 0; bin < histogram.bins(); ++bin) {
+    std::printf("  [%5.2f, %5.2f) %4zu ", histogram.bin_lower(bin),
+                histogram.bin_upper(bin), histogram.count(bin));
+    std::cout << std::string(histogram.count(bin) / 5, '#') << "\n";
+  }
+  if (histogram.overflow() > 0) {
+    std::printf("  [12.00,  inf) %4zu\n", histogram.overflow());
+  }
+}
+
+}  // namespace rascal::benchutil

@@ -1,0 +1,75 @@
+// Capacity-planning scenario from the paper's conclusions: "These
+// results could be useful in planning data centers and web services
+// deployments."
+//
+// A deployment team must pick an Application Server cluster size for
+// a target of five 9s, under their own (site-specific) failure rates
+// and a contractual 2-hour hardware-replacement SLA.  We sweep
+// configurations, print the availability/cost frontier, and check the
+// choice's robustness with a tornado analysis.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/sensitivity.h"
+#include "core/units.h"
+#include "models/jsas_system.h"
+#include "models/params.h"
+#include "report/table.h"
+
+int main() {
+  using namespace rascal;
+  using core::per_year;
+
+  // Site-specific parameters: better-than-lab software (20 AS
+  // failures/year) but slower hardware replacement (2 h).
+  expr::ParameterSet site = models::default_parameters();
+  site.set("as_La_as", per_year(20.0));
+  site.set("as_Tstart_long", 2.0);
+
+  std::cout << "=== Cluster sizing for a five-9s target ===\n\n";
+  report::TextTable table({"AS instances", "HADB pairs", "Hosts (cost)",
+                           "Availability", "Downtime (min/yr)",
+                           "Meets 5x9s"});
+  for (std::size_t n : {1, 2, 3, 4, 6, 8}) {
+    const auto config = models::JsasConfig::symmetric(n);
+    const auto r = models::solve_jsas(config, site);
+    const std::size_t hosts =
+        config.as_instances +
+        (n == 1 ? 0 : 2 * config.hadb_pairs + config.hadb_spares);
+    table.add_row({std::to_string(config.as_instances),
+                   n == 1 ? "-" : std::to_string(config.hadb_pairs),
+                   std::to_string(hosts),
+                   report::format_percent(r.availability, 5),
+                   report::format_fixed(r.downtime_minutes_per_year, 2),
+                   r.downtime_minutes_per_year < 5.256 ? "yes" : "no"});
+  }
+  std::cout << table.to_string() << "\n";
+
+  // Which parameter should the team negotiate hardest on?  Tornado
+  // over the contractual/site-variable inputs for the 4x4 choice.
+  const analysis::ModelFunction downtime =
+      [](const expr::ParameterSet& params) {
+        return models::solve_jsas(models::JsasConfig::config2(), params)
+            .downtime_minutes_per_year;
+      };
+  const auto bars = analysis::tornado_analysis(
+      downtime, site,
+      std::vector<stats::ParameterRange>{
+          {"as_Tstart_long", 0.5, 4.0},
+          {"hadb_Trestore", 0.5, 4.0},
+          {"hadb_FIR", 0.0, 0.002},
+          {"as_La_as", per_year(10.0), per_year(50.0)},
+          {"hadb_La_hw", per_year(0.5), per_year(2.0)}});
+
+  std::cout << "Tornado analysis of yearly downtime (4x4 configuration):\n";
+  for (const auto& bar : bars) {
+    std::printf("  %-16s swing %6.3f min/yr   (%.3f .. %.3f)\n",
+                bar.parameter.c_str(), bar.swing(), bar.metric_at_lo,
+                bar.metric_at_hi);
+  }
+  std::cout << "\nReading: once the cluster is 4x4, downtime is governed by\n"
+               "the HADB restore path and imperfect recovery, not by the AS\n"
+               "hardware SLA -- negotiate the database operations runbook\n"
+               "before the hardware contract.\n";
+  return 0;
+}

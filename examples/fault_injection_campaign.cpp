@@ -1,0 +1,56 @@
+// Runs the Section 3 fault-injection campaign against the simulated
+// JSAS testbed and derives model parameters from it the way the paper
+// does: the Equation-1 FIR bound and conservative recovery times.
+#include <cstdio>
+#include <iostream>
+
+#include "faultinj/injector.h"
+#include "report/table.h"
+
+int main() {
+  using namespace rascal;
+
+  std::cout << "Running 3,287 fault injections against the simulated "
+               "testbed...\n\n";
+
+  faultinj::CampaignOptions options;
+  options.trials = 3287;
+  options.seed = 20040628;  // DSN'04 conference date
+  const auto campaign = faultinj::run_campaign(options);
+
+  std::printf("Outcome: %llu/%llu recoveries successful\n\n",
+              static_cast<unsigned long long>(campaign.successes),
+              static_cast<unsigned long long>(campaign.trials));
+
+  report::TextTable table({"Confidence", "FIR upper bound", "Use"});
+  table.add_row({"95%",
+                 report::format_percent(campaign.fir_upper_bound(0.95), 3),
+                 "model default (paper: 0.1%)"});
+  table.add_row({"99.5%",
+                 report::format_percent(campaign.fir_upper_bound(0.995), 3),
+                 "uncertainty-range top (paper: 0.2%)"});
+  std::cout << table.to_string() << "\n";
+
+  std::cout << "Recovery-time measurements -> conservative model "
+               "parameters:\n";
+  std::printf("  HADB restart  measured mean %4.0f s -> round up to 60 s\n",
+              campaign.hadb_restart_times.mean() * 3600.0);
+  std::printf("  spare rebuild measured mean %4.1f min -> round up to 30 min"
+              " (configuration headroom)\n",
+              campaign.hadb_rebuild_times.mean() * 60.0);
+  std::printf("  AS restart    measured mean %4.0f s -> 90 s after adding "
+              "the load-balancer health-check interval\n",
+              campaign.as_restart_times.mean() * 3600.0);
+
+  // What if the recovery handlers were buggier?  Re-run with a true
+  // imperfect-recovery rate of 1% and watch the estimate respond.
+  faultinj::CampaignOptions buggy = options;
+  buggy.recovery.true_imperfect_recovery = 0.01;
+  const auto degraded = faultinj::run_campaign(buggy);
+  std::printf(
+      "\nCounterfactual (true FIR = 1%%): %llu failures observed, bound at "
+      "95%% becomes %.2f%% -- the estimator tracks reality.\n",
+      static_cast<unsigned long long>(degraded.trials - degraded.successes),
+      degraded.fir_upper_bound(0.95) * 100.0);
+  return 0;
+}

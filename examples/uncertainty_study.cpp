@@ -1,0 +1,81 @@
+// Uncertainty study on a user-defined model (not one of the paper's):
+// a two-region active/passive deployment with DNS failover.  Shows
+// the full workflow: symbolic model -> parameter ranges -> Monte
+// Carlo -> confidence intervals and parameter importance.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/sensitivity.h"
+#include "analysis/uncertainty.h"
+#include "core/metrics.h"
+#include "core/units.h"
+#include "ctmc/builder.h"
+
+int main() {
+  using namespace rascal;
+  using core::minutes;
+  using core::per_year;
+
+  // Active region fails -> DNS failover to the passive region (brief
+  // outage); with probability 1-c the failover itself fails and an
+  // operator intervenes.  The passive region can be down for
+  // maintenance when the active one fails: full outage.
+  ctmc::SymbolicCtmc model;
+  model.state("ActiveServing", 1.0);
+  model.state("Failover", 0.0);          // DNS switch in progress
+  model.state("PassiveServing", 1.0);    // running on the backup
+  model.state("OperatorRecovery", 0.0);  // failover failed
+  model.rate("ActiveServing", "Failover", "La_region*c");
+  model.rate("ActiveServing", "OperatorRecovery", "La_region*(1-c)");
+  model.rate("Failover", "PassiveServing", "1/T_dns");
+  model.rate("PassiveServing", "ActiveServing", "1/T_rebuild");
+  model.rate("PassiveServing", "OperatorRecovery", "La_region");
+  model.rate("OperatorRecovery", "ActiveServing", "1/T_operator");
+
+  const expr::ParameterSet base{{"La_region", per_year(6.0)},
+                                {"c", 0.95},
+                                {"T_dns", minutes(3.0)},
+                                {"T_rebuild", 24.0},
+                                {"T_operator", 1.5}};
+
+  const analysis::ModelFunction downtime =
+      [&model](const expr::ParameterSet& params) {
+        return core::solve_availability(model.bind(params))
+            .downtime_minutes_per_year;
+      };
+
+  std::printf("Point estimate: %.1f min/yr downtime (availability %.5f%%)\n\n",
+              downtime(base),
+              core::solve_availability(model.bind(base)).availability *
+                  100.0);
+
+  // The team cannot measure these precisely: sample them.
+  const std::vector<stats::ParameterRange> ranges = {
+      {"La_region", per_year(2.0), per_year(12.0)},
+      {"c", 0.90, 0.999},
+      {"T_dns", minutes(1.0), minutes(10.0)},
+      {"T_operator", 0.5, 4.0}};
+
+  analysis::UncertaintyOptions options;
+  options.samples = 1000;
+  options.seed = 7;
+  const auto result =
+      analysis::uncertainty_analysis(downtime, base, ranges, options);
+
+  std::printf("Across 1,000 sampled operating points:\n");
+  std::printf("  mean downtime : %.1f min/yr\n", result.mean);
+  std::printf("  80%% interval  : (%.1f, %.1f) min/yr\n",
+              result.interval80.lower, result.interval80.upper);
+  std::printf("  90%% interval  : (%.1f, %.1f) min/yr\n",
+              result.interval90.lower, result.interval90.upper);
+  std::printf("  P(four 9s)    : %.1f%% of systems under 52.6 min/yr\n\n",
+              result.fraction_below(52.56) * 100.0);
+
+  std::cout << "Parameter importance (Spearman rank correlation with "
+               "downtime):\n";
+  for (const auto& entry : analysis::parameter_importance(result, ranges)) {
+    std::printf("  %-12s rho = %+.3f\n", entry.parameter.c_str(),
+                entry.rank_correlation);
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Planning online upgrades with the dual-cluster extension: how often
+// can we ship, and how fast must the traffic cut-over be, before
+// planned downtime eats the availability budget?
+//
+// The paper models a single cluster and leaves online upgrades out of
+// scope; this example answers the question its conclusions raise for
+// a deployment team with a weekly release train.
+#include <cstdio>
+#include <iostream>
+
+#include "core/metrics.h"
+#include "ctmc/steady_state.h"
+#include "models/jsas_system.h"
+#include "models/params.h"
+#include "models/upgrade.h"
+#include "report/table.h"
+
+int main() {
+  using namespace rascal;
+
+  const auto base = models::default_parameters();
+  const auto single = models::solve_jsas(models::JsasConfig::config1(), base);
+  std::printf(
+      "Single 2x2 cluster (no online upgrades): %.2f min/yr downtime.\n"
+      "Budget: stay at or below that while shipping weekly.\n\n",
+      single.downtime_minutes_per_year);
+
+  report::TextTable table({"Cut-over time", "Downtime (min/yr)",
+                           "Within budget?", "Full outages / century"});
+  for (const double switch_seconds : {60.0, 30.0, 10.0, 5.0, 2.0}) {
+    const auto params = models::upgrade_parameters_for(
+        base, 2, 2, /*upgrades_per_year=*/52.0, /*t_upgrade_hours=*/2.0,
+        switch_seconds / 3600.0);
+    const auto chain = models::dual_cluster_upgrade_model().bind(params);
+    const auto steady = ctmc::solve_steady_state(chain);
+    const auto metrics = core::availability_metrics(chain, steady);
+
+    // Unplanned full outages (both clusters down), as opposed to the
+    // planned cut-over blips that dominate the downtime number.
+    const auto all_down = chain.state("AllDown");
+    double full_outage_rate = 0.0;
+    for (const ctmc::Transition& t : chain.transitions()) {
+      if (t.to == all_down) {
+        full_outage_rate += steady.probability(t.from) * t.rate;
+      }
+    }
+    table.add_row(
+        {report::format_fixed(switch_seconds, 0) + " s",
+         report::format_fixed(metrics.downtime_minutes_per_year, 2),
+         metrics.downtime_minutes_per_year <=
+                 single.downtime_minutes_per_year
+             ? "yes"
+             : "no",
+         report::format_fixed(full_outage_rate * 8760.0 * 100.0, 2)});
+  }
+  std::cout << table.to_string() << "\n";
+
+  std::cout
+      << "Decision: a weekly train fits the availability budget only if\n"
+         "the cut-over completes in under ~4 seconds (52 x 4 s = 3.5\n"
+         "min/yr).  That is precisely the capability the paper's HTTP\n"
+         "session persistence in HADB provides: the new cluster restores\n"
+         "conversational state from the session store, so the switch is\n"
+         "a load-balancer flip, not a user-visible restart.\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+#include "analysis/cost.h"
+
+#include <stdexcept>
+
+#include "core/units.h"
+#include "stats/summary.h"
+
+namespace rascal::analysis {
+
+CostBreakdown yearly_cost(const core::AvailabilityMetrics& metrics,
+                          std::size_t hosts, const CostStructure& costs) {
+  if (costs.downtime_cost_per_minute < 0.0 || costs.cost_per_failure < 0.0 ||
+      costs.host_cost_per_year < 0.0 || costs.sla_downtime_minutes < 0.0 ||
+      costs.sla_breach_penalty < 0.0) {
+    throw std::invalid_argument("yearly_cost: negative cost input");
+  }
+  CostBreakdown breakdown;
+  breakdown.downtime_cost =
+      metrics.downtime_minutes_per_year * costs.downtime_cost_per_minute;
+  breakdown.incident_cost = metrics.failure_frequency *
+                            core::kHoursPerYear * costs.cost_per_failure;
+  breakdown.infrastructure_cost =
+      static_cast<double>(hosts) * costs.host_cost_per_year;
+  breakdown.expected_sla_penalty =
+      metrics.downtime_minutes_per_year > costs.sla_downtime_minutes
+          ? costs.sla_breach_penalty
+          : 0.0;
+  breakdown.total = breakdown.downtime_cost + breakdown.incident_cost +
+                    breakdown.infrastructure_cost +
+                    breakdown.expected_sla_penalty;
+  return breakdown;
+}
+
+double sla_breach_probability(const std::vector<double>& downtime_samples,
+                              double sla_downtime_minutes) {
+  return 1.0 -
+         stats::fraction_below(downtime_samples, sla_downtime_minutes);
+}
+
+}  // namespace rascal::analysis

@@ -1,0 +1,47 @@
+// Service-cost view of availability results: the paper closes by
+// noting its numbers are "useful in planning data centers and web
+// services deployments" — planning means money.  This module turns a
+// solved model plus a cost structure into expected yearly cost, and
+// compares deployment options.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+
+namespace rascal::analysis {
+
+struct CostStructure {
+  double downtime_cost_per_minute = 0.0;   // revenue/SLA penalty
+  double cost_per_failure = 0.0;           // incident handling, credits
+  double host_cost_per_year = 0.0;         // amortized hardware + ops
+  double sla_downtime_minutes = 0.0;       // contractual allowance
+  double sla_breach_penalty = 0.0;         // flat penalty when exceeded
+};
+
+struct CostBreakdown {
+  double downtime_cost = 0.0;
+  double incident_cost = 0.0;
+  double infrastructure_cost = 0.0;
+  double expected_sla_penalty = 0.0;
+  double total = 0.0;
+};
+
+/// Expected yearly cost of running a system with the given metrics on
+/// `hosts` machines.  The SLA penalty is all-or-nothing on the
+/// *expected* downtime (deterministic approximation); for a
+/// probabilistic penalty use the uncertainty machinery and
+/// sla_breach_probability below.  Throws std::invalid_argument on
+/// negative cost inputs.
+[[nodiscard]] CostBreakdown yearly_cost(
+    const core::AvailabilityMetrics& metrics, std::size_t hosts,
+    const CostStructure& costs);
+
+/// Fraction of sampled systems (e.g. from uncertainty_analysis
+/// downtime metrics) whose yearly downtime exceeds the SLA allowance.
+[[nodiscard]] double sla_breach_probability(
+    const std::vector<double>& downtime_samples,
+    double sla_downtime_minutes);
+
+}  // namespace rascal::analysis

@@ -1,0 +1,50 @@
+#include "analysis/exact_sensitivity.h"
+
+#include "core/units.h"
+#include "ctmc/steady_state.h"
+#include "linalg/lu.h"
+
+namespace rascal::analysis {
+
+ExactSensitivity steady_state_sensitivity(const ctmc::SymbolicCtmc& model,
+                                          const expr::ParameterSet& params,
+                                          const std::string& parameter,
+                                          double up_threshold) {
+  const ctmc::Ctmc chain = model.bind(params);
+  const std::size_t n = chain.num_states();
+  const auto steady = ctmc::solve_steady_state(chain);
+
+  // dQ/dtheta from the symbolic rate derivatives.  Note: transitions
+  // whose bound rate is exactly zero are dropped from `chain` but
+  // their derivative can still be nonzero (e.g. FIR = 0), so dQ is
+  // assembled from the *symbolic* transition list.
+  linalg::Matrix dq(n, n, 0.0);
+  for (const auto& t : model.transitions()) {
+    const double d = t.rate.derivative(parameter).evaluate(params);
+    if (d == 0.0) continue;
+    dq(t.from, t.to) += d;
+    dq(t.from, t.from) -= d;
+  }
+
+  // Solve (d pi) Q = -pi dQ with the normalization sum(d pi) = 0:
+  // transpose to Q^T x = rhs and overwrite the last balance row.
+  linalg::Matrix a = chain.generator().transposed();
+  for (std::size_t c = 0; c < n; ++c) a(n - 1, c) = 1.0;
+  linalg::Vector rhs = dq.left_multiply(steady.probabilities);
+  for (double& v : rhs) v = -v;
+  rhs[n - 1] = 0.0;
+  linalg::Vector d_pi = linalg::solve_linear_system(std::move(a), rhs);
+
+  ExactSensitivity out;
+  out.parameter = parameter;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (chain.reward(i) >= up_threshold) out.d_availability += d_pi[i];
+    out.d_expected_reward_rate += d_pi[i] * chain.reward(i);
+  }
+  out.d_downtime_minutes =
+      -out.d_availability * core::kMinutesPerYear;
+  out.d_pi = std::move(d_pi);
+  return out;
+}
+
+}  // namespace rascal::analysis

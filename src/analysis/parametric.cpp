@@ -1,0 +1,34 @@
+#include "analysis/parametric.h"
+
+#include <stdexcept>
+
+namespace rascal::analysis {
+
+std::vector<double> linspace(double lo, double hi, std::size_t count) {
+  if (count < 2) {
+    throw std::invalid_argument("linspace: count must be >= 2");
+  }
+  std::vector<double> out(count);
+  const double step = (hi - lo) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = lo + static_cast<double>(i) * step;
+  }
+  out.back() = hi;  // avoid accumulated round-off at the endpoint
+  return out;
+}
+
+std::vector<SweepPoint> parametric_sweep(const ModelFunction& model,
+                                         const expr::ParameterSet& base,
+                                         const std::string& parameter,
+                                         const std::vector<double>& values) {
+  std::vector<SweepPoint> points;
+  points.reserve(values.size());
+  for (double v : values) {
+    expr::ParameterSet params = base;
+    params.set(parameter, v);
+    points.push_back({v, model(params)});
+  }
+  return points;
+}
+
+}  // namespace rascal::analysis

@@ -1,0 +1,34 @@
+// Parametric (sensitivity-sweep) analysis: re-evaluate a model metric
+// while one parameter walks a range — the RAScad capability behind
+// Figures 5 and 6 of the paper.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "expr/parameter_set.h"
+
+namespace rascal::analysis {
+
+/// A scalar model output as a function of parameter bindings, e.g.
+/// "system availability of Config 1" or "yearly downtime of Config 2".
+using ModelFunction = std::function<double(const expr::ParameterSet&)>;
+
+/// `count` evenly spaced values covering [lo, hi] inclusive.
+/// count >= 2; throws std::invalid_argument otherwise.
+[[nodiscard]] std::vector<double> linspace(double lo, double hi,
+                                           std::size_t count);
+
+struct SweepPoint {
+  double parameter_value = 0.0;
+  double metric = 0.0;
+};
+
+/// Evaluates `model` at `base` with `parameter` overridden by each of
+/// `values`, in order.
+[[nodiscard]] std::vector<SweepPoint> parametric_sweep(
+    const ModelFunction& model, const expr::ParameterSet& base,
+    const std::string& parameter, const std::vector<double>& values);
+
+}  // namespace rascal::analysis

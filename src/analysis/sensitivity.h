@@ -1,0 +1,66 @@
+// Local and global sensitivity analysis.
+//
+//  * finite_difference_sensitivities: local partial derivatives and
+//    elasticities around a base point.
+//  * tornado_analysis: metric at each range endpoint, holding the
+//    remaining parameters at base values — ranks which uncertain
+//    parameter moves the output most.
+//  * spearman / parameter_importance: rank correlation between sampled
+//    parameter values and the output metric across an uncertainty
+//    run — a global importance measure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/parametric.h"
+#include "analysis/uncertainty.h"
+#include "stats/sampling.h"
+
+namespace rascal::analysis {
+
+struct Sensitivity {
+  std::string parameter;
+  double derivative = 0.0;  // d(metric)/d(parameter), central difference
+  double elasticity = 0.0;  // (x / y) * dy/dx, scale-free
+};
+
+/// Central-difference sensitivities for each named parameter around
+/// `base`.  `relative_step` scales the perturbation per parameter
+/// (|x| * step, or step when x == 0).
+[[nodiscard]] std::vector<Sensitivity> finite_difference_sensitivities(
+    const ModelFunction& model, const expr::ParameterSet& base,
+    const std::vector<std::string>& parameters, double relative_step = 1e-4);
+
+struct TornadoBar {
+  std::string parameter;
+  double metric_at_lo = 0.0;
+  double metric_at_hi = 0.0;
+  [[nodiscard]] double swing() const noexcept {
+    const double d = metric_at_hi - metric_at_lo;
+    return d < 0.0 ? -d : d;
+  }
+};
+
+/// One bar per range, sorted by descending swing.
+[[nodiscard]] std::vector<TornadoBar> tornado_analysis(
+    const ModelFunction& model, const expr::ParameterSet& base,
+    const std::vector<stats::ParameterRange>& ranges);
+
+/// Spearman rank correlation coefficient between two equal-length
+/// samples.  Throws std::invalid_argument on mismatch or length < 2.
+[[nodiscard]] double spearman_rank_correlation(const std::vector<double>& xs,
+                                               const std::vector<double>& ys);
+
+struct ParameterImportance {
+  std::string parameter;
+  double rank_correlation = 0.0;
+};
+
+/// Spearman correlation of each sampled parameter against the metric,
+/// from an uncertainty_analysis result; sorted by descending |rho|.
+[[nodiscard]] std::vector<ParameterImportance> parameter_importance(
+    const UncertaintyResult& result,
+    const std::vector<stats::ParameterRange>& ranges);
+
+}  // namespace rascal::analysis

@@ -1,0 +1,45 @@
+#include "analysis/uncertainty.h"
+
+#include <stdexcept>
+
+#include "stats/rng.h"
+
+namespace rascal::analysis {
+
+double UncertaintyResult::fraction_below(double threshold) const {
+  return stats::fraction_below(metrics, threshold);
+}
+
+UncertaintyResult uncertainty_analysis(
+    const ModelFunction& model, const expr::ParameterSet& base,
+    const std::vector<stats::ParameterRange>& ranges,
+    const UncertaintyOptions& options) {
+  if (options.samples == 0) {
+    throw std::invalid_argument("uncertainty_analysis: zero samples");
+  }
+  stats::RandomEngine rng(options.seed);
+  const std::vector<stats::Sample> draws =
+      options.latin_hypercube
+          ? stats::latin_hypercube_samples(ranges, options.samples, rng)
+          : stats::monte_carlo_samples(ranges, options.samples, rng);
+
+  UncertaintyResult result;
+  result.samples.reserve(draws.size());
+  result.metrics.reserve(draws.size());
+  for (const stats::Sample& draw : draws) {
+    expr::ParameterSet params = base;
+    for (std::size_t d = 0; d < ranges.size(); ++d) {
+      params.set(ranges[d].name, draw[d]);
+    }
+    const double metric = model(params);
+    result.samples.push_back({draw, metric});
+    result.metrics.push_back(metric);
+    result.summary.add(metric);
+  }
+  result.mean = result.summary.mean();
+  result.interval80 = stats::sample_interval(result.metrics, 0.8);
+  result.interval90 = stats::sample_interval(result.metrics, 0.9);
+  return result;
+}
+
+}  // namespace rascal::analysis

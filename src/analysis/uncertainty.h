@@ -1,0 +1,50 @@
+// Uncertainty analysis (paper Section 7, Figures 7 and 8).
+//
+// Parameters that cannot be measured accurately in bounded lab time —
+// failure rates, customer-controlled recovery times, the imperfect
+// recovery fraction — are sampled from stated ranges; the model is
+// solved once per virtual "customer system"; and the output metric is
+// summarized by its mean and symmetric sample intervals.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/parametric.h"
+#include "stats/sampling.h"
+#include "stats/summary.h"
+
+namespace rascal::analysis {
+
+struct UncertaintyOptions {
+  std::size_t samples = 1000;  // paper uses 1,000 snapshots
+  std::uint64_t seed = 2004;   // reproducible by default
+  bool latin_hypercube = false;
+};
+
+struct UncertaintySample {
+  stats::Sample parameters;  // aligned with the ranges
+  double metric = 0.0;
+};
+
+struct UncertaintyResult {
+  std::vector<UncertaintySample> samples;
+  std::vector<double> metrics;  // convenience copy, in draw order
+  double mean = 0.0;
+  stats::Interval interval80;
+  stats::Interval interval90;
+  stats::Summary summary;
+
+  /// Fraction of sampled systems whose metric is below `threshold`
+  /// (e.g. yearly downtime under 5.25 min = five-9s availability).
+  [[nodiscard]] double fraction_below(double threshold) const;
+};
+
+/// Runs the analysis: each draw overrides `base` with sampled values
+/// for every range, then evaluates `model`.
+[[nodiscard]] UncertaintyResult uncertainty_analysis(
+    const ModelFunction& model, const expr::ParameterSet& base,
+    const std::vector<stats::ParameterRange>& ranges,
+    const UncertaintyOptions& options = {});
+
+}  // namespace rascal::analysis

@@ -1,0 +1,52 @@
+#include "analysis/user_impact.h"
+
+#include <stdexcept>
+
+#include "core/units.h"
+
+namespace rascal::analysis {
+
+UserImpact user_impact(const ctmc::Ctmc& chain,
+                       const ctmc::SteadyState& steady,
+                       const Workload& workload, double up_threshold) {
+  if (workload.requests_per_hour < 0.0 ||
+      workload.concurrent_sessions < 0.0) {
+    throw std::invalid_argument("user_impact: negative workload");
+  }
+  if (steady.probabilities.size() != chain.num_states()) {
+    throw std::invalid_argument("user_impact: steady-state size mismatch");
+  }
+
+  UserImpact impact;
+  double p_down = 0.0;
+  double degraded_weight = 0.0;  // sum pi * (1 - reward) over up states
+  double reward_rate = 0.0;
+  for (ctmc::StateId i = 0; i < chain.num_states(); ++i) {
+    const double p = steady.probability(i);
+    const double r = chain.reward(i);
+    reward_rate += p * r;
+    if (r < up_threshold) {
+      p_down += p;
+    } else if (r < 1.0) {
+      degraded_weight += p * (1.0 - r);
+    }
+  }
+
+  const core::AvailabilityMetrics metrics =
+      core::availability_metrics(chain, steady, up_threshold);
+  const double requests_per_year =
+      workload.requests_per_hour * core::kHoursPerYear;
+
+  impact.lost_requests_per_year = p_down * requests_per_year;
+  impact.degraded_requests_per_year = degraded_weight * requests_per_year;
+  impact.failures_per_year =
+      metrics.failure_frequency * core::kHoursPerYear;
+  impact.sessions_lost_per_year =
+      impact.failures_per_year * workload.concurrent_sessions;
+  impact.expected_reward_rate = reward_rate;
+  impact.capacity_minutes_lost_per_year =
+      (1.0 - reward_rate) * core::kMinutesPerYear;
+  return impact;
+}
+
+}  // namespace rascal::analysis

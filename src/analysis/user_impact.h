@@ -1,0 +1,41 @@
+// User-perceived impact of unavailability (the paper's motivating
+// metric: "minimize loss of transactions") and performability.
+//
+// Translates steady-state results into workload terms: requests that
+// arrive while the system is down are lost; requests served in
+// partially-rewarded states are degraded (e.g. the +5 s session
+// recovery latency of the paper's Recovery state); every system
+// failure additionally aborts the transactions in flight.
+#pragma once
+
+#include "core/metrics.h"
+#include "ctmc/ctmc.h"
+#include "ctmc/steady_state.h"
+
+namespace rascal::analysis {
+
+struct Workload {
+  double requests_per_hour = 0.0;
+  double concurrent_sessions = 0.0;  // in-flight state lost per failure
+};
+
+struct UserImpact {
+  double lost_requests_per_year = 0.0;      // arrived while down
+  double degraded_requests_per_year = 0.0;  // served below full reward
+  double sessions_lost_per_year = 0.0;      // aborted mid-transaction
+  double failures_per_year = 0.0;
+  double expected_reward_rate = 1.0;        // performability level
+  double capacity_minutes_lost_per_year = 0.0;  // (1 - reward) x time
+};
+
+/// Computes the impact of running `workload` on the system described
+/// by `chain`/`steady`.  `up_threshold` separates down states (which
+/// lose requests) from degraded-but-up states (which degrade them).
+/// Throws std::invalid_argument on negative workload figures or a
+/// size mismatch.
+[[nodiscard]] UserImpact user_impact(
+    const ctmc::Ctmc& chain, const ctmc::SteadyState& steady,
+    const Workload& workload,
+    double up_threshold = core::kDefaultUpThreshold);
+
+}  // namespace rascal::analysis

@@ -1,0 +1,72 @@
+// Markov reward metrics: the system measures reported in the paper
+// (availability, yearly downtime, MTBF) plus the two-state equivalent
+// abstraction that powers hierarchical composition.
+#pragma once
+
+#include <vector>
+
+#include "ctmc/ctmc.h"
+#include "ctmc/steady_state.h"
+
+namespace rascal::core {
+
+/// A state counts as "up" when its reward rate is at least this
+/// threshold; the paper uses rewards of exactly 0 and 1.
+inline constexpr double kDefaultUpThreshold = 0.5;
+
+struct AvailabilityMetrics {
+  double availability = 1.0;           // P(reward >= threshold)
+  double unavailability = 0.0;         // 1 - availability
+  double downtime_minutes_per_year = 0.0;
+  double expected_reward_rate = 1.0;   // sum pi_i * r_i (performability)
+  double failure_frequency = 0.0;      // system failures per hour
+  double mtbf_hours = 0.0;             // 1 / failure_frequency
+  double mttf_hours = 0.0;             // mean up duration between failures
+  double mttr_hours = 0.0;             // mean down duration per failure
+};
+
+/// Computes the metric set from a solved steady state.  Throws
+/// std::invalid_argument on a size mismatch between chain and
+/// solution.  A chain with no down states reports availability 1 and
+/// infinite MTBF (represented as +inf).
+[[nodiscard]] AvailabilityMetrics availability_metrics(
+    const ctmc::Ctmc& chain, const ctmc::SteadyState& steady,
+    double up_threshold = kDefaultUpThreshold);
+
+/// Convenience: solve (GTH) and compute metrics in one call.
+[[nodiscard]] AvailabilityMetrics solve_availability(
+    const ctmc::Ctmc& chain, double up_threshold = kDefaultUpThreshold);
+
+/// Two-state abstraction of a submodel, as used by RAScad when a
+/// subsystem diagram is referenced from a parent diagram (Figure 2):
+/// the submodel collapses to Up --lambda_eq--> Down --mu_eq--> Up with
+///   lambda_eq = failure frequency / P(up)     (conditional failure rate)
+///   mu_eq     = failure frequency / P(down)   (conditional repair rate)
+/// These preserve both the steady-state availability and the failure
+/// frequency of the original submodel.
+struct TwoStateEquivalent {
+  double lambda_eq = 0.0;
+  double mu_eq = 0.0;
+
+  [[nodiscard]] double availability() const noexcept {
+    if (lambda_eq == 0.0) return 1.0;  // covers mu_eq == +inf as well
+    return mu_eq / (lambda_eq + mu_eq);
+  }
+};
+
+[[nodiscard]] TwoStateEquivalent two_state_equivalent(
+    const ctmc::Ctmc& chain, const ctmc::SteadyState& steady,
+    double up_threshold = kDefaultUpThreshold);
+
+/// Steady-state downtime attribution: expected minutes per year spent
+/// in each state (nonzero only for down states).  Sums to
+/// downtime_minutes_per_year.
+struct StateDowntime {
+  ctmc::StateId state = 0;
+  double minutes_per_year = 0.0;
+};
+[[nodiscard]] std::vector<StateDowntime> downtime_by_state(
+    const ctmc::Ctmc& chain, const ctmc::SteadyState& steady,
+    double up_threshold = kDefaultUpThreshold);
+
+}  // namespace rascal::core

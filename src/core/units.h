@@ -1,0 +1,38 @@
+// Unit conventions and conversion helpers.
+//
+// The library follows the paper's convention: all rates are per hour
+// and all durations are in hours (e.g. "La_hadb = 2/8760" is two
+// failures per year expressed per hour).  These helpers keep call
+// sites readable and conversion mistakes out of the models.
+#pragma once
+
+namespace rascal::core {
+
+inline constexpr double kHoursPerYear = 8760.0;
+inline constexpr double kMinutesPerYear = kHoursPerYear * 60.0;
+
+/// Rate expressed as events per year -> events per hour.
+[[nodiscard]] constexpr double per_year(double events) {
+  return events / kHoursPerYear;
+}
+
+/// Durations -> hours.
+[[nodiscard]] constexpr double hours(double h) { return h; }
+[[nodiscard]] constexpr double minutes(double m) { return m / 60.0; }
+[[nodiscard]] constexpr double seconds(double s) { return s / 3600.0; }
+[[nodiscard]] constexpr double days(double d) { return d * 24.0; }
+[[nodiscard]] constexpr double years(double y) { return y * kHoursPerYear; }
+
+/// Steady-state unavailability -> expected yearly downtime in minutes.
+[[nodiscard]] constexpr double downtime_minutes_per_year(
+    double unavailability) {
+  return unavailability * kMinutesPerYear;
+}
+
+/// Availability from yearly downtime in minutes.
+[[nodiscard]] constexpr double availability_from_downtime_minutes(
+    double minutes_per_year) {
+  return 1.0 - minutes_per_year / kMinutesPerYear;
+}
+
+}  // namespace rascal::core

@@ -1,0 +1,124 @@
+#include "ctmc/absorption.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "linalg/lu.h"
+
+namespace rascal::ctmc {
+
+namespace {
+
+struct Partition {
+  std::vector<StateId> transient;            // states not in targets
+  std::vector<bool> is_target;               // by state id
+  std::vector<std::size_t> transient_index;  // state id -> index or npos
+};
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+Partition partition_states(const Ctmc& chain,
+                           const std::vector<StateId>& targets) {
+  if (targets.empty()) {
+    throw std::invalid_argument("absorption: empty target set");
+  }
+  Partition part;
+  part.is_target.assign(chain.num_states(), false);
+  for (StateId t : targets) {
+    if (t >= chain.num_states()) {
+      throw std::invalid_argument("absorption: target out of range");
+    }
+    part.is_target[t] = true;
+  }
+  part.transient_index.assign(chain.num_states(), kNone);
+  for (StateId s = 0; s < chain.num_states(); ++s) {
+    if (!part.is_target[s]) {
+      part.transient_index[s] = part.transient.size();
+      part.transient.push_back(s);
+    }
+  }
+  return part;
+}
+
+// Generator restricted to transient states (Q_TT).
+linalg::Matrix transient_generator(const Ctmc& chain, const Partition& part) {
+  const std::size_t m = part.transient.size();
+  linalg::Matrix qtt(m, m);
+  for (const Transition& t : chain.transitions()) {
+    if (part.is_target[t.from]) continue;
+    const std::size_t r = part.transient_index[t.from];
+    if (!part.is_target[t.to]) {
+      qtt(r, part.transient_index[t.to]) += t.rate;
+    }
+    qtt(r, r) -= t.rate;  // full exit rate on the diagonal
+  }
+  return qtt;
+}
+
+}  // namespace
+
+linalg::Vector mean_time_to_absorption(const Ctmc& chain,
+                                       const std::vector<StateId>& targets) {
+  const Partition part = partition_states(chain, targets);
+  const std::size_t m = part.transient.size();
+  linalg::Vector times(chain.num_states(), 0.0);
+  if (m == 0) return times;
+
+  // (-Q_TT) tau = 1.
+  linalg::Matrix a = transient_generator(chain, part);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < m; ++c) a(r, c) = -a(r, c);
+  }
+  linalg::Vector ones(m, 1.0);
+  linalg::Vector tau;
+  try {
+    tau = linalg::solve_linear_system(std::move(a), ones);
+  } catch (const std::domain_error&) {
+    throw std::domain_error(
+        "mean_time_to_absorption: target set unreachable from some state");
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    if (tau[i] < 0.0) {
+      throw std::domain_error(
+          "mean_time_to_absorption: target set unreachable from state '" +
+          chain.state_name(part.transient[i]) + "'");
+    }
+    times[part.transient[i]] = tau[i];
+  }
+  return times;
+}
+
+linalg::Matrix absorption_probabilities(const Ctmc& chain,
+                                        const std::vector<StateId>& targets) {
+  const Partition part = partition_states(chain, targets);
+  const std::size_t m = part.transient.size();
+  linalg::Matrix probs(chain.num_states(), targets.size());
+  for (std::size_t j = 0; j < targets.size(); ++j) {
+    probs(targets[j], j) = 1.0;
+  }
+  if (m == 0) return probs;
+
+  // (-Q_TT) X = R, where R(r, j) = rate from transient r into target j.
+  linalg::Matrix a = transient_generator(chain, part);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < m; ++c) a(r, c) = -a(r, c);
+  }
+  linalg::Matrix rhs(m, targets.size());
+  for (const Transition& t : chain.transitions()) {
+    if (part.is_target[t.from] || !part.is_target[t.to]) continue;
+    const std::size_t r = part.transient_index[t.from];
+    const auto j = static_cast<std::size_t>(
+        std::find(targets.begin(), targets.end(), t.to) - targets.begin());
+    rhs(r, j) += t.rate;
+  }
+  const linalg::Matrix x = linalg::LuDecomposition(std::move(a)).solve(rhs);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < targets.size(); ++j) {
+      probs(part.transient[i], j) = std::clamp(x(i, j), 0.0, 1.0);
+    }
+  }
+  return probs;
+}
+
+}  // namespace rascal::ctmc

@@ -1,0 +1,31 @@
+// First-passage analysis: mean time to reach a target set and the
+// distribution of which target is hit first.  Used to derive MTTF
+// (mean time from the all-up state to the first system failure) and
+// the equivalent failure rates of the hierarchical composition.
+#pragma once
+
+#include <vector>
+
+#include "ctmc/ctmc.h"
+#include "linalg/matrix.h"
+
+namespace rascal::ctmc {
+
+/// Expected time to first reach any state in `targets`, from every
+/// state (0 for the targets themselves).  Targets are treated as
+/// absorbing: their outgoing transitions are ignored.
+///
+/// Throws std::invalid_argument when `targets` is empty or contains an
+/// out-of-range id, and std::domain_error when some state cannot reach
+/// the target set (infinite expectation).
+[[nodiscard]] linalg::Vector mean_time_to_absorption(
+    const Ctmc& chain, const std::vector<StateId>& targets);
+
+/// Probability, for each (state, target) pair, that `target` is the
+/// first target-set state entered.  Row = source state, column =
+/// index into `targets`.  Rows for target states are the unit vector
+/// of that target.
+[[nodiscard]] linalg::Matrix absorption_probabilities(
+    const Ctmc& chain, const std::vector<StateId>& targets);
+
+}  // namespace rascal::ctmc

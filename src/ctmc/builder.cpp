@@ -1,0 +1,84 @@
+#include "ctmc/builder.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rascal::ctmc {
+
+StateId CtmcBuilder::state(std::string name, double reward) {
+  states_.push_back({std::move(name), reward});
+  return states_.size() - 1;
+}
+
+CtmcBuilder& CtmcBuilder::rate(StateId from, StateId to, double value) {
+  if (value == 0.0) return *this;
+  transitions_.push_back({from, to, value});
+  return *this;
+}
+
+CtmcBuilder& CtmcBuilder::rate(const std::string& from, const std::string& to,
+                               double value) {
+  return rate(id_of(from), id_of(to), value);
+}
+
+StateId CtmcBuilder::id_of(const std::string& name) const {
+  for (StateId i = 0; i < states_.size(); ++i) {
+    if (states_[i].name == name) return i;
+  }
+  throw std::invalid_argument("CtmcBuilder: no state named '" + name + "'");
+}
+
+Ctmc CtmcBuilder::build() const { return Ctmc(states_, transitions_); }
+
+StateId SymbolicCtmc::state(std::string name, double reward) {
+  states_.push_back({std::move(name), reward});
+  return states_.size() - 1;
+}
+
+SymbolicCtmc& SymbolicCtmc::rate(const std::string& from,
+                                 const std::string& to,
+                                 const std::string& expression) {
+  return rate(from, to, expr::Expression::parse(expression));
+}
+
+SymbolicCtmc& SymbolicCtmc::rate(const std::string& from,
+                                 const std::string& to,
+                                 expr::Expression expression) {
+  transitions_.push_back({id_of(from), id_of(to), std::move(expression)});
+  return *this;
+}
+
+StateId SymbolicCtmc::id_of(const std::string& name) const {
+  for (StateId i = 0; i < states_.size(); ++i) {
+    if (states_[i].name == name) return i;
+  }
+  throw std::invalid_argument("SymbolicCtmc: no state named '" + name + "'");
+}
+
+std::set<std::string> SymbolicCtmc::parameters() const {
+  std::set<std::string> out;
+  for (const SymbolicTransition& t : transitions_) {
+    const auto vars = t.rate.variables();
+    out.insert(vars.begin(), vars.end());
+  }
+  return out;
+}
+
+Ctmc SymbolicCtmc::bind(const expr::ParameterSet& params) const {
+  std::vector<Transition> transitions;
+  transitions.reserve(transitions_.size());
+  for (const SymbolicTransition& t : transitions_) {
+    const double value = t.rate.evaluate(params);
+    if (value == 0.0) continue;
+    if (!(value > 0.0) || !std::isfinite(value)) {
+      throw std::invalid_argument(
+          "SymbolicCtmc::bind: rate '" + t.rate.source() + "' on " +
+          states_[t.from].name + " -> " + states_[t.to].name +
+          " evaluated to a negative or non-finite value");
+    }
+    transitions.push_back({t.from, t.to, value});
+  }
+  return Ctmc(states_, transitions);
+}
+
+}  // namespace rascal::ctmc

@@ -1,0 +1,93 @@
+// Builders for CTMCs.
+//
+// CtmcBuilder assembles a chain from numeric rates.  SymbolicCtmc
+// holds rates as parameter expressions (the strings printed in the
+// paper's model figures) and is bound against a ParameterSet to
+// produce a concrete Ctmc — the mechanism that lets one model
+// definition serve parametric sweeps and uncertainty sampling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ctmc/ctmc.h"
+#include "expr/expression.h"
+#include "expr/parameter_set.h"
+
+namespace rascal::ctmc {
+
+class CtmcBuilder {
+ public:
+  /// Declares a state; returns its id.  Duplicate names are rejected
+  /// at build() time by Ctmc validation.
+  StateId state(std::string name, double reward);
+
+  /// Adds a transition.  Zero rates are silently dropped (convenient
+  /// when a rate formula can legitimately vanish, e.g. FIR = 0);
+  /// negative rates are rejected by build().
+  CtmcBuilder& rate(StateId from, StateId to, double value);
+
+  /// Name-based overload; both states must already be declared.
+  CtmcBuilder& rate(const std::string& from, const std::string& to,
+                    double value);
+
+  [[nodiscard]] std::size_t num_states() const noexcept {
+    return states_.size();
+  }
+
+  /// Validates and constructs the chain.
+  [[nodiscard]] Ctmc build() const;
+
+ private:
+  [[nodiscard]] StateId id_of(const std::string& name) const;
+
+  std::vector<State> states_;
+  std::vector<Transition> transitions_;
+};
+
+/// A CTMC whose transition rates are unevaluated expressions.
+class SymbolicCtmc {
+ public:
+  struct SymbolicTransition {
+    StateId from = 0;
+    StateId to = 0;
+    expr::Expression rate;
+  };
+
+  StateId state(std::string name, double reward);
+
+  /// Adds a transition with a rate expression, e.g.
+  /// rate("Ok", "RestartShort", "2*La_hadb*(1-FIR)").
+  SymbolicCtmc& rate(const std::string& from, const std::string& to,
+                     const std::string& expression);
+  SymbolicCtmc& rate(const std::string& from, const std::string& to,
+                     expr::Expression expression);
+
+  /// Union of variables over all rate expressions.
+  [[nodiscard]] std::set<std::string> parameters() const;
+
+  /// Evaluates every rate against `params` and builds the chain.
+  /// Expressions evaluating to exactly zero are dropped; negative or
+  /// non-finite values raise std::invalid_argument naming the
+  /// offending transition.
+  [[nodiscard]] Ctmc bind(const expr::ParameterSet& params) const;
+
+  [[nodiscard]] std::size_t num_states() const noexcept {
+    return states_.size();
+  }
+  [[nodiscard]] const std::vector<State>& states() const noexcept {
+    return states_;
+  }
+  [[nodiscard]] const std::vector<SymbolicTransition>& transitions()
+      const noexcept {
+    return transitions_;
+  }
+
+ private:
+  [[nodiscard]] StateId id_of(const std::string& name) const;
+
+  std::vector<State> states_;
+  std::vector<SymbolicTransition> transitions_;
+};
+
+}  // namespace rascal::ctmc

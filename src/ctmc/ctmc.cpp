@@ -1,0 +1,189 @@
+#include "ctmc/ctmc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace rascal::ctmc {
+
+Ctmc::Ctmc(std::vector<State> states, std::vector<Transition> transitions)
+    : states_(std::move(states)) {
+  if (states_.empty()) {
+    throw std::invalid_argument("Ctmc: must have at least one state");
+  }
+  std::set<std::string> names;
+  for (const State& s : states_) {
+    if (s.name.empty()) {
+      throw std::invalid_argument("Ctmc: empty state name");
+    }
+    if (!names.insert(s.name).second) {
+      throw std::invalid_argument("Ctmc: duplicate state name '" + s.name +
+                                  "'");
+    }
+    if (!std::isfinite(s.reward)) {
+      throw std::invalid_argument("Ctmc: non-finite reward for state '" +
+                                  s.name + "'");
+    }
+  }
+  for (const Transition& t : transitions) {
+    if (t.from >= states_.size() || t.to >= states_.size()) {
+      throw std::invalid_argument("Ctmc: transition endpoint out of range");
+    }
+    if (t.from == t.to) {
+      throw std::invalid_argument("Ctmc: self-loop on state '" +
+                                  states_[t.from].name + "'");
+    }
+    if (!(t.rate > 0.0) || !std::isfinite(t.rate)) {
+      throw std::invalid_argument("Ctmc: non-positive rate on transition " +
+                                  states_[t.from].name + " -> " +
+                                  states_[t.to].name);
+    }
+  }
+
+  // Sort and merge parallel transitions.
+  std::sort(transitions.begin(), transitions.end(),
+            [](const Transition& a, const Transition& b) {
+              return a.from != b.from ? a.from < b.from : a.to < b.to;
+            });
+  for (const Transition& t : transitions) {
+    if (!transitions_.empty() && transitions_.back().from == t.from &&
+        transitions_.back().to == t.to) {
+      transitions_.back().rate += t.rate;
+    } else {
+      transitions_.push_back(t);
+    }
+  }
+
+  row_offsets_.assign(states_.size() + 1, 0);
+  for (const Transition& t : transitions_) ++row_offsets_[t.from + 1];
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    row_offsets_[i + 1] += row_offsets_[i];
+  }
+  exit_rates_.assign(states_.size(), 0.0);
+  for (const Transition& t : transitions_) exit_rates_[t.from] += t.rate;
+}
+
+const std::string& Ctmc::state_name(StateId id) const {
+  if (id >= states_.size()) throw std::out_of_range("Ctmc::state_name");
+  return states_[id].name;
+}
+
+double Ctmc::reward(StateId id) const {
+  if (id >= states_.size()) throw std::out_of_range("Ctmc::reward");
+  return states_[id].reward;
+}
+
+std::optional<StateId> Ctmc::find_state(
+    const std::string& name) const noexcept {
+  for (StateId i = 0; i < states_.size(); ++i) {
+    if (states_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+StateId Ctmc::state(const std::string& name) const {
+  const auto id = find_state(name);
+  if (!id) {
+    throw std::invalid_argument("Ctmc: no state named '" + name + "'");
+  }
+  return *id;
+}
+
+double Ctmc::exit_rate(StateId id) const {
+  if (id >= states_.size()) throw std::out_of_range("Ctmc::exit_rate");
+  return exit_rates_[id];
+}
+
+double Ctmc::rate(StateId from, StateId to) const {
+  if (from >= states_.size() || to >= states_.size()) {
+    throw std::out_of_range("Ctmc::rate");
+  }
+  for (std::size_t k = row_offsets_[from]; k < row_offsets_[from + 1]; ++k) {
+    if (transitions_[k].to == to) return transitions_[k].rate;
+  }
+  return 0.0;
+}
+
+linalg::Matrix Ctmc::generator() const {
+  linalg::Matrix q(states_.size(), states_.size());
+  for (const Transition& t : transitions_) q(t.from, t.to) = t.rate;
+  for (StateId i = 0; i < states_.size(); ++i) q(i, i) = -exit_rates_[i];
+  return q;
+}
+
+linalg::CsrMatrix Ctmc::sparse_generator() const {
+  std::vector<linalg::Triplet> triplets;
+  triplets.reserve(transitions_.size() + states_.size());
+  for (const Transition& t : transitions_) {
+    triplets.push_back({t.from, t.to, t.rate});
+  }
+  for (StateId i = 0; i < states_.size(); ++i) {
+    if (exit_rates_[i] != 0.0) triplets.push_back({i, i, -exit_rates_[i]});
+  }
+  return linalg::CsrMatrix(states_.size(), states_.size(), triplets);
+}
+
+namespace {
+
+// Reachable set from `start` following `edges` (adjacency list).
+std::vector<bool> reachable(std::size_t n, std::size_t start,
+                            const std::vector<std::vector<StateId>>& edges) {
+  std::vector<bool> seen(n, false);
+  std::vector<StateId> stack{start};
+  seen[start] = true;
+  while (!stack.empty()) {
+    const StateId s = stack.back();
+    stack.pop_back();
+    for (StateId next : edges[s]) {
+      if (!seen[next]) {
+        seen[next] = true;
+        stack.push_back(next);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+bool Ctmc::is_irreducible() const {
+  const std::size_t n = states_.size();
+  std::vector<std::vector<StateId>> forward(n);
+  std::vector<std::vector<StateId>> backward(n);
+  for (const Transition& t : transitions_) {
+    forward[t.from].push_back(t.to);
+    backward[t.to].push_back(t.from);
+  }
+  const std::vector<bool> fwd = reachable(n, 0, forward);
+  const std::vector<bool> bwd = reachable(n, 0, backward);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!fwd[i] || !bwd[i]) return false;
+  }
+  return true;
+}
+
+std::vector<StateId> Ctmc::states_with_reward_at_least(
+    double threshold) const {
+  std::vector<StateId> out;
+  for (StateId i = 0; i < states_.size(); ++i) {
+    if (states_[i].reward >= threshold) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<StateId> Ctmc::states_with_reward_below(double threshold) const {
+  std::vector<StateId> out;
+  for (StateId i = 0; i < states_.size(); ++i) {
+    if (states_[i].reward < threshold) out.push_back(i);
+  }
+  return out;
+}
+
+double Ctmc::max_exit_rate() const noexcept {
+  double m = 0.0;
+  for (double r : exit_rates_) m = std::max(m, r);
+  return m;
+}
+
+}  // namespace rascal::ctmc

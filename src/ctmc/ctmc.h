@@ -1,0 +1,95 @@
+// Continuous-time Markov chain with per-state reward rates.
+//
+// This is the core object of the library: states carry a reward rate
+// (1 = up, 0 = down for plain availability; fractional values model
+// degraded service), and transitions carry exponential rates.  The
+// paper's Figures 2-4 are instances of this class, built either
+// directly (models/), from symbolic rate expressions (builder.h), or
+// from a stochastic Petri net (spn/).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/sparse.h"
+
+namespace rascal::ctmc {
+
+using StateId = std::size_t;
+
+struct State {
+  std::string name;
+  double reward = 1.0;
+};
+
+struct Transition {
+  StateId from = 0;
+  StateId to = 0;
+  double rate = 0.0;
+};
+
+class Ctmc {
+ public:
+  /// Validates invariants: non-empty state set, unique state names,
+  /// transition endpoints in range, no self-loops, strictly positive
+  /// rates, finite rewards.  Parallel transitions between the same
+  /// pair of states are merged.  Throws std::invalid_argument on
+  /// violation.
+  Ctmc(std::vector<State> states, std::vector<Transition> transitions);
+
+  [[nodiscard]] std::size_t num_states() const noexcept {
+    return states_.size();
+  }
+  [[nodiscard]] const std::vector<State>& states() const noexcept {
+    return states_;
+  }
+  [[nodiscard]] const std::vector<Transition>& transitions() const noexcept {
+    return transitions_;
+  }
+  [[nodiscard]] const std::string& state_name(StateId id) const;
+  [[nodiscard]] double reward(StateId id) const;
+
+  /// State id by name.
+  [[nodiscard]] std::optional<StateId> find_state(
+      const std::string& name) const noexcept;
+  /// As find_state but throws std::invalid_argument when absent.
+  [[nodiscard]] StateId state(const std::string& name) const;
+
+  /// Total exit rate of a state.
+  [[nodiscard]] double exit_rate(StateId id) const;
+
+  /// Rate from `from` to `to` (0 when no transition).
+  [[nodiscard]] double rate(StateId from, StateId to) const;
+
+  /// Dense infinitesimal generator Q (diagonal = negative exit rate).
+  [[nodiscard]] linalg::Matrix generator() const;
+
+  /// Sparse generator, diagonal included.
+  [[nodiscard]] linalg::CsrMatrix sparse_generator() const;
+
+  /// True when every state can reach every other state.
+  [[nodiscard]] bool is_irreducible() const;
+
+  /// States with reward >= threshold (default: "up" states).
+  [[nodiscard]] std::vector<StateId> states_with_reward_at_least(
+      double threshold = 1.0) const;
+  /// States with reward below threshold (default: "down" states).
+  [[nodiscard]] std::vector<StateId> states_with_reward_below(
+      double threshold = 1.0) const;
+
+  /// Largest exit rate over all states (uniformization constant base).
+  [[nodiscard]] double max_exit_rate() const noexcept;
+
+ private:
+  std::vector<State> states_;
+  std::vector<Transition> transitions_;
+  // Adjacency index: transitions_ offsets sorted by (from, to); built
+  // once in the constructor.
+  std::vector<std::size_t> row_offsets_;
+  std::vector<double> exit_rates_;
+};
+
+}  // namespace rascal::ctmc

@@ -1,0 +1,76 @@
+#include "ctmc/erlang.h"
+
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace rascal::ctmc {
+
+Ctmc erlangize(const Ctmc& chain, StateId state, StateId completion_target,
+               std::size_t stages) {
+  if (stages == 0) {
+    throw std::invalid_argument("erlangize: stages must be >= 1");
+  }
+  if (state >= chain.num_states() ||
+      completion_target >= chain.num_states()) {
+    throw std::invalid_argument("erlangize: state id out of range");
+  }
+  const double mu = chain.rate(state, completion_target);
+  if (!(mu > 0.0)) {
+    throw std::invalid_argument(
+        "erlangize: no completion transition from '" +
+        chain.state_name(state) + "' to '" +
+        chain.state_name(completion_target) + "'");
+  }
+  if (stages == 1) return chain;
+
+  // Original states keep their ids; stages 2..k are appended.
+  std::vector<State> states(chain.states());
+  std::vector<StateId> stage_id(stages);
+  stage_id[0] = state;
+  for (std::size_t i = 1; i < stages; ++i) {
+    stage_id[i] = states.size();
+    states.push_back({chain.state_name(state) + "#" + std::to_string(i + 1),
+                      chain.reward(state)});
+  }
+
+  const double stage_rate = static_cast<double>(stages) * mu;
+  std::vector<Transition> transitions;
+  for (const Transition& t : chain.transitions()) {
+    if (t.from == state && t.to == completion_target) continue;  // replaced
+    transitions.push_back(t);
+    // Competing exits from the expanded state fire from every stage.
+    if (t.from == state) {
+      for (std::size_t i = 1; i < stages; ++i) {
+        transitions.push_back({stage_id[i], t.to, t.rate});
+      }
+    }
+  }
+  for (std::size_t i = 0; i + 1 < stages; ++i) {
+    transitions.push_back({stage_id[i], stage_id[i + 1], stage_rate});
+  }
+  transitions.push_back({stage_id[stages - 1], completion_target,
+                         stage_rate});
+  return Ctmc(std::move(states), std::move(transitions));
+}
+
+Ctmc erlangize_all(const Ctmc& chain,
+                   const std::vector<ErlangTarget>& targets,
+                   std::size_t stages) {
+  std::set<StateId> seen;
+  for (const ErlangTarget& t : targets) {
+    if (!seen.insert(t.state).second) {
+      throw std::invalid_argument(
+          "erlangize_all: duplicate state in targets");
+    }
+  }
+  Ctmc out = chain;
+  // Ids of untouched states are stable across passes, so sequential
+  // application is safe.
+  for (const ErlangTarget& t : targets) {
+    out = erlangize(out, t.state, t.completion_target, stages);
+  }
+  return out;
+}
+
+}  // namespace rascal::ctmc

@@ -1,0 +1,44 @@
+// Phase-type (Erlang) stage expansion.
+//
+// The paper's recovery times are deterministic in reality ("most
+// recovery times are deterministic and are measured in the lab") but
+// exponential in the model.  Replacing a recovery completion by an
+// Erlang-k chain of stages keeps the mean while shrinking the
+// variance by 1/k, interpolating between the exponential assumption
+// (k = 1) and the deterministic limit (k -> infinity).  Competing
+// transitions (e.g. a second failure striking mid-recovery) keep
+// their original rates from every stage, so only the completion-time
+// distribution changes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ctmc/ctmc.h"
+
+namespace rascal::ctmc {
+
+/// Replaces the completion transition `state -> completion_target`
+/// with `stages` serial stages of rate stages*mu each (mu = original
+/// completion rate).  All other outgoing transitions of `state` are
+/// replicated on every stage; incoming transitions still enter at the
+/// first stage, which keeps `state`'s id stable (extra stages are
+/// appended at the end and named "<state>#2", "#3", ...).
+///
+/// Throws std::invalid_argument when stages == 0 or the completion
+/// transition does not exist.
+[[nodiscard]] Ctmc erlangize(const Ctmc& chain, StateId state,
+                             StateId completion_target, std::size_t stages);
+
+struct ErlangTarget {
+  StateId state = 0;
+  StateId completion_target = 0;
+};
+
+/// Applies erlangize to several (state, completion) pairs with the
+/// same stage count.  Pairs must name distinct states.
+[[nodiscard]] Ctmc erlangize_all(const Ctmc& chain,
+                                 const std::vector<ErlangTarget>& targets,
+                                 std::size_t stages);
+
+}  // namespace rascal::ctmc

@@ -1,0 +1,70 @@
+#include "ctmc/steady_state.h"
+
+#include <stdexcept>
+
+#include "linalg/gth.h"
+#include "linalg/iterative.h"
+#include "linalg/lu.h"
+
+namespace rascal::ctmc {
+
+namespace {
+
+linalg::Vector solve_lu(const Ctmc& chain) {
+  // pi Q = 0  <=>  Q^T pi^T = 0.  Replace the last balance equation
+  // with the normalization sum(pi) = 1 to obtain a nonsingular system.
+  const std::size_t n = chain.num_states();
+  linalg::Matrix a = chain.generator().transposed();
+  for (std::size_t c = 0; c < n; ++c) a(n - 1, c) = 1.0;
+  linalg::Vector b(n, 0.0);
+  b[n - 1] = 1.0;
+  linalg::Vector pi = linalg::solve_linear_system(std::move(a), b);
+  // Direct solves can leave tiny negative round-off in near-zero
+  // probabilities; clamp and renormalize.
+  for (double& p : pi) {
+    if (p < 0.0 && p > -1e-12) p = 0.0;
+  }
+  linalg::normalize_to_sum_one(pi);
+  return pi;
+}
+
+}  // namespace
+
+SteadyState solve_steady_state(const Ctmc& chain, SteadyStateMethod method) {
+  SteadyState result;
+  result.method = method;
+  switch (method) {
+    case SteadyStateMethod::kGth:
+      result.probabilities = linalg::gth_stationary(chain.generator());
+      break;
+    case SteadyStateMethod::kLu:
+      result.probabilities = solve_lu(chain);
+      break;
+    case SteadyStateMethod::kPower: {
+      auto it = linalg::power_stationary(chain.sparse_generator());
+      if (!it.converged) {
+        throw std::runtime_error(
+            "solve_steady_state: power iteration did not converge");
+      }
+      result.probabilities = std::move(it.pi);
+      result.iterations = it.iterations;
+      break;
+    }
+    case SteadyStateMethod::kGaussSeidel: {
+      auto it = linalg::gauss_seidel_stationary(chain.sparse_generator());
+      if (!it.converged) {
+        throw std::runtime_error(
+            "solve_steady_state: Gauss-Seidel did not converge");
+      }
+      result.probabilities = std::move(it.pi);
+      result.iterations = it.iterations;
+      break;
+    }
+  }
+  result.residual =
+      linalg::norm_inf(chain.sparse_generator().left_multiply(
+          result.probabilities));
+  return result;
+}
+
+}  // namespace rascal::ctmc

@@ -1,0 +1,33 @@
+// Steady-state solution of an irreducible CTMC.
+#pragma once
+
+#include "ctmc/ctmc.h"
+#include "linalg/matrix.h"
+
+namespace rascal::ctmc {
+
+enum class SteadyStateMethod {
+  kGth,          // Grassmann-Taksar-Heyman elimination (default; stable)
+  kLu,           // direct solve of pi Q = 0 with normalization row
+  kPower,        // power iteration on the uniformized chain
+  kGaussSeidel,  // Gauss-Seidel sweeps on the balance equations
+};
+
+struct SteadyState {
+  linalg::Vector probabilities;
+  SteadyStateMethod method = SteadyStateMethod::kGth;
+  std::size_t iterations = 0;  // 0 for direct methods
+  double residual = 0.0;       // ||pi Q||_inf
+
+  [[nodiscard]] double probability(StateId id) const {
+    return probabilities.at(id);
+  }
+};
+
+/// Solves pi Q = 0, sum(pi) = 1.  The chain must be irreducible;
+/// reducible chains raise std::domain_error (direct methods) or fail
+/// to converge (iterative methods, reported via residual).
+[[nodiscard]] SteadyState solve_steady_state(
+    const Ctmc& chain, SteadyStateMethod method = SteadyStateMethod::kGth);
+
+}  // namespace rascal::ctmc

@@ -1,0 +1,154 @@
+#include "ctmc/transient.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rascal::ctmc {
+
+namespace {
+
+constexpr double kLogUnderflow = -745.0;  // below exp() ~ 0 in double
+
+// Once past the Poisson mode, terms with log-weight under this bound
+// can never contribute at double precision; stopping on it guards
+// against the summed CDF plateauing just below 1 - precision from
+// accumulated rounding.
+constexpr double kLogNegligible = -45.0;  // ~ 3e-20
+
+void check_initial(const Ctmc& chain, const linalg::Vector& initial) {
+  if (initial.size() != chain.num_states()) {
+    throw std::invalid_argument("transient: initial vector size mismatch");
+  }
+  double sum = 0.0;
+  for (double p : initial) {
+    if (p < 0.0) {
+      throw std::invalid_argument("transient: negative initial probability");
+    }
+    sum += p;
+  }
+  if (std::abs(sum - 1.0) > 1e-9) {
+    throw std::invalid_argument("transient: initial vector must sum to 1");
+  }
+}
+
+// One DTMC step of the uniformized chain: next = v (I + Q/Lambda).
+linalg::Vector uniformized_step(const linalg::CsrMatrix& q,
+                                const linalg::Vector& v, double lambda) {
+  linalg::Vector vq = q.left_multiply(v);
+  linalg::Vector next(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    next[i] = v[i] + vq[i] / lambda;
+    if (next[i] < 0.0) next[i] = 0.0;  // round-off guard
+  }
+  return next;
+}
+
+}  // namespace
+
+TransientResult transient_distribution(const Ctmc& chain,
+                                       const linalg::Vector& initial,
+                                       double t,
+                                       const TransientOptions& options) {
+  check_initial(chain, initial);
+  if (t < 0.0) {
+    throw std::invalid_argument("transient: negative time");
+  }
+  TransientResult result;
+  if (t == 0.0 || chain.max_exit_rate() == 0.0) {
+    result.probabilities = initial;
+    return result;
+  }
+  const double lambda = chain.max_exit_rate() * 1.02;
+  const double lt = lambda * t;
+  const linalg::CsrMatrix q = chain.sparse_generator();
+
+  linalg::Vector v = initial;                       // pi(0) P^k
+  linalg::Vector acc(chain.num_states(), 0.0);      // weighted sum
+  double log_w = -lt;                               // log Poisson pmf at k
+  double accumulated_weight = 0.0;
+  std::size_t k = 0;
+  while (accumulated_weight < 1.0 - options.precision) {
+    if (static_cast<double>(k) > lt && log_w < kLogNegligible) break;
+    if (k > options.max_terms) {
+      throw std::runtime_error(
+          "transient_distribution: truncation point exceeds max_terms "
+          "(chain too stiff for this horizon)");
+    }
+    if (log_w > kLogUnderflow) {
+      const double w = std::exp(log_w);
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += w * v[i];
+      accumulated_weight += w;
+    }
+    v = uniformized_step(q, v, lambda);
+    ++k;
+    log_w += std::log(lt) - std::log(static_cast<double>(k));
+  }
+  linalg::normalize_to_sum_one(acc);
+  result.probabilities = std::move(acc);
+  result.terms = k;
+  return result;
+}
+
+TransientResult transient_distribution(const Ctmc& chain,
+                                       StateId initial_state, double t,
+                                       const TransientOptions& options) {
+  if (initial_state >= chain.num_states()) {
+    throw std::invalid_argument("transient: initial state out of range");
+  }
+  linalg::Vector initial(chain.num_states(), 0.0);
+  initial[initial_state] = 1.0;
+  return transient_distribution(chain, initial, t, options);
+}
+
+IntervalRewardResult expected_interval_reward(
+    const Ctmc& chain, const linalg::Vector& initial, double t,
+    const TransientOptions& options) {
+  check_initial(chain, initial);
+  if (!(t > 0.0)) {
+    throw std::invalid_argument("expected_interval_reward: requires t > 0");
+  }
+  IntervalRewardResult result;
+  if (chain.max_exit_rate() == 0.0) {
+    double reward = 0.0;
+    for (StateId i = 0; i < chain.num_states(); ++i) {
+      reward += initial[i] * chain.reward(i);
+    }
+    result.accumulated_reward = reward * t;
+    result.time_averaged = reward;
+    return result;
+  }
+  const double lambda = chain.max_exit_rate() * 1.02;
+  const double lt = lambda * t;
+  const linalg::CsrMatrix q = chain.sparse_generator();
+
+  // integral_0^t pi(u) du = (1/Lambda) sum_k (1 - W_k) v_k, where
+  // W_k is the Poisson CDF at k.  We accumulate the reward-weighted
+  // version directly.
+  linalg::Vector v = initial;
+  double log_w = -lt;
+  double cdf = 0.0;
+  double integral = 0.0;  // sum over states of reward * integral of pi
+  std::size_t k = 0;
+  while (1.0 - cdf > options.precision) {
+    if (static_cast<double>(k) > lt && log_w < kLogNegligible) break;
+    if (k > options.max_terms) {
+      throw std::runtime_error(
+          "expected_interval_reward: truncation point exceeds max_terms");
+    }
+    if (log_w > kLogUnderflow) cdf += std::exp(log_w);
+    double v_reward = 0.0;
+    for (StateId i = 0; i < chain.num_states(); ++i) {
+      v_reward += v[i] * chain.reward(i);
+    }
+    integral += (1.0 - cdf) * v_reward;
+    v = uniformized_step(q, v, lambda);
+    ++k;
+    log_w += std::log(lt) - std::log(static_cast<double>(k));
+  }
+  result.accumulated_reward = integral / lambda;
+  result.time_averaged = result.accumulated_reward / t;
+  result.terms = k;
+  return result;
+}
+
+}  // namespace rascal::ctmc

@@ -1,0 +1,47 @@
+// Transient (time-dependent) solution by uniformization (Jensen's
+// method): pi(t) = sum_k PoissonPmf(Lambda t; k) * pi(0) P^k with
+// P = I + Q/Lambda.  Also computes the expected accumulated reward
+// over [0, t], which for 0/1 rewards is the interval availability the
+// paper's companion reference [18] studies.
+#pragma once
+
+#include "ctmc/ctmc.h"
+#include "linalg/matrix.h"
+
+namespace rascal::ctmc {
+
+struct TransientOptions {
+  double precision = 1e-12;          // tail mass left untruncated
+  std::size_t max_terms = 20000000;  // hard cap on summation length
+};
+
+struct TransientResult {
+  linalg::Vector probabilities;  // pi(t)
+  std::size_t terms = 0;         // Poisson terms accumulated
+};
+
+/// Distribution at time t >= 0 starting from `initial` (must be a
+/// probability vector of matching size).  Throws std::invalid_argument
+/// on bad input and std::runtime_error when max_terms is exceeded
+/// (the chain is too stiff for the horizon; use steady state).
+[[nodiscard]] TransientResult transient_distribution(
+    const Ctmc& chain, const linalg::Vector& initial, double t,
+    const TransientOptions& options = {});
+
+/// Convenience: start deterministically in `initial_state`.
+[[nodiscard]] TransientResult transient_distribution(
+    const Ctmc& chain, StateId initial_state, double t,
+    const TransientOptions& options = {});
+
+struct IntervalRewardResult {
+  double accumulated_reward = 0.0;  // E[ integral_0^t reward(X_u) du ]
+  double time_averaged = 0.0;       // accumulated / t (interval availability)
+  std::size_t terms = 0;
+};
+
+/// Expected accumulated reward over [0, t].
+[[nodiscard]] IntervalRewardResult expected_interval_reward(
+    const Ctmc& chain, const linalg::Vector& initial, double t,
+    const TransientOptions& options = {});
+
+}  // namespace rascal::ctmc

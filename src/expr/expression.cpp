@@ -1,0 +1,161 @@
+#include "expr/expression.h"
+
+#include <sstream>
+
+#include "expr/lexer.h"
+
+namespace rascal::expr {
+
+namespace {
+
+// Recursive-descent parser.
+//
+//   expression := term (('+'|'-') term)*
+//   term       := unary (('*'|'/') unary)*
+//   unary      := '-' unary | power
+//   power      := primary ('^' unary)?        (right associative)
+//   primary    := NUMBER | IDENT ['(' args ')'] | '(' expression ')'
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  NodePtr parse() {
+    NodePtr root = parse_expression();
+    expect(TokenKind::kEnd, "end of input");
+    return root;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+  Token advance() { return tokens_[pos_++]; }
+
+  bool match(TokenKind kind) {
+    if (peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(TokenKind kind, const std::string& what) {
+    if (!match(kind)) {
+      throw ParseError("expected " + what, peek().position);
+    }
+  }
+
+  NodePtr parse_expression() {
+    NodePtr lhs = parse_term();
+    while (true) {
+      if (match(TokenKind::kPlus)) {
+        lhs = std::make_shared<BinaryNode>(BinaryOp::kAdd, lhs, parse_term());
+      } else if (match(TokenKind::kMinus)) {
+        lhs = std::make_shared<BinaryNode>(BinaryOp::kSubtract, lhs,
+                                           parse_term());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  NodePtr parse_term() {
+    NodePtr lhs = parse_unary();
+    while (true) {
+      if (match(TokenKind::kStar)) {
+        lhs = std::make_shared<BinaryNode>(BinaryOp::kMultiply, lhs,
+                                           parse_unary());
+      } else if (match(TokenKind::kSlash)) {
+        lhs = std::make_shared<BinaryNode>(BinaryOp::kDivide, lhs,
+                                           parse_unary());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  NodePtr parse_unary() {
+    if (match(TokenKind::kMinus)) {
+      return std::make_shared<NegateNode>(parse_unary());
+    }
+    return parse_power();
+  }
+
+  NodePtr parse_power() {
+    NodePtr base = parse_primary();
+    if (match(TokenKind::kCaret)) {
+      // Right associative: 2^3^2 == 2^(3^2).
+      return std::make_shared<BinaryNode>(BinaryOp::kPower, base,
+                                          parse_unary());
+    }
+    return base;
+  }
+
+  NodePtr parse_primary() {
+    const Token token = advance();
+    switch (token.kind) {
+      case TokenKind::kNumber:
+        return std::make_shared<NumberNode>(token.number);
+      case TokenKind::kIdentifier: {
+        if (peek().kind == TokenKind::kLeftParen) {
+          ++pos_;  // consume '('
+          std::vector<NodePtr> args;
+          if (peek().kind != TokenKind::kRightParen) {
+            args.push_back(parse_expression());
+            while (match(TokenKind::kComma)) {
+              args.push_back(parse_expression());
+            }
+          }
+          expect(TokenKind::kRightParen, "')'");
+          return std::make_shared<CallNode>(token.text, std::move(args));
+        }
+        return std::make_shared<VariableNode>(token.text);
+      }
+      case TokenKind::kLeftParen: {
+        NodePtr inner = parse_expression();
+        expect(TokenKind::kRightParen, "')'");
+        return inner;
+      }
+      default:
+        throw ParseError("expected a number, name, or '('", token.position);
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Expression::Expression(double constant)
+    : root_(std::make_shared<NumberNode>(constant)) {
+  std::ostringstream os;
+  os << constant;
+  source_ = os.str();
+}
+
+Expression::Expression(NodePtr root, std::string source)
+    : root_(std::move(root)), source_(std::move(source)) {}
+
+Expression Expression::parse(const std::string& source) {
+  Parser parser(tokenize(source));
+  return Expression(parser.parse(), source);
+}
+
+double Expression::evaluate(const ParameterSet& params) const {
+  return root_->evaluate(params);
+}
+
+std::set<std::string> Expression::variables() const {
+  std::set<std::string> out;
+  root_->collect_variables(out);
+  return out;
+}
+
+Expression Expression::derivative(const std::string& variable) const {
+  NodePtr d = root_->differentiate(variable);
+  std::string source = "d(" + source_ + ")/d" + variable;
+  return Expression(std::move(d), std::move(source));
+}
+
+std::string Expression::to_string() const { return root_->to_string(); }
+
+}  // namespace rascal::expr

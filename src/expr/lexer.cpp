@@ -1,0 +1,63 @@
+#include "expr/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace rascal::expr {
+
+std::vector<Token> tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+  while (i < n) {
+    const char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      const char* begin = source.c_str() + i;
+      char* end = nullptr;
+      const double value = std::strtod(begin, &end);
+      if (end == begin) {
+        throw ParseError("invalid number", start);
+      }
+      i += static_cast<std::size_t>(end - begin);
+      tokens.push_back({TokenKind::kNumber,
+                        source.substr(start, i - start), value, start});
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i + 1;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(source[j])) ||
+                       source[j] == '_')) {
+        ++j;
+      }
+      tokens.push_back(
+          {TokenKind::kIdentifier, source.substr(i, j - i), 0.0, start});
+      i = j;
+      continue;
+    }
+    TokenKind kind;
+    switch (c) {
+      case '+': kind = TokenKind::kPlus; break;
+      case '-': kind = TokenKind::kMinus; break;
+      case '*': kind = TokenKind::kStar; break;
+      case '/': kind = TokenKind::kSlash; break;
+      case '^': kind = TokenKind::kCaret; break;
+      case '(': kind = TokenKind::kLeftParen; break;
+      case ')': kind = TokenKind::kRightParen; break;
+      case ',': kind = TokenKind::kComma; break;
+      default:
+        throw ParseError(std::string("unexpected character '") + c + "'",
+                         start);
+    }
+    tokens.push_back({kind, std::string(1, c), 0.0, start});
+    ++i;
+  }
+  tokens.push_back({TokenKind::kEnd, "", 0.0, n});
+  return tokens;
+}
+
+}  // namespace rascal::expr

@@ -1,0 +1,51 @@
+// Tokenizer for rate expressions such as "2*La_hadb*(1-FIR)".
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rascal::expr {
+
+enum class TokenKind {
+  kNumber,
+  kIdentifier,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kCaret,
+  kLeftParen,
+  kRightParen,
+  kComma,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  double number = 0.0;
+  std::size_t position = 0;  // byte offset in the source, for messages
+};
+
+/// Thrown on any lexical or syntactic problem; carries the offending
+/// position.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, std::size_t position)
+      : std::runtime_error(message + " at position " +
+                           std::to_string(position)),
+        position_(position) {}
+  [[nodiscard]] std::size_t position() const noexcept { return position_; }
+
+ private:
+  std::size_t position_;
+};
+
+/// Tokenizes the whole input; the final token is always kEnd.
+/// Identifiers are [A-Za-z_][A-Za-z0-9_]*; numbers accept decimal and
+/// scientific notation.  Throws ParseError on unexpected characters.
+[[nodiscard]] std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace rascal::expr

@@ -1,0 +1,249 @@
+#include "faultinj/injector.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/estimators.h"
+
+namespace rascal::faultinj {
+
+std::string to_string(FaultClass fault) {
+  switch (fault) {
+    case FaultClass::kHadbKillAllProcesses: return "hadb-kill-all-processes";
+    case FaultClass::kHadbKillRandomProcess:
+      return "hadb-kill-random-process";
+    case FaultClass::kHadbFastTerminate: return "hadb-fast-terminate";
+    case FaultClass::kHadbNetworkUnplug: return "hadb-network-unplug";
+    case FaultClass::kHadbPowerUnplug: return "hadb-power-unplug";
+    case FaultClass::kAsKillProcesses: return "as-kill-processes";
+    case FaultClass::kAsNetworkUnplug: return "as-network-unplug";
+    case FaultClass::kAsPowerUnplug: return "as-power-unplug";
+  }
+  return "unknown";
+}
+
+std::string to_string(WorkloadLevel level) {
+  switch (level) {
+    case WorkloadLevel::kIdle: return "idle";
+    case WorkloadLevel::kModerate: return "moderate";
+    case WorkloadLevel::kFullyLoaded: return "fully-loaded";
+  }
+  return "unknown";
+}
+
+std::string to_string(SystemMode mode) {
+  switch (mode) {
+    case SystemMode::kNormal: return "normal";
+    case SystemMode::kRepair: return "repair";
+    case SystemMode::kDataReorganization: return "data-reorganization";
+  }
+  return "unknown";
+}
+
+double CampaignResult::fir_upper_bound(double confidence) const {
+  return stats::imperfect_recovery_upper_bound(trials, successes, confidence);
+}
+
+namespace {
+
+constexpr FaultClass kAllFaults[] = {
+    FaultClass::kHadbKillAllProcesses, FaultClass::kHadbKillRandomProcess,
+    FaultClass::kHadbFastTerminate,    FaultClass::kHadbNetworkUnplug,
+    FaultClass::kHadbPowerUnplug,      FaultClass::kAsKillProcesses,
+    FaultClass::kAsNetworkUnplug,      FaultClass::kAsPowerUnplug,
+};
+
+bool targets_hadb(FaultClass fault) {
+  switch (fault) {
+    case FaultClass::kHadbKillAllProcesses:
+    case FaultClass::kHadbKillRandomProcess:
+    case FaultClass::kHadbFastTerminate:
+    case FaultClass::kHadbNetworkUnplug:
+    case FaultClass::kHadbPowerUnplug:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double lognormal_around(double mean, double sigma,
+                        stats::RandomEngine& rng) {
+  // Parameterize so the distribution's mean equals `mean`.
+  const double mu = std::log(mean) - 0.5 * sigma * sigma;
+  return std::exp(mu + sigma * rng.normal01());
+}
+
+void apply_fault(Testbed& bed, FaultClass fault, HostId target,
+                 stats::RandomEngine& rng) {
+  switch (fault) {
+    case FaultClass::kHadbKillAllProcesses:
+    case FaultClass::kAsKillProcesses:
+      bed.kill_all_processes(target);
+      break;
+    case FaultClass::kHadbKillRandomProcess: {
+      const std::size_t n = bed.host(target).processes.size();
+      bed.kill_process(target, rng.uniform_index(n));
+      break;
+    }
+    case FaultClass::kHadbFastTerminate:
+      // "Ask processes to terminate immediately": clean fast-fail of
+      // one process.
+      bed.kill_process(target, 0);
+      break;
+    case FaultClass::kHadbNetworkUnplug:
+    case FaultClass::kAsNetworkUnplug:
+      bed.disconnect_network(target);
+      break;
+    case FaultClass::kHadbPowerUnplug:
+    case FaultClass::kAsPowerUnplug:
+      bed.power_off(target);
+      break;
+  }
+}
+
+// Recovery time drawn from the class-appropriate lab distribution.
+double recovery_time(FaultClass fault, const RecoveryModel& model,
+                     stats::RandomEngine& rng) {
+  switch (fault) {
+    case FaultClass::kHadbKillAllProcesses:
+    case FaultClass::kHadbKillRandomProcess:
+    case FaultClass::kHadbFastTerminate:
+      return lognormal_around(model.hadb_restart_mean, model.lognormal_sigma,
+                              rng);
+    case FaultClass::kHadbNetworkUnplug:
+      return lognormal_around(model.hadb_reboot_mean, model.lognormal_sigma,
+                              rng);
+    case FaultClass::kHadbPowerUnplug:
+      // Node lost for good: companion rebuilds a spare.
+      return lognormal_around(model.hadb_rebuild_mean, model.lognormal_sigma,
+                              rng);
+    case FaultClass::kAsKillProcesses:
+      return lognormal_around(model.as_restart_mean, model.lognormal_sigma,
+                              rng);
+    case FaultClass::kAsNetworkUnplug:
+      return lognormal_around(model.as_reboot_mean, model.lognormal_sigma,
+                              rng);
+    case FaultClass::kAsPowerUnplug:
+      return lognormal_around(model.as_replace_mean, model.lognormal_sigma,
+                              rng);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignOptions& options) {
+  if (options.trials == 0) {
+    throw std::invalid_argument("run_campaign: zero trials");
+  }
+  stats::RandomEngine rng(options.seed);
+  CampaignResult result;
+  result.records.reserve(options.trials);
+
+  Testbed bed = Testbed::jsas_lab();
+  const std::vector<HostId> hadb_hosts =
+      bed.hosts_with_role(HostRole::kHadbNode);
+  const std::vector<HostId> as_hosts =
+      bed.hosts_with_role(HostRole::kAppServer);
+
+  constexpr std::size_t kNumFaults = std::size(kAllFaults);
+  for (std::size_t trial = 0; trial < options.trials; ++trial) {
+    const FaultClass fault = kAllFaults[trial % kNumFaults];
+    const std::vector<HostId>& pool =
+        targets_hadb(fault) ? hadb_hosts : as_hosts;
+    const HostId target = pool[rng.uniform_index(pool.size())];
+
+    apply_fault(bed, fault, target, rng);
+
+    InjectionRecord record;
+    record.fault = fault;
+    record.target = target;
+    // Fluctuate the workload and occasionally combine the injection
+    // with a rare operating mode, as the lab campaign did.
+    record.workload = static_cast<WorkloadLevel>(rng.uniform_index(3));
+    const double mode_pick = rng.uniform01();
+    record.mode = mode_pick < 0.05   ? SystemMode::kRepair
+                  : mode_pick < 0.10 ? SystemMode::kDataReorganization
+                                     : SystemMode::kNormal;
+    double condition_factor = 1.0;
+    switch (record.workload) {
+      case WorkloadLevel::kIdle:
+        condition_factor *= options.recovery.idle_factor;
+        break;
+      case WorkloadLevel::kModerate: break;
+      case WorkloadLevel::kFullyLoaded:
+        condition_factor *= options.recovery.full_load_factor;
+        break;
+    }
+    switch (record.mode) {
+      case SystemMode::kNormal: break;
+      case SystemMode::kRepair:
+        condition_factor *= options.recovery.repair_mode_factor;
+        break;
+      case SystemMode::kDataReorganization:
+        condition_factor *= options.recovery.reorg_mode_factor;
+        break;
+    }
+    // Single-fault tolerance: the redundant peer keeps the service up
+    // while exactly one node is impaired.
+    record.service_stayed_available = bed.service_available();
+    // The watchdog / companion drives recovery; with probability
+    // true_imperfect_recovery the recovery handler itself fails (the
+    // event FIR models).
+    record.target_recovered =
+        !rng.bernoulli(options.recovery.true_imperfect_recovery);
+    record.recovery_time_hours =
+        recovery_time(fault, options.recovery, rng) * condition_factor;
+
+    if (record.target_recovered) {
+      bed.restore(target);
+    } else {
+      // Operators repair the box before the campaign continues.
+      bed.restore(target);
+    }
+
+    ++result.trials;
+    if (record.service_stayed_available && record.target_recovered) {
+      ++result.successes;
+    }
+    result.recovery_by_workload[static_cast<std::size_t>(record.workload)]
+        .add(record.recovery_time_hours);
+    switch (fault) {
+      case FaultClass::kHadbKillAllProcesses:
+      case FaultClass::kHadbKillRandomProcess:
+      case FaultClass::kHadbFastTerminate:
+        result.hadb_restart_times.add(record.recovery_time_hours);
+        break;
+      case FaultClass::kHadbPowerUnplug:
+        result.hadb_rebuild_times.add(record.recovery_time_hours);
+        break;
+      case FaultClass::kAsKillProcesses:
+        result.as_restart_times.add(record.recovery_time_hours);
+        break;
+      default:
+        break;
+    }
+    result.records.push_back(record);
+  }
+  return result;
+}
+
+std::uint64_t simulate_longevity(double days, std::size_t machines,
+                                 double true_rate_per_day,
+                                 stats::RandomEngine& rng) {
+  if (!(days > 0.0) || machines == 0 || true_rate_per_day < 0.0) {
+    throw std::invalid_argument("simulate_longevity: bad arguments");
+  }
+  // Failures arrive as a Poisson process over the machine-days.
+  const double exposure = days * static_cast<double>(machines);
+  std::uint64_t failures = 0;
+  if (true_rate_per_day == 0.0) return 0;
+  double t = rng.exponential(true_rate_per_day);
+  while (t < exposure) {
+    ++failures;
+    t += rng.exponential(true_rate_per_day);
+  }
+  return failures;
+}
+
+}  // namespace rascal::faultinj

@@ -1,0 +1,158 @@
+#include "faultinj/testbed.h"
+
+#include <stdexcept>
+
+namespace rascal::faultinj {
+
+Testbed Testbed::jsas_lab() {
+  Testbed bed;
+  bed.add_host("loadbalancer", HostRole::kLoadBalancer);
+
+  const HostId as1 = bed.add_host("e450-as1", HostRole::kAppServer);
+  bed.add_process(as1, "appserv-instance1");
+  bed.add_process(as1, "lbp-healthcheck");
+  const HostId as2 = bed.add_host("e450-as2", HostRole::kAppServer);
+  bed.add_process(as2, "appserv-instance2");
+  bed.add_process(as2, "lbp-healthcheck");
+
+  // Two mirrored DRU pairs; each HADB node is a bundle of processes.
+  for (std::size_t pair = 0; pair < 2; ++pair) {
+    for (std::size_t side = 0; side < 2; ++side) {
+      const HostId node = bed.add_host(
+          "u80-hadb" + std::to_string(pair * 2 + side + 1),
+          HostRole::kHadbNode, pair);
+      bed.add_process(node, "hadb-nsup");   // node supervisor
+      bed.add_process(node, "hadb-trans");  // transaction server
+      bed.add_process(node, "hadb-relalg"); // relational algebra engine
+    }
+  }
+
+  const HostId db = bed.add_host("oracle", HostRole::kDatabase);
+  bed.add_process(db, "oracle-listener");
+  const HostId dir = bed.add_host("directory", HostRole::kDirectory);
+  bed.add_process(dir, "slapd");
+  return bed;
+}
+
+HostId Testbed::add_host(std::string name, HostRole role,
+                         std::optional<std::size_t> hadb_pair) {
+  Host h;
+  h.name = std::move(name);
+  h.role = role;
+  h.hadb_pair = hadb_pair;
+  hosts_.push_back(std::move(h));
+  return hosts_.size() - 1;
+}
+
+ProcessId Testbed::add_process(HostId host, std::string name) {
+  if (host >= hosts_.size()) {
+    throw std::out_of_range("Testbed::add_process: bad host");
+  }
+  hosts_[host].processes.push_back({std::move(name), true});
+  return hosts_[host].processes.size() - 1;
+}
+
+const Host& Testbed::host(HostId id) const {
+  if (id >= hosts_.size()) throw std::out_of_range("Testbed::host");
+  return hosts_[id];
+}
+
+std::vector<HostId> Testbed::hosts_with_role(HostRole role) const {
+  std::vector<HostId> out;
+  for (HostId id = 0; id < hosts_.size(); ++id) {
+    if (hosts_[id].role == role) out.push_back(id);
+  }
+  return out;
+}
+
+void Testbed::kill_process(HostId host, ProcessId process) {
+  if (host >= hosts_.size() ||
+      process >= hosts_[host].processes.size()) {
+    throw std::out_of_range("Testbed::kill_process");
+  }
+  hosts_[host].processes[process].running = false;
+}
+
+void Testbed::kill_all_processes(HostId host) {
+  if (host >= hosts_.size()) {
+    throw std::out_of_range("Testbed::kill_all_processes");
+  }
+  for (Process& p : hosts_[host].processes) p.running = false;
+}
+
+void Testbed::disconnect_network(HostId host) {
+  if (host >= hosts_.size()) {
+    throw std::out_of_range("Testbed::disconnect_network");
+  }
+  hosts_[host].network_connected = false;
+}
+
+void Testbed::power_off(HostId host) {
+  if (host >= hosts_.size()) throw std::out_of_range("Testbed::power_off");
+  hosts_[host].powered = false;
+  for (Process& p : hosts_[host].processes) p.running = false;
+}
+
+void Testbed::restart_processes(HostId host) {
+  if (host >= hosts_.size()) {
+    throw std::out_of_range("Testbed::restart_processes");
+  }
+  if (!hosts_[host].powered) {
+    throw std::logic_error("Testbed: cannot restart processes without power");
+  }
+  for (Process& p : hosts_[host].processes) p.running = true;
+}
+
+void Testbed::reconnect_network(HostId host) {
+  if (host >= hosts_.size()) {
+    throw std::out_of_range("Testbed::reconnect_network");
+  }
+  hosts_[host].network_connected = true;
+}
+
+void Testbed::power_on(HostId host) {
+  if (host >= hosts_.size()) throw std::out_of_range("Testbed::power_on");
+  hosts_[host].powered = true;
+}
+
+void Testbed::restore(HostId host) {
+  power_on(host);
+  reconnect_network(host);
+  restart_processes(host);
+}
+
+bool Testbed::functional(HostId id) const {
+  const Host& h = host(id);
+  if (!h.powered || !h.network_connected) return false;
+  for (const Process& p : h.processes) {
+    if (!p.running) return false;
+  }
+  return true;
+}
+
+bool Testbed::service_available() const {
+  bool any_as = false;
+  for (HostId id : hosts_with_role(HostRole::kAppServer)) {
+    if (functional(id)) any_as = true;
+  }
+  if (!any_as) return false;
+
+  // Each pair must keep one functional node.
+  std::vector<std::size_t> pair_alive;
+  std::vector<std::size_t> pair_total;
+  for (HostId id : hosts_with_role(HostRole::kHadbNode)) {
+    const std::size_t pair = *host(id).hadb_pair;
+    if (pair >= pair_total.size()) {
+      pair_total.resize(pair + 1, 0);
+      pair_alive.resize(pair + 1, 0);
+    }
+    ++pair_total[pair];
+    if (functional(id)) ++pair_alive[pair];
+  }
+  for (std::size_t pair = 0; pair < pair_total.size(); ++pair) {
+    if (pair_total[pair] > 0 && pair_alive[pair] == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace rascal::faultinj

@@ -1,0 +1,86 @@
+// Simulated lab testbed mirroring the paper's Table 1 environment:
+// hosts running Application Server instances and HADB node processes,
+// with injectable process, network, and power faults.  The real study
+// ran >3,000 injections against physical E450/Ultra-80 machines; this
+// substitute exposes the same fault surface so the estimation
+// pipeline (Equation 1, recovery-time measurement) runs end to end.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rascal::faultinj {
+
+using HostId = std::size_t;
+using ProcessId = std::size_t;
+
+enum class HostRole {
+  kLoadBalancer,
+  kAppServer,
+  kHadbNode,
+  kDatabase,
+  kDirectory,
+};
+
+struct Process {
+  std::string name;
+  bool running = true;
+};
+
+struct Host {
+  std::string name;
+  HostRole role = HostRole::kAppServer;
+  bool powered = true;
+  bool network_connected = true;
+  std::vector<Process> processes;
+  // HADB nodes are mirrored in pairs; kNone for other roles.
+  std::optional<std::size_t> hadb_pair;
+};
+
+class Testbed {
+ public:
+  /// Builds the Table 1 lab: a load balancer, two AS hosts (Sun E450)
+  /// each running one JSAS instance, four HADB hosts (Sun Ultra 80)
+  /// forming two mirrored pairs, plus Oracle and Directory Server
+  /// hosts.
+  [[nodiscard]] static Testbed jsas_lab();
+
+  HostId add_host(std::string name, HostRole role,
+                  std::optional<std::size_t> hadb_pair = std::nullopt);
+  ProcessId add_process(HostId host, std::string name);
+
+  [[nodiscard]] std::size_t num_hosts() const noexcept {
+    return hosts_.size();
+  }
+  [[nodiscard]] const Host& host(HostId id) const;
+
+  [[nodiscard]] std::vector<HostId> hosts_with_role(HostRole role) const;
+
+  // --- fault injection surface ---------------------------------------
+  void kill_process(HostId host, ProcessId process);
+  void kill_all_processes(HostId host);
+  void disconnect_network(HostId host);
+  void power_off(HostId host);
+
+  // --- recovery surface ----------------------------------------------
+  void restart_processes(HostId host);
+  void reconnect_network(HostId host);
+  void power_on(HostId host);
+  /// Full restoration (power + network + processes).
+  void restore(HostId host);
+
+  /// A node is functional when powered, connected, and all its
+  /// processes run.
+  [[nodiscard]] bool functional(HostId id) const;
+
+  /// The service stays up if at least one AS host is functional and
+  /// each HADB pair retains at least one functional node.
+  [[nodiscard]] bool service_available() const;
+
+ private:
+  std::vector<Host> hosts_;
+};
+
+}  // namespace rascal::faultinj

@@ -1,0 +1,142 @@
+#include "io/model_file.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "expr/expression.h"
+#include "expr/lexer.h"
+
+namespace rascal::io {
+
+namespace {
+
+// Strips a trailing comment and surrounding whitespace.
+std::string clean_line(const std::string& raw) {
+  std::string line = raw;
+  const auto hash = line.find('#');
+  if (hash != std::string::npos) line.erase(hash);
+  const auto first = line.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const auto last = line.find_last_not_of(" \t\r");
+  return line.substr(first, last - first + 1);
+}
+
+// Splits off the first whitespace-delimited word.
+std::pair<std::string, std::string> split_word(const std::string& text) {
+  const auto end = text.find_first_of(" \t");
+  if (end == std::string::npos) return {text, ""};
+  const auto rest = text.find_first_not_of(" \t", end);
+  return {text.substr(0, end),
+          rest == std::string::npos ? "" : text.substr(rest)};
+}
+
+}  // namespace
+
+ctmc::Ctmc ModelFile::bind(const expr::ParameterSet& overrides) const {
+  return model.bind(parameters.with(overrides));
+}
+
+ModelFile parse_model(std::istream& in) {
+  ModelFile out;
+  std::set<std::string> state_names;
+  std::set<std::string> param_names;
+  std::string raw;
+  std::size_t line_number = 0;
+  bool has_rate = false;
+
+  while (std::getline(in, raw)) {
+    ++line_number;
+    const std::string line = clean_line(raw);
+    if (line.empty()) continue;
+
+    const auto [directive, rest] = split_word(line);
+    if (directive == "model") {
+      out.name = rest;
+    } else if (directive == "param") {
+      const auto [name, value_text] = split_word(rest);
+      if (name.empty() || value_text.empty()) {
+        throw ModelFileError("expected 'param NAME VALUE'", line_number);
+      }
+      if (!param_names.insert(name).second) {
+        throw ModelFileError("duplicate parameter '" + name + "'",
+                             line_number);
+      }
+      try {
+        // Values may reference earlier parameters ("La_as/La").
+        out.parameters.set(
+            name,
+            expr::Expression::parse(value_text).evaluate(out.parameters));
+      } catch (const std::exception& e) {
+        throw ModelFileError(
+            "bad value for parameter '" + name + "': " + e.what(),
+            line_number);
+      }
+    } else if (directive == "state") {
+      const auto [name, reward_part] = split_word(rest);
+      const auto [reward_kw, reward_text] = split_word(reward_part);
+      if (name.empty() || reward_kw != "reward" || reward_text.empty()) {
+        throw ModelFileError("expected 'state NAME reward VALUE'",
+                             line_number);
+      }
+      if (!state_names.insert(name).second) {
+        throw ModelFileError("duplicate state '" + name + "'", line_number);
+      }
+      double reward = 0.0;
+      try {
+        reward =
+            expr::Expression::parse(reward_text).evaluate(out.parameters);
+      } catch (const std::exception& e) {
+        throw ModelFileError(
+            "bad reward for state '" + name + "': " + e.what(), line_number);
+      }
+      (void)out.model.state(name, reward);
+    } else if (directive == "rate") {
+      const auto [from, after_from] = split_word(rest);
+      const auto [to, expression] = split_word(after_from);
+      if (from.empty() || to.empty() || expression.empty()) {
+        throw ModelFileError("expected 'rate FROM TO EXPRESSION'",
+                             line_number);
+      }
+      if (!state_names.count(from)) {
+        throw ModelFileError("unknown state '" + from + "'", line_number);
+      }
+      if (!state_names.count(to)) {
+        throw ModelFileError("unknown state '" + to + "'", line_number);
+      }
+      try {
+        out.model.rate(from, to, expression);
+      } catch (const std::exception& e) {
+        throw ModelFileError(std::string("bad rate expression: ") + e.what(),
+                             line_number);
+      }
+      has_rate = true;
+    } else {
+      throw ModelFileError("unknown directive '" + directive + "'",
+                           line_number);
+    }
+  }
+
+  if (state_names.empty()) {
+    throw ModelFileError("model declares no states", line_number);
+  }
+  if (!has_rate) {
+    throw ModelFileError("model declares no transitions", line_number);
+  }
+  return out;
+}
+
+ModelFile parse_model_text(const std::string& text) {
+  std::istringstream in(text);
+  return parse_model(in);
+}
+
+ModelFile load_model(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open model file: " + path);
+  }
+  return parse_model(in);
+}
+
+}  // namespace rascal::io

@@ -1,0 +1,62 @@
+// Text format for availability models, so the toolkit is usable from
+// the command line (tools/rascal_cli) without writing C++.
+//
+// Line-based syntax ('#' starts a comment anywhere):
+//
+//   model  JSAS HADB node pair          # optional title
+//   param  La_hadb  2/8760              # value may use earlier params
+//   param  FIR      0.001
+//   state  Ok           reward 1
+//   state  2_Down       reward 0
+//   rate   Ok 2_Down    2*La_hadb*FIR   # rest of line = expression
+//
+// Parameter values are expressions evaluated eagerly against the
+// parameters defined above them; rate expressions stay symbolic so
+// the CLI can override parameters and re-solve.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "ctmc/builder.h"
+#include "expr/parameter_set.h"
+
+namespace rascal::io {
+
+/// Parse failure with 1-based line number.
+class ModelFileError : public std::runtime_error {
+ public:
+  ModelFileError(const std::string& message, std::size_t line)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+struct ModelFile {
+  std::string name;
+  expr::ParameterSet parameters;  // defaults declared in the file
+  ctmc::SymbolicCtmc model;
+
+  /// Binds the symbolic model against the file's defaults overridden
+  /// by `overrides`.
+  [[nodiscard]] ctmc::Ctmc bind(
+      const expr::ParameterSet& overrides = {}) const;
+};
+
+/// Parses a model from a stream.  Throws ModelFileError on syntax
+/// problems (unknown directive, bad state reference, duplicate
+/// parameter, missing reward, unparsable expression).
+[[nodiscard]] ModelFile parse_model(std::istream& in);
+
+/// Parses a model from a string.
+[[nodiscard]] ModelFile parse_model_text(const std::string& text);
+
+/// Loads a model from a file path.  Throws std::runtime_error when
+/// the file cannot be opened, ModelFileError on parse problems.
+[[nodiscard]] ModelFile load_model(const std::string& path);
+
+}  // namespace rascal::io

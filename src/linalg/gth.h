@@ -1,0 +1,32 @@
+// Grassmann-Taksar-Heyman (GTH) algorithm for the stationary
+// distribution of an irreducible CTMC or DTMC.
+//
+// GTH performs Gaussian elimination using only the off-diagonal rates
+// and never subtracts nearly-equal quantities, which makes it the
+// method of choice for availability models whose rates span many
+// orders of magnitude (e.g. 1e-7/h failure rates against 60/h repair
+// rates).  See Grassmann, Taksar & Heyman, Oper. Res. 33(5), 1985.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace rascal::linalg {
+
+/// Computes the stationary vector pi of the generator matrix Q
+/// (pi Q = 0, sum pi = 1).  Q must be square with nonnegative
+/// off-diagonal entries; the diagonal is ignored and reconstructed as
+/// the negative row sum, so callers may pass either a full generator
+/// or just the rate matrix.
+///
+/// Throws std::invalid_argument for non-square input or negative
+/// off-diagonal entries, and std::domain_error when the chain is
+/// reducible in a way that leaves a zero pivot (no single recurrent
+/// class reachable from every state).
+[[nodiscard]] Vector gth_stationary(Matrix q);
+
+/// Stationary vector of a DTMC transition-probability matrix P
+/// (pi P = pi).  Internally converts to the generator P - I and reuses
+/// gth_stationary.
+[[nodiscard]] Vector gth_stationary_dtmc(const Matrix& p);
+
+}  // namespace rascal::linalg

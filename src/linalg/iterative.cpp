@@ -1,0 +1,111 @@
+#include "linalg/iterative.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rascal::linalg {
+
+namespace {
+
+// Transpose a CSR matrix by re-assembling from triplets; O(nnz log nnz).
+CsrMatrix transpose(const CsrMatrix& a) {
+  std::vector<Triplet> triplets;
+  triplets.reserve(a.non_zeros());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (const auto& [c, v] : a.row(r)) triplets.push_back({c, r, v});
+  }
+  return CsrMatrix(a.cols(), a.rows(), triplets);
+}
+
+double max_exit_rate(const CsrMatrix& q) {
+  double lambda = 0.0;
+  for (std::size_t r = 0; r < q.rows(); ++r) {
+    double exit = 0.0;
+    for (const auto& [c, v] : q.row(r)) {
+      if (c != r) exit += v;
+    }
+    lambda = std::max(lambda, exit);
+  }
+  return lambda;
+}
+
+}  // namespace
+
+IterativeResult power_stationary(const CsrMatrix& q,
+                                 const IterativeOptions& options) {
+  if (q.rows() != q.cols() || q.rows() == 0) {
+    throw std::invalid_argument("power_stationary: bad generator shape");
+  }
+  const std::size_t n = q.rows();
+  // Uniformization constant strictly above the max exit rate keeps the
+  // DTMC aperiodic.
+  const double lambda = max_exit_rate(q) * 1.05 + 1e-12;
+
+  IterativeResult result;
+  Vector pi(n, 1.0 / static_cast<double>(n));
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    // next = pi (I + Q/lambda) = pi + (pi Q)/lambda
+    Vector piq = q.left_multiply(pi);
+    Vector next(n);
+    for (std::size_t i = 0; i < n; ++i) next[i] = pi[i] + piq[i] / lambda;
+    normalize_to_sum_one(next);
+    const double delta = norm_inf(subtract(next, pi));
+    pi = std::move(next);
+    result.iterations = it + 1;
+    if (delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.residual = norm_inf(q.left_multiply(pi));
+  result.pi = std::move(pi);
+  return result;
+}
+
+IterativeResult gauss_seidel_stationary(const CsrMatrix& q,
+                                        const IterativeOptions& options) {
+  if (q.rows() != q.cols() || q.rows() == 0) {
+    throw std::invalid_argument("gauss_seidel_stationary: bad shape");
+  }
+  const std::size_t n = q.rows();
+  const CsrMatrix qt = transpose(q);  // row j of qt = column j of q
+
+  // Exit rates (used as the diagonal): exit_j = sum_{c != j} q(j, c).
+  Vector exit(n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (const auto& [c, v] : q.row(r)) {
+      if (c != r) exit[r] += v;
+    }
+  }
+
+  IterativeResult result;
+  Vector pi(n, 1.0 / static_cast<double>(n));
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    double delta = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (exit[j] <= 0.0) {
+        throw std::domain_error(
+            "gauss_seidel_stationary: absorbing state has no stationary "
+            "balance equation");
+      }
+      double inflow = 0.0;
+      for (const auto& [i, v] : qt.row(j)) {
+        if (i != j) inflow += pi[i] * v;
+      }
+      const double updated = inflow / exit[j];
+      delta = std::max(delta, std::abs(updated - pi[j]));
+      pi[j] = updated;
+    }
+    normalize_to_sum_one(pi);
+    result.iterations = it + 1;
+    if (delta < options.tolerance * norm_inf(pi)) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.residual = norm_inf(q.left_multiply(pi));
+  result.pi = std::move(pi);
+  return result;
+}
+
+}  // namespace rascal::linalg

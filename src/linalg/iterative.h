@@ -1,0 +1,35 @@
+// Iterative stationary-distribution solvers for large chains.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "linalg/sparse.h"
+
+namespace rascal::linalg {
+
+struct IterativeOptions {
+  std::size_t max_iterations = 200000;
+  double tolerance = 1e-13;  // infinity-norm change per sweep
+};
+
+struct IterativeResult {
+  Vector pi;
+  std::size_t iterations = 0;
+  double residual = 0.0;
+  bool converged = false;
+};
+
+/// Power iteration on the uniformized DTMC P = I + Q/Lambda, where
+/// Lambda is slightly larger than the maximum exit rate.  Q is a CTMC
+/// generator in CSR form (diagonal must be present and equal to the
+/// negative row sum).  Returns the stationary distribution.
+[[nodiscard]] IterativeResult power_stationary(
+    const CsrMatrix& q, const IterativeOptions& options = {});
+
+/// Gauss-Seidel sweeps on pi Q = 0 with normalization after each
+/// sweep.  Faster than power iteration on stiff availability models.
+[[nodiscard]] IterativeResult gauss_seidel_stationary(
+    const CsrMatrix& q, const IterativeOptions& options = {});
+
+}  // namespace rascal::linalg

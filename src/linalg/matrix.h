@@ -1,0 +1,99 @@
+// Dense row-major matrix of doubles plus small vector utilities.
+//
+// This is deliberately a minimal numerical kernel: availability models
+// in this library rarely exceed a few thousand states, so a simple
+// contiguous dense matrix with O(n^3) direct solvers is the right
+// trade-off for the default path.  Larger state spaces use the sparse
+// CSR representation in sparse.h.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+namespace rascal::linalg {
+
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix.  Indices are checked in at() and unchecked
+/// in operator().
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Creates a matrix from nested initializer lists; all rows must have
+  /// equal length.  Throws std::invalid_argument on ragged input.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] bool square() const noexcept { return rows_ == cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access; throws std::out_of_range.
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  /// Raw storage, row-major.
+  [[nodiscard]] const std::vector<double>& data() const noexcept {
+    return data_;
+  }
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Matrix-vector product y = A x.  Throws on dimension mismatch.
+  [[nodiscard]] Vector multiply(const Vector& x) const;
+
+  /// Row-vector product y = x^T A (useful for pi Q).  Throws on
+  /// dimension mismatch.
+  [[nodiscard]] Vector left_multiply(const Vector& x) const;
+
+  /// Matrix product.  Throws on dimension mismatch.
+  [[nodiscard]] Matrix multiply(const Matrix& other) const;
+
+  /// Max-absolute-entry norm.
+  [[nodiscard]] double max_abs() const noexcept;
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+/// Euclidean norm.
+[[nodiscard]] double norm2(const Vector& v) noexcept;
+
+/// Sum of absolute values.
+[[nodiscard]] double norm1(const Vector& v) noexcept;
+
+/// Max absolute value.
+[[nodiscard]] double norm_inf(const Vector& v) noexcept;
+
+/// Dot product; throws std::invalid_argument on length mismatch.
+[[nodiscard]] double dot(const Vector& a, const Vector& b);
+
+/// Componentwise a - b; throws std::invalid_argument on length mismatch.
+[[nodiscard]] Vector subtract(const Vector& a, const Vector& b);
+
+/// Scales v so its entries sum to 1.  Throws std::domain_error when the
+/// sum is zero or not finite.
+void normalize_to_sum_one(Vector& v);
+
+}  // namespace rascal::linalg

@@ -1,0 +1,114 @@
+#include "linalg/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rascal::linalg {
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
+                     const std::vector<Triplet>& triplets)
+    : rows_(rows), cols_(cols) {
+  for (const Triplet& t : triplets) {
+    if (t.row >= rows || t.col >= cols) {
+      throw std::invalid_argument("CsrMatrix: triplet index out of range");
+    }
+  }
+  std::vector<Triplet> sorted = triplets;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  row_ptr_.assign(rows_ + 1, 0);
+  col_idx_.reserve(sorted.size());
+  values_.reserve(sorted.size());
+  for (std::size_t i = 0; i < sorted.size();) {
+    const std::size_t r = sorted[i].row;
+    const std::size_t c = sorted[i].col;
+    double sum = 0.0;
+    while (i < sorted.size() && sorted[i].row == r && sorted[i].col == c) {
+      sum += sorted[i].value;
+      ++i;
+    }
+    if (sum != 0.0) {
+      col_idx_.push_back(c);
+      values_.push_back(sum);
+      ++row_ptr_[r + 1];
+    }
+  }
+  for (std::size_t r = 0; r < rows_; ++r) row_ptr_[r + 1] += row_ptr_[r];
+}
+
+CsrMatrix CsrMatrix::from_dense(const Matrix& m, double drop_below) {
+  std::vector<Triplet> triplets;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      const double v = m(r, c);
+      if (std::abs(v) > drop_below) triplets.push_back({r, c, v});
+    }
+  }
+  return CsrMatrix(m.rows(), m.cols(), triplets);
+}
+
+Vector CsrMatrix::multiply(const Vector& x) const {
+  if (x.size() != cols_) {
+    throw std::invalid_argument("CsrMatrix::multiply: dimension mismatch");
+  }
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      acc += values_[k] * x[col_idx_[k]];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+Vector CsrMatrix::left_multiply(const Vector& x) const {
+  if (x.size() != rows_) {
+    throw std::invalid_argument(
+        "CsrMatrix::left_multiply: dimension mismatch");
+  }
+  Vector y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      y[col_idx_[k]] += xr * values_[k];
+    }
+  }
+  return y;
+}
+
+double CsrMatrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("CsrMatrix::at");
+  for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+    if (col_idx_[k] == c) return values_[k];
+  }
+  return 0.0;
+}
+
+Matrix CsrMatrix::to_dense() const {
+  Matrix m(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      m(r, col_idx_[k]) = values_[k];
+    }
+  }
+  return m;
+}
+
+std::vector<std::pair<std::size_t, double>> CsrMatrix::row(
+    std::size_t r) const {
+  if (r >= rows_) throw std::out_of_range("CsrMatrix::row");
+  std::vector<std::pair<std::size_t, double>> out;
+  out.reserve(row_ptr_[r + 1] - row_ptr_[r]);
+  for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+    out.emplace_back(col_idx_[k], values_[k]);
+  }
+  return out;
+}
+
+}  // namespace rascal::linalg

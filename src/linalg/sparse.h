@@ -1,0 +1,61 @@
+// Compressed sparse row (CSR) matrix for large CTMC state spaces.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace rascal::linalg {
+
+/// Coordinate-format entry used while assembling a sparse matrix.
+struct Triplet {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  double value = 0.0;
+};
+
+/// Immutable CSR matrix.  Duplicate (row, col) triplets are summed
+/// during construction, matching the usual assembly semantics.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds from triplets.  Throws std::invalid_argument when an index
+  /// is out of range.
+  CsrMatrix(std::size_t rows, std::size_t cols,
+            const std::vector<Triplet>& triplets);
+
+  [[nodiscard]] static CsrMatrix from_dense(const Matrix& m,
+                                            double drop_below = 0.0);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t non_zeros() const noexcept {
+    return values_.size();
+  }
+
+  /// y = A x.  Throws std::invalid_argument on dimension mismatch.
+  [[nodiscard]] Vector multiply(const Vector& x) const;
+
+  /// y = x^T A.  Throws std::invalid_argument on dimension mismatch.
+  [[nodiscard]] Vector left_multiply(const Vector& x) const;
+
+  /// Value at (r, c); zero when not stored.  Bounds-checked.
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] Matrix to_dense() const;
+
+  /// Row r as (col, value) pairs, ordered by column.
+  [[nodiscard]] std::vector<std::pair<std::size_t, double>> row(
+      std::size_t r) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_{0};
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace rascal::linalg

@@ -1,0 +1,47 @@
+#include "models/hadb_pair.h"
+
+namespace rascal::models {
+
+ctmc::SymbolicCtmc hadb_pair_model() {
+  ctmc::SymbolicCtmc m;
+  m.state("Ok", 1.0);
+  m.state("RestartShort", 1.0);
+  m.state("RestartLong", 1.0);
+  m.state("Repair", 1.0);
+  m.state("Maintenance", 1.0);
+  m.state("2_Down", 0.0);
+
+  // Total failure rate of one node, all causes (La in Figure 3).
+  const std::string la = "(hadb_La_hadb+hadb_La_os+hadb_La_hw)";
+
+  // First failure on either of the two nodes, recovered automatically
+  // with probability 1-FIR, branching on failure type.
+  m.rate("Ok", "RestartShort", "2*hadb_La_hadb*(1-hadb_FIR)");
+  m.rate("Ok", "RestartLong", "2*hadb_La_os*(1-hadb_FIR)");
+  m.rate("Ok", "Repair", "2*hadb_La_hw*(1-hadb_FIR)");
+  // Imperfect recovery: the companion node fails during recovery and
+  // the pair's data is lost ("2*La*FIR" in Figure 3).
+  m.rate("Ok", "2_Down", "2*" + la + "*hadb_FIR");
+  // Scheduled maintenance switchover (4/year per pair).
+  m.rate("Ok", "Maintenance", "hadb_La_mnt");
+
+  // Recovery completions return the pair to mirrored operation.
+  m.rate("RestartShort", "Ok", "1/hadb_Tstart_short");
+  m.rate("RestartLong", "Ok", "1/hadb_Tstart_long");
+  m.rate("Repair", "Ok", "1/hadb_Trepair");
+  m.rate("Maintenance", "Ok", "1/hadb_Tmnt");
+
+  // Second failure on the surviving node while degraded; its failure
+  // rate is accelerated by Acc due to the doubled workload.
+  m.rate("RestartShort", "2_Down", "Acc*" + la);
+  m.rate("RestartLong", "2_Down", "Acc*" + la);
+  m.rate("Repair", "2_Down", "Acc*" + la);
+  m.rate("Maintenance", "2_Down", "Acc*" + la);
+
+  // Human intervention recreates the pair (Trestore = 1 h for 7x24
+  // on-site maintenance).
+  m.rate("2_Down", "Ok", "1/hadb_Trestore");
+  return m;
+}
+
+}  // namespace rascal::models

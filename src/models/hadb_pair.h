@@ -1,0 +1,26 @@
+// HADB node-pair availability model — Figure 3 of the paper.
+//
+// A pair of mirrored HADB nodes.  Either node may suffer a
+// restartable HADB failure, an OS failure (reboot), or a permanent HW
+// failure (spare rebuild); scheduled maintenance switches one node to
+// a standby.  During any single-node outage the surviving node runs
+// with doubled (Acc) failure rate and a second failure loses the
+// session fragments held by the pair (state 2_Down, reward 0).  With
+// probability FIR the automatic recovery itself fails, taking the
+// pair straight down.
+//
+// States (reward): Ok(1), RestartShort(1), RestartLong(1), Repair(1),
+// Maintenance(1), 2_Down(0).
+#pragma once
+
+#include "ctmc/builder.h"
+
+namespace rascal::models {
+
+/// Returns the symbolic Figure-3 model.  Parameters (see params.h):
+/// hadb_La_hadb, hadb_La_os, hadb_La_hw, hadb_La_mnt,
+/// hadb_Tstart_short, hadb_Tstart_long, hadb_Trepair, hadb_Tmnt,
+/// hadb_Trestore, hadb_FIR, Acc.
+[[nodiscard]] ctmc::SymbolicCtmc hadb_pair_model();
+
+}  // namespace rascal::models

@@ -1,0 +1,155 @@
+#include "models/hadb_spares.h"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ctmc/builder.h"
+
+namespace rascal::models {
+
+namespace {
+
+enum class Condition {
+  kOk,
+  kRestartShort,
+  kRestartLong,
+  kRepair,
+  kWaitSpare,  // HW failure with an empty pool: degraded until a
+               // replacement arrives
+  kMaintenance,
+  kDown,
+};
+
+const char* condition_name(Condition c) {
+  switch (c) {
+    case Condition::kOk: return "Ok";
+    case Condition::kRestartShort: return "RestartShort";
+    case Condition::kRestartLong: return "RestartLong";
+    case Condition::kRepair: return "Repair";
+    case Condition::kWaitSpare: return "WaitSpare";
+    case Condition::kMaintenance: return "Maintenance";
+    case Condition::kDown: return "2_Down";
+  }
+  return "?";
+}
+
+double condition_reward(Condition c) {
+  return c == Condition::kDown ? 0.0 : 1.0;
+}
+
+}  // namespace
+
+ctmc::Ctmc hadb_pair_with_spares_model(std::size_t spares,
+                                       const expr::ParameterSet& params) {
+  if (spares == 0) {
+    throw std::invalid_argument(
+        "hadb_pair_with_spares_model: needs at least one spare (the "
+        "Repair path would be unreachable)");
+  }
+  const double la_hadb = params.get("hadb_La_hadb");
+  const double la_os = params.get("hadb_La_os");
+  const double la_hw = params.get("hadb_La_hw");
+  const double la = la_hadb + la_os + la_hw;
+  const double la_mnt = params.get("hadb_La_mnt");
+  const double fir = params.get("hadb_FIR");
+  const double acc = params.get("Acc");
+  const double t_short = params.get("hadb_Tstart_short");
+  const double t_long = params.get("hadb_Tstart_long");
+  const double t_repair = params.get("hadb_Trepair");
+  const double t_mnt = params.get("hadb_Tmnt");
+  const double t_restore = params.get("hadb_Trestore");
+  const double t_replenish = params.get(kTreplenishParam);
+  if (!(t_replenish > 0.0)) {
+    throw std::invalid_argument(
+        "hadb_pair_with_spares_model: hadb_Treplenish must be > 0");
+  }
+
+  constexpr Condition kConditions[] = {
+      Condition::kOk,        Condition::kRestartShort,
+      Condition::kRestartLong, Condition::kRepair,
+      Condition::kWaitSpare, Condition::kMaintenance,
+      Condition::kDown,
+  };
+
+  ctmc::CtmcBuilder builder;
+  // id lookup: state(condition, pool level).  WaitSpare exists only at
+  // pool level 0 (it is entered exactly when the pool is empty).
+  std::vector<std::vector<ctmc::StateId>> id(
+      std::size(kConditions), std::vector<ctmc::StateId>(spares + 1));
+  for (std::size_t ci = 0; ci < std::size(kConditions); ++ci) {
+    const Condition c = kConditions[ci];
+    const std::size_t max_s = c == Condition::kWaitSpare ? 0 : spares;
+    for (std::size_t s = 0; s <= max_s; ++s) {
+      id[ci][s] = builder.state(std::string(condition_name(c)) + "/s" +
+                                    std::to_string(s),
+                                condition_reward(c));
+    }
+  }
+  const auto at = [&](Condition c, std::size_t s) {
+    return id[static_cast<std::size_t>(c)][s];
+  };
+
+  for (std::size_t s = 0; s <= spares; ++s) {
+    // First failures from the mirrored state.
+    builder.rate(at(Condition::kOk, s), at(Condition::kRestartShort, s),
+                 2.0 * la_hadb * (1.0 - fir));
+    builder.rate(at(Condition::kOk, s), at(Condition::kRestartLong, s),
+                 2.0 * la_os * (1.0 - fir));
+    if (s > 0) {
+      // HW failure consumes a spare for the rebuild.
+      builder.rate(at(Condition::kOk, s), at(Condition::kRepair, s - 1),
+                   2.0 * la_hw * (1.0 - fir));
+    } else {
+      builder.rate(at(Condition::kOk, 0), at(Condition::kWaitSpare, 0),
+                   2.0 * la_hw * (1.0 - fir));
+    }
+    builder.rate(at(Condition::kOk, s), at(Condition::kDown, s),
+                 2.0 * la * fir);
+    builder.rate(at(Condition::kOk, s), at(Condition::kMaintenance, s),
+                 la_mnt);
+
+    // Recovery completions.
+    builder.rate(at(Condition::kRestartShort, s), at(Condition::kOk, s),
+                 1.0 / t_short);
+    builder.rate(at(Condition::kRestartLong, s), at(Condition::kOk, s),
+                 1.0 / t_long);
+    builder.rate(at(Condition::kRepair, s), at(Condition::kOk, s),
+                 1.0 / t_repair);
+    builder.rate(at(Condition::kMaintenance, s), at(Condition::kOk, s),
+                 1.0 / t_mnt);
+    builder.rate(at(Condition::kDown, s), at(Condition::kOk, s),
+                 1.0 / t_restore);
+
+    // Second failure of the surviving, workload-accelerated node.
+    for (Condition degraded :
+         {Condition::kRestartShort, Condition::kRestartLong,
+          Condition::kRepair, Condition::kMaintenance}) {
+      builder.rate(at(degraded, s), at(Condition::kDown, s), acc * la);
+    }
+
+    // A replacement node arrives while waiting: the rebuild starts
+    // immediately (the arriving spare is consumed on the spot).
+    if (s == 0) {
+      builder.rate(at(Condition::kWaitSpare, 0), at(Condition::kRepair, 0),
+                   1.0 / t_replenish);
+      builder.rate(at(Condition::kWaitSpare, 0), at(Condition::kDown, 0),
+                   acc * la);
+    }
+
+    // Refurbishment of consumed spares: each missing spare returns
+    // independently.
+    if (s < spares) {
+      const double replenish_rate =
+          static_cast<double>(spares - s) / t_replenish;
+      for (Condition c :
+           {Condition::kOk, Condition::kRestartShort, Condition::kRestartLong,
+            Condition::kRepair, Condition::kMaintenance, Condition::kDown}) {
+        builder.rate(at(c, s), at(c, s + 1), replenish_rate);
+      }
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace rascal::models

@@ -1,0 +1,41 @@
+#include "models/params.h"
+
+#include "core/units.h"
+
+namespace rascal::models {
+
+expr::ParameterSet default_parameters() {
+  using core::hours;
+  using core::minutes;
+  using core::per_year;
+  using core::seconds;
+
+  expr::ParameterSet p;
+  // Application Server instance parameters (Section 5).
+  p.set("as_La_as", per_year(50.0))
+      .set("as_La_os", per_year(1.0))
+      .set("as_La_hw", per_year(1.0))
+      .set("as_Trecovery", seconds(5.0))
+      .set("as_Tstart_short", seconds(90.0))
+      .set("as_Tstart_long", hours(1.0))
+      .set("as_Tstart_all", minutes(30.0));
+
+  // HADB node parameters (Section 5).
+  p.set("hadb_La_hadb", per_year(2.0))
+      .set("hadb_La_os", per_year(1.0))
+      .set("hadb_La_hw", per_year(1.0))
+      .set("hadb_La_mnt", per_year(4.0))
+      .set("hadb_Tstart_short", minutes(1.0))
+      .set("hadb_Tstart_long", minutes(15.0))
+      .set("hadb_Trepair", minutes(30.0))
+      .set("hadb_Tmnt", minutes(1.0))
+      .set("hadb_Trestore", hours(1.0))
+      .set("hadb_FIR", 0.001);
+
+  // Workload acceleration: the failure rate on surviving replicas
+  // doubles per failed peer (La_i = La_0 * 2^i).
+  p.set("Acc", 2.0);
+  return p;
+}
+
+}  // namespace rascal::models

@@ -1,0 +1,40 @@
+// Canonical parameter names and the paper's Section 5 defaults.
+//
+// Parameters are namespaced by subsystem because the two submodels
+// reuse symbol names with different values (e.g. Tstart_short is 90 s
+// for an AS instance but 1 min for an HADB node):
+//
+//   paper symbol          here                 default
+//   -------------------   ------------------   ---------------------
+//   AS   La_as            as_La_as             50/year
+//   AS   La_os            as_La_os             1/year
+//   AS   La_hw            as_La_hw             1/year
+//   AS   Trecovery        as_Trecovery         5 s
+//   AS   Tstart_short     as_Tstart_short      90 s
+//   AS   Tstart_long      as_Tstart_long       1 h
+//   AS   Tstart_all       as_Tstart_all        30 min
+//   HADB La_hadb          hadb_La_hadb         2/year
+//   HADB La_os            hadb_La_os           1/year
+//   HADB La_hw            hadb_La_hw           1/year
+//   HADB La_mnt           hadb_La_mnt          4/year
+//   HADB Tstart_short     hadb_Tstart_short    1 min
+//   HADB Tstart_long      hadb_Tstart_long     15 min
+//   HADB Trepair          hadb_Trepair         30 min
+//   HADB Tmnt             hadb_Tmnt            1 min
+//   HADB Trestore         hadb_Trestore        1 h
+//   HADB FIR              hadb_FIR             0.1%
+//        Acc              Acc                  2
+//        N_pair           N_pair               per configuration
+//
+// All rates are per hour and all times are hours (see core/units.h).
+#pragma once
+
+#include "expr/parameter_set.h"
+
+namespace rascal::models {
+
+/// The conservative defaults of Section 5.  N_pair is NOT included;
+/// it is set by the configuration (see jsas_system.h).
+[[nodiscard]] expr::ParameterSet default_parameters();
+
+}  // namespace rascal::models

@@ -1,0 +1,17 @@
+#include "models/single_instance.h"
+
+namespace rascal::models {
+
+ctmc::SymbolicCtmc single_instance_model() {
+  ctmc::SymbolicCtmc m;
+  m.state("Ok", 1.0);
+  m.state("DownShort", 0.0);
+  m.state("DownLong", 0.0);
+  m.rate("Ok", "DownShort", "as_La_as");
+  m.rate("Ok", "DownLong", "as_La_os+as_La_hw");
+  m.rate("DownShort", "Ok", "1/as_Tstart_short");
+  m.rate("DownLong", "Ok", "1/as_Tstart_long");
+  return m;
+}
+
+}  // namespace rascal::models

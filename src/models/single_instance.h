@@ -1,0 +1,13 @@
+// Single Application Server instance with no failover (Table 3,
+// row 1): every failure is an outage.  AS process failures restart in
+// as_Tstart_short (90 s); HW/OS failures take as_Tstart_long (1 h).
+#pragma once
+
+#include "ctmc/builder.h"
+
+namespace rascal::models {
+
+/// States: Ok(1), DownShort(0), DownLong(0).
+[[nodiscard]] ctmc::SymbolicCtmc single_instance_model();
+
+}  // namespace rascal::models

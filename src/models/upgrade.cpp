@@ -1,0 +1,55 @@
+#include "models/upgrade.h"
+
+#include "core/units.h"
+#include "models/jsas_system.h"
+
+namespace rascal::models {
+
+ctmc::SymbolicCtmc dual_cluster_upgrade_model() {
+  ctmc::SymbolicCtmc m;
+  m.state("BothUp", 1.0);
+  m.state("OneDown", 1.0);
+  m.state("Upgrading", 1.0);
+  m.state("Switchover", 0.0);
+  m.state("AllDown", 0.0);
+
+  // Unplanned failure of either cluster; the survivor carries the
+  // whole load (accelerated) until the failed cluster recovers.
+  m.rate("BothUp", "OneDown", "2*La_cluster");
+  m.rate("OneDown", "BothUp", "Mu_cluster");
+  m.rate("OneDown", "AllDown", "Acc*La_cluster");
+
+  // Planned upgrade: drain one cluster, run on the other.
+  m.rate("BothUp", "Upgrading", "La_upgrade");
+  m.rate("Upgrading", "Switchover", "1/T_upgrade");
+  m.rate("Upgrading", "AllDown", "Acc*La_cluster");
+  // Cut traffic over to the upgraded cluster (conservatively counted
+  // as an outage, like the paper's restore intervals).
+  m.rate("Switchover", "BothUp", "1/T_switch");
+
+  m.rate("AllDown", "BothUp", "1/T_restore");
+  return m;
+}
+
+expr::ParameterSet upgrade_parameters_for(
+    const expr::ParameterSet& jsas_params, std::size_t as_instances,
+    std::size_t hadb_pairs, double upgrades_per_year, double t_upgrade_hours,
+    double t_switch_hours) {
+  const JsasResult cluster = solve_jsas(
+      JsasConfig{as_instances, hadb_pairs, 2}, jsas_params);
+  // Two-state equivalent of one whole cluster, from the system-level
+  // metrics of the hierarchy.
+  const double p_up = cluster.availability;
+  const double freq = 1.0 / cluster.mtbf_hours;
+
+  expr::ParameterSet out = jsas_params;
+  out.set("La_cluster", freq / p_up);
+  out.set("Mu_cluster", freq / (1.0 - p_up));
+  out.set("La_upgrade", core::per_year(upgrades_per_year));
+  out.set("T_upgrade", t_upgrade_hours);
+  out.set("T_switch", t_switch_hours);
+  out.set("T_restore", jsas_params.get("hadb_Trestore"));
+  return out;
+}
+
+}  // namespace rascal::models

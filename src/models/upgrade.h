@@ -1,0 +1,41 @@
+// Extension: dual-cluster rolling upgrades.
+//
+// The paper notes that "online upgrades ... can be orchestrated by
+// the administrator, using single or dual cluster deployments" but
+// restricts its model to one cluster.  This model covers the dual
+// deployment: two identical JSAS clusters (each abstracted to its
+// two-state equivalent, obtained from the Figure-2 hierarchy), where
+// upgrades periodically take one cluster offline and traffic rides on
+// the other; when the upgrade finishes, a brief switchover moves
+// sessions onto the upgraded cluster.
+//
+// States: BothUp(1), OneDown(1) [unplanned single-cluster failure],
+// Upgrading(1) [planned; reduced redundancy], Switchover(0) [traffic
+// cut-over, conservatively counted as downtime], AllDown(0).
+#pragma once
+
+#include "ctmc/builder.h"
+#include "expr/parameter_set.h"
+
+namespace rascal::models {
+
+/// Symbolic model.  Parameters:
+///   La_cluster  — equivalent failure rate of one cluster (per hour)
+///   Mu_cluster  — equivalent recovery rate of one cluster
+///   La_upgrade  — rate of starting planned upgrades (e.g. 12/year)
+///   T_upgrade   — mean time one cluster is offline for the upgrade
+///   T_switch    — traffic switchover time after the upgrade
+///   T_restore   — manual restore time after losing both clusters
+///   Acc         — workload acceleration on the surviving cluster
+[[nodiscard]] ctmc::SymbolicCtmc dual_cluster_upgrade_model();
+
+/// Convenience: derives La_cluster/Mu_cluster from a JSAS
+/// configuration solved under `params` (via the standard hierarchy),
+/// merges the upgrade parameters, and returns bindings ready for
+/// dual_cluster_upgrade_model().bind().
+[[nodiscard]] expr::ParameterSet upgrade_parameters_for(
+    const expr::ParameterSet& jsas_params, std::size_t as_instances,
+    std::size_t hadb_pairs, double upgrades_per_year, double t_upgrade_hours,
+    double t_switch_hours);
+
+}  // namespace rascal::models

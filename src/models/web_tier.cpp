@@ -1,0 +1,88 @@
+#include "models/web_tier.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "core/units.h"
+#include "models/app_server.h"
+#include "models/hadb_pair.h"
+
+namespace rascal::models {
+
+ctmc::SymbolicCtmc web_tier_model(std::size_t servers) {
+  if (servers == 0) {
+    throw std::invalid_argument("web_tier_model: needs at least 1 server");
+  }
+  ctmc::SymbolicCtmc m;
+  // State k = k servers down; serving while k < n.
+  for (std::size_t k = 0; k <= servers; ++k) {
+    m.state(k == 0 ? "All_Up" : std::to_string(k) + "_Down",
+            k < servers ? 1.0 : 0.0);
+  }
+  const auto name = [&](std::size_t k) {
+    return k == 0 ? std::string("All_Up") : std::to_string(k) + "_Down";
+  };
+  for (std::size_t k = 0; k < servers; ++k) {
+    // Stateless tier: remaining servers fail independently, no
+    // acceleration; failed ones restart in parallel.
+    m.rate(name(k), name(k + 1),
+           std::to_string(servers - k) + "*web_La");
+    if (k > 0) {
+      m.rate(name(k), name(k - 1), std::to_string(k) + "/web_Tstart");
+    }
+  }
+  // Losing the whole tier needs operations to step in.
+  m.rate(name(servers), name(0), "1/web_Trestore");
+  return m;
+}
+
+expr::ParameterSet default_web_parameters() {
+  expr::ParameterSet p;
+  p.set("web_La", core::per_year(12.0));
+  p.set("web_Tstart", core::minutes(5.0));
+  p.set("web_Trestore", core::minutes(30.0));
+  return p;
+}
+
+core::HierarchicalModel jsas_with_web_model(const JsasConfig& config,
+                                            std::size_t web_servers) {
+  if (config.as_instances < 2 || config.hadb_pairs < 1) {
+    throw std::invalid_argument(
+        "jsas_with_web_model: needs >= 2 instances and >= 1 pair");
+  }
+  core::HierarchicalModel model;
+  model.add_submodel({"Web Tier",
+                      web_tier_model(web_servers),
+                      {{"La_web", core::ExportKind::kLambdaEq},
+                       {"Mu_web", core::ExportKind::kMuEq}},
+                      core::kDefaultUpThreshold});
+  model.add_submodel(
+      {"Appl Server",
+       config.as_instances == 2
+           ? app_server_two_instance_model()
+           : app_server_n_instance_model(config.as_instances),
+       {{"La_appl", core::ExportKind::kLambdaEq},
+        {"Mu_appl", core::ExportKind::kMuEq}},
+       core::kDefaultUpThreshold});
+  model.add_submodel({"HADB Node Pair",
+                      hadb_pair_model(),
+                      {{"La_hadb_pair", core::ExportKind::kLambdaEq},
+                       {"Mu_hadb_pair", core::ExportKind::kMuEq}},
+                      core::kDefaultUpThreshold});
+
+  ctmc::SymbolicCtmc root;
+  root.state("Ok", 1.0);
+  root.state("Web_Fail", 0.0);
+  root.state("AS_Fail", 0.0);
+  root.state("HADB_Fail", 0.0);
+  root.rate("Ok", "Web_Fail", "La_web");
+  root.rate("Web_Fail", "Ok", "Mu_web");
+  root.rate("Ok", "AS_Fail", "La_appl");
+  root.rate("AS_Fail", "Ok", "Mu_appl");
+  root.rate("Ok", "HADB_Fail", "N_pair*La_hadb_pair");
+  root.rate("HADB_Fail", "Ok", "Mu_hadb_pair");
+  model.set_root(std::move(root));
+  return model;
+}
+
+}  // namespace rascal::models

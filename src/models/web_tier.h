@@ -1,0 +1,37 @@
+// Extension: the web-server tier the paper leaves out of scope
+// ("failures of the following elements are not included in the model:
+// The web server tier ...") while noting the hierarchy could be
+// extended "to include more events and subsystems".  This model does
+// exactly that extension.
+//
+// The tier is stateless (the LBP keeps session affinity in cookies),
+// so a web server failure only removes capacity; the tier fails when
+// every server is down.  Serving resumes as soon as one restarts.
+#pragma once
+
+#include <cstddef>
+
+#include "core/hierarchy.h"
+#include "ctmc/builder.h"
+#include "expr/parameter_set.h"
+#include "models/jsas_system.h"
+
+namespace rascal::models {
+
+/// Parameters: web_La (failure rate per server), web_Tstart (restart
+/// time), web_Trestore (manual tier restore).  States count down
+/// servers 0..n; reward 0 only when all are down.  Stateless servers
+/// restart independently, so no workload acceleration applies.
+/// Throws std::invalid_argument for n == 0.
+[[nodiscard]] ctmc::SymbolicCtmc web_tier_model(std::size_t servers);
+
+/// Conservative defaults for the web tier: 12 failures/server-year,
+/// 5-minute automatic restart, 30-minute manual tier restore.
+[[nodiscard]] expr::ParameterSet default_web_parameters();
+
+/// Full three-submodel hierarchy: web tier + AS cluster + HADB pairs
+/// under a four-state root (Ok, Web_Fail, AS_Fail, HADB_Fail).
+[[nodiscard]] core::HierarchicalModel jsas_with_web_model(
+    const JsasConfig& config, std::size_t web_servers);
+
+}  // namespace rascal::models

@@ -1,0 +1,196 @@
+#include "rbd/block.h"
+
+#include <stdexcept>
+
+#include "ctmc/builder.h"
+#include "ctmc/compose.h"
+
+namespace rascal::rbd {
+
+namespace {
+
+class ComponentBlock final : public Block {
+ public:
+  ComponentBlock(std::string name, double failure_rate, double repair_rate)
+      : name_(std::move(name)),
+        failure_rate_(failure_rate),
+        repair_rate_(repair_rate) {
+    if (!(failure_rate > 0.0) || !(repair_rate > 0.0)) {
+      throw std::invalid_argument("rbd::component: rates must be > 0");
+    }
+  }
+  [[nodiscard]] BlockKind kind() const override {
+    return BlockKind::kComponent;
+  }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] double availability() const override {
+    return repair_rate_ / (failure_rate_ + repair_rate_);
+  }
+  void collect_components(std::vector<const Block*>& out) const override {
+    out.push_back(this);
+  }
+  [[nodiscard]] bool evaluate(const std::vector<bool>& leaf_up,
+                              std::size_t& leaf_index) const override {
+    return leaf_up.at(leaf_index++);
+  }
+
+  [[nodiscard]] double failure_rate() const noexcept { return failure_rate_; }
+  [[nodiscard]] double repair_rate() const noexcept { return repair_rate_; }
+
+ private:
+  std::string name_;
+  double failure_rate_;
+  double repair_rate_;
+};
+
+class CompositeBlock final : public Block {
+ public:
+  CompositeBlock(BlockKind kind, std::string name, std::size_t k,
+                 std::vector<BlockPtr> children)
+      : kind_(kind), name_(std::move(name)), k_(k),
+        children_(std::move(children)) {
+    if (children_.empty()) {
+      throw std::invalid_argument("rbd: composite block with no children");
+    }
+    for (const BlockPtr& child : children_) {
+      if (!child) {
+        throw std::invalid_argument("rbd: null child block");
+      }
+    }
+    if (kind_ == BlockKind::kKofN &&
+        (k_ == 0 || k_ > children_.size())) {
+      throw std::invalid_argument("rbd::k_of_n: requires 1 <= k <= n");
+    }
+  }
+  [[nodiscard]] BlockKind kind() const override { return kind_; }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+  [[nodiscard]] double availability() const override {
+    switch (kind_) {
+      case BlockKind::kSeries: {
+        double a = 1.0;
+        for (const BlockPtr& child : children_) a *= child->availability();
+        return a;
+      }
+      case BlockKind::kParallel: {
+        double all_down = 1.0;
+        for (const BlockPtr& child : children_) {
+          all_down *= 1.0 - child->availability();
+        }
+        return 1.0 - all_down;
+      }
+      case BlockKind::kKofN: {
+        // DP over the distribution of the number of up children.
+        std::vector<double> up_count{1.0};
+        for (const BlockPtr& child : children_) {
+          const double a = child->availability();
+          std::vector<double> next(up_count.size() + 1, 0.0);
+          for (std::size_t u = 0; u < up_count.size(); ++u) {
+            next[u + 1] += up_count[u] * a;
+            next[u] += up_count[u] * (1.0 - a);
+          }
+          up_count = std::move(next);
+        }
+        double total = 0.0;
+        for (std::size_t u = k_; u < up_count.size(); ++u) {
+          total += up_count[u];
+        }
+        return total;
+      }
+      case BlockKind::kComponent: break;
+    }
+    throw std::logic_error("rbd: unreachable");
+  }
+
+  void collect_components(std::vector<const Block*>& out) const override {
+    for (const BlockPtr& child : children_) child->collect_components(out);
+  }
+
+  [[nodiscard]] bool evaluate(const std::vector<bool>& leaf_up,
+                              std::size_t& leaf_index) const override {
+    std::size_t up = 0;
+    // Children must always be evaluated (to advance leaf_index), so
+    // no short-circuiting.
+    for (const BlockPtr& child : children_) {
+      if (child->evaluate(leaf_up, leaf_index)) ++up;
+    }
+    switch (kind_) {
+      case BlockKind::kSeries: return up == children_.size();
+      case BlockKind::kParallel: return up >= 1;
+      case BlockKind::kKofN: return up >= k_;
+      case BlockKind::kComponent: break;
+    }
+    throw std::logic_error("rbd: unreachable");
+  }
+
+ private:
+  BlockKind kind_;
+  std::string name_;
+  std::size_t k_;
+  std::vector<BlockPtr> children_;
+};
+
+}  // namespace
+
+BlockPtr component(std::string name, double failure_rate,
+                   double repair_rate) {
+  return std::make_shared<ComponentBlock>(std::move(name), failure_rate,
+                                          repair_rate);
+}
+
+BlockPtr series(std::string name, std::vector<BlockPtr> children) {
+  return std::make_shared<CompositeBlock>(BlockKind::kSeries,
+                                          std::move(name), 0,
+                                          std::move(children));
+}
+
+BlockPtr parallel(std::string name, std::vector<BlockPtr> children) {
+  return std::make_shared<CompositeBlock>(BlockKind::kParallel,
+                                          std::move(name), 0,
+                                          std::move(children));
+}
+
+BlockPtr k_of_n(std::string name, std::size_t k,
+                std::vector<BlockPtr> children) {
+  return std::make_shared<CompositeBlock>(BlockKind::kKofN, std::move(name),
+                                          k, std::move(children));
+}
+
+ctmc::Ctmc to_ctmc(const BlockPtr& root) {
+  if (!root) {
+    throw std::invalid_argument("rbd::to_ctmc: null block");
+  }
+  std::vector<const Block*> leaves;
+  root->collect_components(leaves);
+
+  std::vector<ctmc::Ctmc> parts;
+  parts.reserve(leaves.size());
+  for (const Block* leaf : leaves) {
+    const auto* comp = dynamic_cast<const ComponentBlock*>(leaf);
+    if (comp == nullptr) {
+      throw std::logic_error("rbd::to_ctmc: non-component leaf");
+    }
+    ctmc::CtmcBuilder b;
+    const auto up = b.state(comp->name() + ":up", 1.0);
+    const auto down = b.state(comp->name() + ":down", 0.0);
+    b.rate(up, down, comp->failure_rate());
+    b.rate(down, up, comp->repair_rate());
+    parts.push_back(b.build());
+  }
+
+  // The composite reward applies the structure function to the
+  // component up/down pattern (component chains list "up" first, so
+  // reward >= 0.5 identifies the up state).
+  const ctmc::RewardCombiner combiner =
+      [root](const std::vector<double>& rewards) {
+        std::vector<bool> leaf_up(rewards.size());
+        for (std::size_t i = 0; i < rewards.size(); ++i) {
+          leaf_up[i] = rewards[i] >= 0.5;
+        }
+        std::size_t index = 0;
+        return root->evaluate(leaf_up, index) ? 1.0 : 0.0;
+      };
+  return ctmc::compose_independent(parts, combiner);
+}
+
+}  // namespace rascal::rbd

@@ -1,0 +1,65 @@
+// Reliability block diagrams (RBD): the classic combinatorial
+// availability formalism (SHARPE lineage).  Components are repairable
+// (lambda, mu) units assumed independent; structures are series,
+// parallel, and k-of-n compositions.
+//
+// RBDs are the static approximation of the paper's Markov models:
+// they cannot express workload acceleration, imperfect recovery, or
+// shared manual restores.  to_ctmc() embeds an RBD into the Markov
+// world (product chain + structure-function reward) so the tests can
+// quantify exactly what those dynamic effects add.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ctmc/ctmc.h"
+
+namespace rascal::rbd {
+
+class Block;
+using BlockPtr = std::shared_ptr<const Block>;
+
+enum class BlockKind { kComponent, kSeries, kParallel, kKofN };
+
+class Block {
+ public:
+  virtual ~Block() = default;
+  [[nodiscard]] virtual BlockKind kind() const = 0;
+  [[nodiscard]] virtual const std::string& name() const = 0;
+  /// Steady-state availability under component independence.
+  [[nodiscard]] virtual double availability() const = 0;
+  /// Leaf components in deterministic (left-to-right) order.
+  virtual void collect_components(std::vector<const Block*>& out) const = 0;
+  /// Structure function: is the block up given the leaf up/down
+  /// pattern?  `leaf_index` advances across the leaves in
+  /// collect_components order.
+  [[nodiscard]] virtual bool evaluate(const std::vector<bool>& leaf_up,
+                                      std::size_t& leaf_index) const = 0;
+};
+
+/// Repairable component with exponential failure/repair.
+/// Throws std::invalid_argument for non-positive rates.
+[[nodiscard]] BlockPtr component(std::string name, double failure_rate,
+                                 double repair_rate);
+
+/// Up iff every child is up.  Throws std::invalid_argument when empty.
+[[nodiscard]] BlockPtr series(std::string name,
+                              std::vector<BlockPtr> children);
+
+/// Up iff at least one child is up.
+[[nodiscard]] BlockPtr parallel(std::string name,
+                                std::vector<BlockPtr> children);
+
+/// Up iff at least k children are up (1 <= k <= n).
+[[nodiscard]] BlockPtr k_of_n(std::string name, std::size_t k,
+                              std::vector<BlockPtr> children);
+
+/// Embeds the RBD into a CTMC: the product of the component 2-state
+/// chains, with reward 1 exactly on markings where the structure
+/// function holds.  Component count is limited by the product-space
+/// guard (2^n states).  Throws std::runtime_error past ~20 leaves.
+[[nodiscard]] ctmc::Ctmc to_ctmc(const BlockPtr& root);
+
+}  // namespace rascal::rbd

@@ -1,0 +1,122 @@
+#include "rbd/cut_sets.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rascal::rbd {
+
+namespace {
+
+constexpr std::size_t kMaxLeaves = 20;
+
+std::vector<const Block*> leaves_of(const BlockPtr& root) {
+  if (!root) {
+    throw std::invalid_argument("rbd analysis: null block");
+  }
+  std::vector<const Block*> leaves;
+  root->collect_components(leaves);
+  if (leaves.size() > kMaxLeaves) {
+    throw std::runtime_error(
+        "rbd analysis: too many components for exact enumeration");
+  }
+  return leaves;
+}
+
+bool system_up(const BlockPtr& root, const std::vector<bool>& leaf_up) {
+  std::size_t index = 0;
+  return root->evaluate(leaf_up, index);
+}
+
+}  // namespace
+
+std::vector<std::vector<std::string>> minimal_cut_sets(
+    const BlockPtr& root) {
+  const auto leaves = leaves_of(root);
+  const std::size_t n = leaves.size();
+
+  // A cut set is a set of failed components that downs the system
+  // with everything else up.  Scan by cardinality so supersets of an
+  // already-found cut can be skipped (minimality).
+  std::vector<std::uint32_t> minimal_masks;
+  const std::uint32_t all = n == 32 ? 0xffffffffu : ((1u << n) - 1u);
+  for (std::size_t size = 1; size <= n; ++size) {
+    for (std::uint32_t mask = 1; mask <= all; ++mask) {
+      if (static_cast<std::size_t>(__builtin_popcount(mask)) != size) {
+        continue;
+      }
+      bool superset = false;
+      for (std::uint32_t found : minimal_masks) {
+        if ((mask & found) == found) {
+          superset = true;
+          break;
+        }
+      }
+      if (superset) continue;
+      std::vector<bool> leaf_up(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        leaf_up[i] = (mask & (1u << i)) == 0;
+      }
+      if (!system_up(root, leaf_up)) minimal_masks.push_back(mask);
+    }
+  }
+
+  std::vector<std::vector<std::string>> cut_sets;
+  cut_sets.reserve(minimal_masks.size());
+  for (std::uint32_t mask : minimal_masks) {
+    std::vector<std::string> names;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) names.push_back(leaves[i]->name());
+    }
+    cut_sets.push_back(std::move(names));
+  }
+  return cut_sets;
+}
+
+std::vector<ImportanceEntry> component_importance(const BlockPtr& root) {
+  const auto leaves = leaves_of(root);
+  const std::size_t n = leaves.size();
+
+  // P(system up | leaf i forced up/down), exactly, by enumerating the
+  // other leaves weighted by their availabilities.
+  std::vector<double> availability(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    availability[i] = leaves[i]->availability();
+  }
+  const auto conditional_up = [&](std::size_t fixed, bool up) {
+    double total = 0.0;
+    for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+      std::vector<bool> leaf_up(n);
+      double weight = 1.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        leaf_up[i] = (mask & (1u << i)) != 0;
+        if (i == fixed) continue;
+        weight *= leaf_up[i] ? availability[i] : 1.0 - availability[i];
+      }
+      if (leaf_up[fixed] != up) continue;
+      if (system_up(root, leaf_up)) total += weight;
+    }
+    return total;
+  };
+
+  const double system_unavailability = 1.0 - root->availability();
+  std::vector<ImportanceEntry> entries;
+  entries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ImportanceEntry entry;
+    entry.component = leaves[i]->name();
+    entry.birnbaum = conditional_up(i, true) - conditional_up(i, false);
+    entry.criticality =
+        system_unavailability > 0.0
+            ? entry.birnbaum * (1.0 - availability[i]) /
+                  system_unavailability
+            : 0.0;
+    entries.push_back(std::move(entry));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const ImportanceEntry& a, const ImportanceEntry& b) {
+              return a.birnbaum > b.birnbaum;
+            });
+  return entries;
+}
+
+}  // namespace rascal::rbd

@@ -1,0 +1,40 @@
+// Qualitative and importance analysis on reliability block diagrams:
+//
+//  * minimal cut sets — the irreducible combinations of component
+//    failures that take the system down (here: {AS1, AS2}, {N1, N2},
+//    {N3, N4} for the paper's Config 1 structure);
+//  * Birnbaum importance I_i = P(system up | i up) - P(system up | i
+//    down): how much the system availability responds to component i;
+//  * criticality importance — Birnbaum weighted by the component's
+//    own unavailability relative to the system's.
+//
+// Both are computed exactly from the structure function; the
+// implementation enumerates component subsets and is intended for
+// diagram-sized systems (<= ~20 leaves).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rbd/block.h"
+
+namespace rascal::rbd {
+
+/// Minimal cut sets as lists of leaf names (leaf order =
+/// collect_components order).  Throws std::invalid_argument for null
+/// blocks and std::runtime_error beyond 20 leaves.
+[[nodiscard]] std::vector<std::vector<std::string>> minimal_cut_sets(
+    const BlockPtr& root);
+
+struct ImportanceEntry {
+  std::string component;
+  double birnbaum = 0.0;     // dA_sys / dA_i
+  double criticality = 0.0;  // birnbaum * U_i / U_sys
+};
+
+/// Exact importance measures for every leaf, sorted by descending
+/// Birnbaum value.
+[[nodiscard]] std::vector<ImportanceEntry> component_importance(
+    const BlockPtr& root);
+
+}  // namespace rascal::rbd

@@ -1,0 +1,93 @@
+#include "report/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace rascal::report {
+
+namespace {
+
+struct Bounds {
+  double x_min, x_max, y_min, y_max;
+};
+
+Bounds bounds_of(const std::vector<double>& xs, const std::vector<double>& ys) {
+  Bounds b{xs[0], xs[0], ys[0], ys[0]};
+  for (double x : xs) {
+    b.x_min = std::min(b.x_min, x);
+    b.x_max = std::max(b.x_max, x);
+  }
+  for (double y : ys) {
+    b.y_min = std::min(b.y_min, y);
+    b.y_max = std::max(b.y_max, y);
+  }
+  // Degenerate ranges render as a centered band.
+  if (b.x_min == b.x_max) {
+    b.x_min -= 0.5;
+    b.x_max += 0.5;
+  }
+  if (b.y_min == b.y_max) {
+    b.y_min -= 0.5;
+    b.y_max += 0.5;
+  }
+  return b;
+}
+
+std::string render(const std::vector<double>& xs, const std::vector<double>& ys,
+                   const PlotOptions& options, char mark) {
+  if (xs.empty() || xs.size() != ys.size()) {
+    throw std::invalid_argument("plot: xs/ys must be equal-length, non-empty");
+  }
+  const std::size_t w = std::max<std::size_t>(options.width, 16);
+  const std::size_t h = std::max<std::size_t>(options.height, 6);
+  const Bounds b = bounds_of(xs, ys);
+
+  std::vector<std::string> grid(h, std::string(w, ' '));
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double fx = (xs[i] - b.x_min) / (b.x_max - b.x_min);
+    const double fy = (ys[i] - b.y_min) / (b.y_max - b.y_min);
+    const auto col = static_cast<std::size_t>(
+        std::lround(fx * static_cast<double>(w - 1)));
+    const auto row = static_cast<std::size_t>(
+        std::lround((1.0 - fy) * static_cast<double>(h - 1)));
+    grid[row][col] = mark;
+  }
+
+  std::ostringstream os;
+  if (!options.title.empty()) os << options.title << "\n";
+  if (!options.y_label.empty()) os << options.y_label << "\n";
+  const auto y_tick = [&](std::size_t row) {
+    const double fy =
+        1.0 - static_cast<double>(row) / static_cast<double>(h - 1);
+    return b.y_min + fy * (b.y_max - b.y_min);
+  };
+  for (std::size_t row = 0; row < h; ++row) {
+    os << std::setw(12) << std::setprecision(7) << y_tick(row) << " |"
+       << grid[row] << "\n";
+  }
+  os << std::string(13, ' ') << "+" << std::string(w, '-') << "\n";
+  os << std::string(14, ' ') << std::setprecision(6) << b.x_min
+     << std::string(w > 24 ? w - 24 : 1, ' ') << b.x_max;
+  if (!options.x_label.empty()) os << "  " << options.x_label;
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string line_plot(const std::vector<double>& xs,
+                      const std::vector<double>& ys,
+                      const PlotOptions& options) {
+  return render(xs, ys, options, '*');
+}
+
+std::string scatter_plot(const std::vector<double>& xs,
+                         const std::vector<double>& ys,
+                         const PlotOptions& options) {
+  return render(xs, ys, options, '.');
+}
+
+}  // namespace rascal::report

@@ -1,0 +1,29 @@
+// Terminal plots: line charts for the parametric sweeps (Figures 5-6)
+// and scatter charts for the uncertainty snapshots (Figures 7-8).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rascal::report {
+
+struct PlotOptions {
+  std::size_t width = 72;   // plot area columns
+  std::size_t height = 20;  // plot area rows
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Line plot of y over x.  xs and ys must be equal-length and
+/// non-empty; throws std::invalid_argument otherwise.
+[[nodiscard]] std::string line_plot(const std::vector<double>& xs,
+                                    const std::vector<double>& ys,
+                                    const PlotOptions& options = {});
+
+/// Scatter plot of (x, y) points.
+[[nodiscard]] std::string scatter_plot(const std::vector<double>& xs,
+                                       const std::vector<double>& ys,
+                                       const PlotOptions& options = {});
+
+}  // namespace rascal::report

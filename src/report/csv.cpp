@@ -1,0 +1,44 @@
+#include "report/csv.h"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace rascal::report {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+void write_row(std::ostream& os, const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    os << csv_escape(row[i]);
+    if (i + 1 < row.size()) os << ',';
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+void write_csv(std::ostream& os, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows) {
+  write_row(os, header);
+  for (const auto& row : rows) {
+    if (row.size() != header.size()) {
+      throw std::invalid_argument("write_csv: row arity mismatch");
+    }
+    write_row(os, row);
+  }
+}
+
+}  // namespace rascal::report

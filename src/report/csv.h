@@ -1,0 +1,19 @@
+// Minimal CSV emission (RFC 4180 quoting) for exporting sweep and
+// uncertainty results to external plotting tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rascal::report {
+
+/// Quotes a field when it contains a comma, quote, or newline.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+/// Writes a header plus rows.  Throws std::invalid_argument when a
+/// row's arity differs from the header's.
+void write_csv(std::ostream& os, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace rascal::report

@@ -1,0 +1,38 @@
+// Plain-text tables, used by the bench harness to print the paper's
+// Tables 2 and 3 alongside our measured values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rascal::report {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds a row; must have the same arity as the header.  Throws
+  /// std::invalid_argument otherwise.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column-aligned cells and a header rule.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats an availability as a percentage with `decimals` fractional
+/// digits, e.g. format_percent(0.9999933, 5) == "99.99933%".
+[[nodiscard]] std::string format_percent(double value, int decimals);
+
+/// Fixed-precision decimal.
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+
+/// Significant-figure formatting for wide-range values.
+[[nodiscard]] std::string format_general(double value, int significant);
+
+}  // namespace rascal::report

@@ -1,0 +1,86 @@
+#include "sim/ctmc_simulator.h"
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "core/units.h"
+
+namespace rascal::sim {
+
+CtmcSimResult simulate_ctmc(const ctmc::Ctmc& chain,
+                            const CtmcSimOptions& options,
+                            double up_threshold) {
+  if (options.replications == 0 || !(options.duration > 0.0)) {
+    throw std::invalid_argument("simulate_ctmc: bad options");
+  }
+  if (options.initial_state >= chain.num_states()) {
+    throw std::invalid_argument("simulate_ctmc: initial state out of range");
+  }
+
+  // Per-state outgoing transition tables for O(out-degree) sampling.
+  std::vector<std::vector<const ctmc::Transition*>> outgoing(
+      chain.num_states());
+  for (const ctmc::Transition& t : chain.transitions()) {
+    outgoing[t.from].push_back(&t);
+  }
+  std::vector<bool> up(chain.num_states());
+  for (ctmc::StateId s = 0; s < chain.num_states(); ++s) {
+    up[s] = chain.reward(s) >= up_threshold;
+  }
+
+  CtmcSimResult result;
+  stats::RandomEngine root(options.seed);
+  for (std::size_t rep = 0; rep < options.replications; ++rep) {
+    stats::RandomEngine rng = root.split(rep);
+    ctmc::StateId state = options.initial_state;
+    double t = 0.0;
+    double up_time = 0.0;
+    while (t < options.duration) {
+      const double exit = chain.exit_rate(state);
+      double hold;
+      if (exit <= 0.0) {
+        hold = options.duration - t;  // absorbing state
+      } else {
+        hold = rng.exponential(exit);
+      }
+      const double slice = std::min(hold, options.duration - t);
+      if (up[state]) up_time += slice;
+      t += hold;
+      if (t >= options.duration || exit <= 0.0) break;
+
+      // Choose the successor proportionally to its rate.
+      double pick = rng.uniform01() * exit;
+      const ctmc::Transition* chosen = outgoing[state].back();
+      for (const ctmc::Transition* tr : outgoing[state]) {
+        if (pick < tr->rate) {
+          chosen = tr;
+          break;
+        }
+        pick -= tr->rate;
+      }
+      if (up[state] && !up[chosen->to]) ++result.total_failures;
+      state = chosen->to;
+      ++result.total_transitions;
+    }
+    const double observed = up_time / options.duration;
+    result.per_replication_availability.add(observed);
+    result.replication_availabilities.push_back(observed);
+  }
+
+  result.availability = result.per_replication_availability.mean();
+  result.availability_ci95 =
+      stats::mean_confidence_interval(result.per_replication_availability,
+                                      0.95);
+  result.downtime_minutes_per_year =
+      core::downtime_minutes_per_year(1.0 - result.availability);
+  const double total_time =
+      options.duration * static_cast<double>(options.replications);
+  result.mtbf_hours =
+      result.total_failures > 0
+          ? total_time / static_cast<double>(result.total_failures)
+          : std::numeric_limits<double>::infinity();
+  return result;
+}
+
+}  // namespace rascal::sim

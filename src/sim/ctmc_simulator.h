@@ -1,0 +1,43 @@
+// Monte-Carlo simulation of a CTMC trajectory.  Statistically checks
+// the analytic steady-state solvers: long-run reward-weighted time
+// fractions must converge to the solver's availability.
+#pragma once
+
+#include <cstdint>
+
+#include "ctmc/ctmc.h"
+#include "stats/rng.h"
+#include "stats/summary.h"
+
+namespace rascal::sim {
+
+struct CtmcSimOptions {
+  double duration = 1e6;          // simulated hours per replication
+  std::size_t replications = 10;
+  std::uint64_t seed = 42;
+  ctmc::StateId initial_state = 0;
+};
+
+struct CtmcSimResult {
+  double availability = 0.0;       // mean over replications
+  stats::Interval availability_ci95;
+  double downtime_minutes_per_year = 0.0;
+  double mtbf_hours = 0.0;           // duration / system failures
+  std::uint64_t total_failures = 0;  // up -> down crossings observed
+  std::uint64_t total_transitions = 0;
+  stats::Summary per_replication_availability;
+  // Observed interval availability of each replication (fraction of
+  // the horizon spent up) — the empirical interval-availability
+  // distribution over missions of length `duration`.
+  std::vector<double> replication_availabilities;
+};
+
+/// Simulates the chain with the embedded-jump method (exponential
+/// holding times, categorical successor choice).  `up_threshold`
+/// separates up from down states as in core::availability_metrics.
+/// Throws std::invalid_argument on empty options or bad initial state.
+[[nodiscard]] CtmcSimResult simulate_ctmc(const ctmc::Ctmc& chain,
+                                          const CtmcSimOptions& options = {},
+                                          double up_threshold = 0.5);
+
+}  // namespace rascal::sim

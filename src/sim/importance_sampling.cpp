@@ -1,0 +1,192 @@
+#include "sim/importance_sampling.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/units.h"
+#include "stats/rng.h"
+
+namespace rascal::sim {
+
+FailurePredicate default_failure_predicate(double rate_fraction) {
+  return [rate_fraction](const ctmc::Ctmc& chain,
+                         const ctmc::Transition& t) {
+    return t.rate < rate_fraction * chain.exit_rate(t.from);
+  };
+}
+
+namespace {
+
+struct Outgoing {
+  const ctmc::Transition* transition = nullptr;
+  double original_probability = 0.0;
+  double biased_probability = 0.0;
+};
+
+// Per-state jump tables with original and biased embedded-chain
+// probabilities.
+std::vector<std::vector<Outgoing>> build_jump_tables(
+    const ctmc::Ctmc& chain, const ImportanceSamplingOptions& options,
+    const FailurePredicate& is_failure) {
+  std::vector<std::vector<Outgoing>> tables(chain.num_states());
+  for (const ctmc::Transition& t : chain.transitions()) {
+    tables[t.from].push_back(
+        {&t, t.rate / chain.exit_rate(t.from), 0.0});
+  }
+  for (ctmc::StateId s = 0; s < chain.num_states(); ++s) {
+    auto& table = tables[s];
+    const bool is_up = chain.reward(s) >= options.up_threshold;
+
+    double failure_mass = 0.0;
+    for (const Outgoing& out : table) {
+      if (is_failure(chain, *out.transition)) {
+        failure_mass += out.original_probability;
+      }
+    }
+    const bool biasable = is_up && options.failure_bias > 0.0 &&
+                          failure_mass > 0.0 && failure_mass < 1.0;
+    for (Outgoing& out : table) {
+      if (!biasable) {
+        out.biased_probability = out.original_probability;
+        continue;
+      }
+      // Balanced failure biasing: the failure group gets probability
+      // `failure_bias`, split proportionally; likewise the rest.
+      if (is_failure(chain, *out.transition)) {
+        out.biased_probability = options.failure_bias *
+                                 out.original_probability / failure_mass;
+      } else {
+        out.biased_probability = (1.0 - options.failure_bias) *
+                                 out.original_probability /
+                                 (1.0 - failure_mass);
+      }
+    }
+  }
+  return tables;
+}
+
+struct Cycle {
+  double weighted_downtime = 0.0;  // W * D
+  double length = 0.0;             // T (unweighted)
+  bool saw_downtime = false;
+};
+
+Cycle run_cycle(const ctmc::Ctmc& chain,
+                const std::vector<std::vector<Outgoing>>& tables,
+                const ImportanceSamplingOptions& options, bool biased,
+                stats::RandomEngine& rng) {
+  Cycle cycle;
+  ctmc::StateId state = options.regeneration_state;
+  double weight = 1.0;
+  double downtime = 0.0;
+  std::size_t jumps = 0;
+  while (true) {
+    const double exit = chain.exit_rate(state);
+    if (exit <= 0.0) {
+      throw std::domain_error(
+          "estimate_unavailability: absorbing state '" +
+          chain.state_name(state) + "' breaks the regenerative structure");
+    }
+    const double hold = rng.exponential(exit);
+    cycle.length += hold;
+    if (chain.reward(state) < options.up_threshold) {
+      downtime += hold;
+      cycle.saw_downtime = true;
+    }
+
+    const auto& table = tables[state];
+    double pick = rng.uniform01();
+    const Outgoing* chosen = &table.back();
+    for (const Outgoing& out : table) {
+      const double p =
+          biased ? out.biased_probability : out.original_probability;
+      if (pick < p) {
+        chosen = &out;
+        break;
+      }
+      pick -= p;
+    }
+    if (biased) {
+      weight *=
+          chosen->original_probability / chosen->biased_probability;
+    }
+    state = chosen->transition->to;
+    if (state == options.regeneration_state) break;
+    if (++jumps > options.max_jumps_per_cycle) {
+      throw std::runtime_error(
+          "estimate_unavailability: cycle exceeded max_jumps_per_cycle "
+          "(regeneration state not revisited)");
+    }
+  }
+  cycle.weighted_downtime = weight * downtime;
+  return cycle;
+}
+
+}  // namespace
+
+ImportanceSamplingResult estimate_unavailability(
+    const ctmc::Ctmc& chain, const ImportanceSamplingOptions& options) {
+  if (options.cycles == 0 || options.plain_cycles == 0) {
+    throw std::invalid_argument("estimate_unavailability: zero cycles");
+  }
+  if (options.regeneration_state >= chain.num_states()) {
+    throw std::invalid_argument(
+        "estimate_unavailability: regeneration state out of range");
+  }
+  if (chain.reward(options.regeneration_state) < options.up_threshold) {
+    throw std::invalid_argument(
+        "estimate_unavailability: regeneration state must be up");
+  }
+  if (options.failure_bias < 0.0 || options.failure_bias >= 1.0) {
+    throw std::invalid_argument(
+        "estimate_unavailability: failure_bias outside [0, 1)");
+  }
+  const FailurePredicate is_failure =
+      options.is_failure ? options.is_failure : default_failure_predicate();
+  const auto tables = build_jump_tables(chain, options, is_failure);
+
+  stats::RandomEngine root(options.seed);
+  stats::RandomEngine rng_biased = root.split(1);
+  stats::RandomEngine rng_plain = root.split(2);
+
+  ImportanceSamplingResult result;
+  stats::Summary weighted_downtime;
+  for (std::size_t i = 0; i < options.cycles; ++i) {
+    const Cycle cycle =
+        run_cycle(chain, tables, options, /*biased=*/true, rng_biased);
+    weighted_downtime.add(cycle.weighted_downtime);
+    if (cycle.saw_downtime) ++result.cycles_observing_downtime;
+  }
+  stats::Summary cycle_length;
+  for (std::size_t i = 0; i < options.plain_cycles; ++i) {
+    cycle_length.add(
+        run_cycle(chain, tables, options, /*biased=*/false, rng_plain)
+            .length);
+  }
+
+  const double numerator = weighted_downtime.mean();
+  const double denominator = cycle_length.mean();
+  const double estimate = numerator / denominator;
+  result.unavailability = estimate;
+  result.downtime_minutes_per_year =
+      core::downtime_minutes_per_year(estimate);
+  result.mean_cycle_length_hours = denominator;
+
+  // Delta-method variance of the ratio of independent sample means.
+  const double var_ratio =
+      (weighted_downtime.standard_error() *
+           weighted_downtime.standard_error() +
+       estimate * estimate * cycle_length.standard_error() *
+           cycle_length.standard_error()) /
+      (denominator * denominator);
+  const double half_width = 1.959964 * std::sqrt(var_ratio);
+  result.unavailability_ci95 = {estimate - half_width,
+                                estimate + half_width};
+  result.relative_half_width =
+      estimate > 0.0 ? half_width / estimate
+                     : std::numeric_limits<double>::infinity();
+  return result;
+}
+
+}  // namespace rascal::sim

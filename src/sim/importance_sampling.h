@@ -1,0 +1,71 @@
+// Rare-event estimation of steady-state unavailability by
+// regenerative simulation with failure biasing.
+//
+// Plain trajectory simulation of a five-9s system wastes almost all
+// of its samples on uneventful up-time: at Config-1 rates, a simulated
+// *century* sees ~10 outages.  The classic fix (Goyal, Shahabuddin,
+// et al.) is
+//
+//   * regenerative structure: the process restarts statistically at
+//     every visit to the all-up state, so unavailability =
+//     E[down time per cycle] / E[cycle length];
+//   * measure-specific importance sampling: estimate the numerator
+//     under *failure-biased* dynamics — the embedded jump chain is
+//     steered toward failure transitions, and each cycle is weighted
+//     by its likelihood ratio — while the denominator (dominated by
+//     ordinary up-time) is estimated under the original measure.
+//
+// Only the jump choices are biased; holding times keep their original
+// exponential distributions, so the likelihood ratio is a product of
+// per-jump probability ratios.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "ctmc/ctmc.h"
+#include "stats/summary.h"
+
+namespace rascal::sim {
+
+/// Classifies a transition as a "failure" move to be boosted.  The
+/// default heuristic treats a transition as a failure when its rate
+/// is a small fraction of its source state's total exit rate — in
+/// availability models repairs are orders of magnitude faster than
+/// failures, so the split is unambiguous.
+using FailurePredicate =
+    std::function<bool(const ctmc::Ctmc&, const ctmc::Transition&)>;
+
+[[nodiscard]] FailurePredicate default_failure_predicate(
+    double rate_fraction = 0.05);
+
+struct ImportanceSamplingOptions {
+  std::size_t cycles = 20000;        // biased cycles (numerator)
+  std::size_t plain_cycles = 20000;  // unbiased cycles (denominator)
+  std::uint64_t seed = 271828;
+  ctmc::StateId regeneration_state = 0;  // must be an up state
+  double up_threshold = 0.5;
+  /// Probability mass given to the failure group at each biased jump
+  /// (balanced failure biasing).  0.5 is the standard choice; 0
+  /// disables biasing entirely.
+  double failure_bias = 0.5;
+  FailurePredicate is_failure;  // default_failure_predicate() when empty
+  std::size_t max_jumps_per_cycle = 1000000;  // runaway guard
+};
+
+struct ImportanceSamplingResult {
+  double unavailability = 0.0;
+  stats::Interval unavailability_ci95;
+  double downtime_minutes_per_year = 0.0;
+  double mean_cycle_length_hours = 0.0;
+  std::size_t cycles_observing_downtime = 0;
+  double relative_half_width = 0.0;  // CI half-width / estimate
+};
+
+/// Estimates the steady-state unavailability of `chain`.  Throws
+/// std::invalid_argument for bad options (zero cycles, regeneration
+/// state out of range or not an up state, bias outside [0, 1)).
+[[nodiscard]] ImportanceSamplingResult estimate_unavailability(
+    const ctmc::Ctmc& chain, const ImportanceSamplingOptions& options = {});
+
+}  // namespace rascal::sim

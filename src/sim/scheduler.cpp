@@ -1,0 +1,49 @@
+#include "sim/scheduler.h"
+
+#include <stdexcept>
+
+namespace rascal::sim {
+
+EventId Scheduler::schedule_at(double at, EventAction action) {
+  if (at < now_) {
+    throw std::invalid_argument("Scheduler: cannot schedule in the past");
+  }
+  const EventId id = next_id_++;
+  queue_.push({at, id, std::move(action)});
+  return id;
+}
+
+EventId Scheduler::schedule_after(double delay, EventAction action) {
+  if (delay < 0.0) {
+    throw std::invalid_argument("Scheduler: negative delay");
+  }
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+bool Scheduler::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  return cancelled_.insert(id).second;
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(entry.id) > 0) continue;
+    now_ = entry.time;
+    entry.action();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run_until(double until) {
+  while (!queue_.empty()) {
+    if (queue_.top().time > until) break;
+    // step() may push new events; the loop re-checks the horizon.
+    if (!step()) break;
+  }
+  if (now_ < until) now_ = until;
+}
+
+}  // namespace rascal::sim

@@ -1,0 +1,61 @@
+// Discrete-event simulation core: a time-ordered event calendar with
+// cancellation.  Ties break in schedule order, so runs are fully
+// deterministic given a seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace rascal::sim {
+
+using EventId = std::uint64_t;
+using EventAction = std::function<void()>;
+
+class Scheduler {
+ public:
+  /// Schedules `action` at absolute time `at` (>= now).  Returns an id
+  /// usable with cancel().  Throws std::invalid_argument for the past.
+  EventId schedule_at(double at, EventAction action);
+
+  /// Schedules `action` after `delay` (>= 0).
+  EventId schedule_after(double delay, EventAction action);
+
+  /// Cancels a pending event; cancelling an already-fired or unknown
+  /// id is a no-op (returns false).
+  bool cancel(EventId id);
+
+  /// Runs events in time order until the calendar is empty or the
+  /// next event is later than `until`; the clock then rests at
+  /// `until` (or the last event time when the calendar drained).
+  void run_until(double until);
+
+  /// Runs a single event; returns false when the calendar is empty.
+  bool step();
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return queue_.size() - cancelled_.size();
+  }
+
+ private:
+  struct Entry {
+    double time = 0.0;
+    EventId id = 0;
+    EventAction action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return a.time != b.time ? a.time > b.time : a.id > b.id;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+  double now_ = 0.0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace rascal::sim

@@ -1,0 +1,310 @@
+#include "stats/distributions.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/special_functions.h"
+
+namespace rascal::stats {
+
+namespace {
+
+void require(bool ok, const char* message) {
+  if (!ok) throw std::invalid_argument(message);
+}
+
+void require_probability_open(double p) {
+  if (!(p > 0.0) || !(p < 1.0)) {
+    throw std::domain_error("quantile: p outside (0, 1)");
+  }
+}
+
+}  // namespace
+
+double Distribution::sample(RandomEngine& rng) const {
+  return quantile(std::max(rng.uniform01(), 1e-300));
+}
+
+// ---------------------------------------------------------------- Exponential
+
+Exponential::Exponential(double rate) : rate_(rate) {
+  require(rate > 0.0, "Exponential: rate must be > 0");
+}
+
+double Exponential::pdf(double x) const {
+  return x < 0.0 ? 0.0 : rate_ * std::exp(-rate_ * x);
+}
+
+double Exponential::cdf(double x) const {
+  return x < 0.0 ? 0.0 : -std::expm1(-rate_ * x);
+}
+
+double Exponential::quantile(double p) const {
+  require_probability_open(p);
+  return -std::log1p(-p) / rate_;
+}
+
+double Exponential::sample(RandomEngine& rng) const {
+  return rng.exponential(rate_);
+}
+
+// -------------------------------------------------------------------- Uniform
+
+Uniform::Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
+  require(lo < hi, "Uniform: requires lo < hi");
+}
+
+double Uniform::pdf(double x) const {
+  return (x < lo_ || x > hi_) ? 0.0 : 1.0 / (hi_ - lo_);
+}
+
+double Uniform::cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  return (x - lo_) / (hi_ - lo_);
+}
+
+double Uniform::quantile(double p) const {
+  require_probability_open(p);
+  return lo_ + p * (hi_ - lo_);
+}
+
+// --------------------------------------------------------------------- Normal
+
+Normal::Normal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  require(sigma > 0.0, "Normal: sigma must be > 0");
+}
+
+double Normal::pdf(double x) const {
+  const double z = (x - mu_) / sigma_;
+  return std::exp(-0.5 * z * z) / (sigma_ * std::sqrt(2.0 * M_PI));
+}
+
+double Normal::cdf(double x) const {
+  return standard_normal_cdf((x - mu_) / sigma_);
+}
+
+double Normal::quantile(double p) const {
+  require_probability_open(p);
+  return mu_ + sigma_ * standard_normal_quantile(p);
+}
+
+// ------------------------------------------------------------------ LogNormal
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  require(sigma > 0.0, "LogNormal: sigma must be > 0");
+}
+
+double LogNormal::pdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double z = (std::log(x) - mu_) / sigma_;
+  return std::exp(-0.5 * z * z) / (x * sigma_ * std::sqrt(2.0 * M_PI));
+}
+
+double LogNormal::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return standard_normal_cdf((std::log(x) - mu_) / sigma_);
+}
+
+double LogNormal::quantile(double p) const {
+  require_probability_open(p);
+  return std::exp(mu_ + sigma_ * standard_normal_quantile(p));
+}
+
+double LogNormal::mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+double LogNormal::variance() const {
+  const double s2 = sigma_ * sigma_;
+  return (std::exp(s2) - 1.0) * std::exp(2.0 * mu_ + s2);
+}
+
+// ---------------------------------------------------------------------- Gamma
+
+Gamma::Gamma(double shape, double rate) : shape_(shape), rate_(rate) {
+  require(shape > 0.0 && rate > 0.0, "Gamma: shape and rate must be > 0");
+}
+
+double Gamma::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) return shape_ < 1.0 ? std::numeric_limits<double>::infinity()
+                                    : (shape_ == 1.0 ? rate_ : 0.0);
+  const double log_pdf = shape_ * std::log(rate_) +
+                         (shape_ - 1.0) * std::log(x) - rate_ * x -
+                         log_gamma(shape_);
+  return std::exp(log_pdf);
+}
+
+double Gamma::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return regularized_gamma_p(shape_, rate_ * x);
+}
+
+double Gamma::quantile(double p) const {
+  require_probability_open(p);
+  return inverse_regularized_gamma_p(shape_, p) / rate_;
+}
+
+double Gamma::sample(RandomEngine& rng) const {
+  return std::gamma_distribution<double>{shape_, 1.0 / rate_}(rng.raw());
+}
+
+// ------------------------------------------------------------------ ChiSquare
+
+ChiSquare::ChiSquare(double degrees_of_freedom) : dof_(degrees_of_freedom) {
+  require(dof_ > 0.0, "ChiSquare: degrees of freedom must be > 0");
+}
+
+double ChiSquare::pdf(double x) const {
+  return Gamma(dof_ / 2.0, 0.5).pdf(x);
+}
+
+double ChiSquare::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return regularized_gamma_p(dof_ / 2.0, x / 2.0);
+}
+
+double ChiSquare::quantile(double p) const {
+  require_probability_open(p);
+  return 2.0 * inverse_regularized_gamma_p(dof_ / 2.0, p);
+}
+
+// -------------------------------------------------------------------- FisherF
+
+FisherF::FisherF(double d1, double d2) : d1_(d1), d2_(d2) {
+  require(d1 > 0.0 && d2 > 0.0, "FisherF: degrees of freedom must be > 0");
+}
+
+double FisherF::pdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double log_pdf =
+      0.5 * (d1_ * std::log(d1_ * x) + d2_ * std::log(d2_) -
+             (d1_ + d2_) * std::log(d1_ * x + d2_)) -
+      std::log(x) - (log_gamma(d1_ / 2.0) + log_gamma(d2_ / 2.0) -
+                     log_gamma((d1_ + d2_) / 2.0));
+  return std::exp(log_pdf);
+}
+
+double FisherF::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double z = d1_ * x / (d1_ * x + d2_);
+  return regularized_beta(d1_ / 2.0, d2_ / 2.0, z);
+}
+
+double FisherF::quantile(double p) const {
+  require_probability_open(p);
+  const double z = inverse_regularized_beta(d1_ / 2.0, d2_ / 2.0, p);
+  if (z >= 1.0) return std::numeric_limits<double>::infinity();
+  return d2_ * z / (d1_ * (1.0 - z));
+}
+
+double FisherF::mean() const {
+  if (d2_ <= 2.0) {
+    throw std::domain_error("FisherF::mean: undefined for d2 <= 2");
+  }
+  return d2_ / (d2_ - 2.0);
+}
+
+double FisherF::variance() const {
+  if (d2_ <= 4.0) {
+    throw std::domain_error("FisherF::variance: undefined for d2 <= 4");
+  }
+  return 2.0 * d2_ * d2_ * (d1_ + d2_ - 2.0) /
+         (d1_ * (d2_ - 2.0) * (d2_ - 2.0) * (d2_ - 4.0));
+}
+
+// -------------------------------------------------------------------- Weibull
+
+Weibull::Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
+  require(shape > 0.0 && scale > 0.0, "Weibull: shape and scale must be > 0");
+}
+
+double Weibull::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) return shape_ < 1.0 ? std::numeric_limits<double>::infinity()
+                                    : (shape_ == 1.0 ? 1.0 / scale_ : 0.0);
+  const double z = x / scale_;
+  return (shape_ / scale_) * std::pow(z, shape_ - 1.0) *
+         std::exp(-std::pow(z, shape_));
+}
+
+double Weibull::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return -std::expm1(-std::pow(x / scale_, shape_));
+}
+
+double Weibull::quantile(double p) const {
+  require_probability_open(p);
+  return scale_ * std::pow(-std::log1p(-p), 1.0 / shape_);
+}
+
+double Weibull::mean() const {
+  return scale_ * std::exp(log_gamma(1.0 + 1.0 / shape_));
+}
+
+double Weibull::variance() const {
+  const double g1 = std::exp(log_gamma(1.0 + 1.0 / shape_));
+  const double g2 = std::exp(log_gamma(1.0 + 2.0 / shape_));
+  return scale_ * scale_ * (g2 - g1 * g1);
+}
+
+// -------------------------------------------------------------- Deterministic
+
+Deterministic::Deterministic(double value) : value_(value) {}
+
+double Deterministic::pdf(double x) const {
+  return x == value_ ? std::numeric_limits<double>::infinity() : 0.0;
+}
+
+double Deterministic::cdf(double x) const { return x >= value_ ? 1.0 : 0.0; }
+
+double Deterministic::quantile(double p) const {
+  require_probability_open(p);
+  return value_;
+}
+
+double Deterministic::sample(RandomEngine& /*rng*/) const { return value_; }
+
+// ------------------------------------------------------------------- Binomial
+
+Binomial::Binomial(std::uint64_t n, double p) : n_(n), p_(p) {
+  require(p >= 0.0 && p <= 1.0, "Binomial: p outside [0, 1]");
+}
+
+double Binomial::pmf(std::uint64_t k) const {
+  if (k > n_) return 0.0;
+  if (p_ == 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p_ == 1.0) return k == n_ ? 1.0 : 0.0;
+  const double nd = static_cast<double>(n_);
+  const double kd = static_cast<double>(k);
+  const double log_pmf = log_gamma(nd + 1.0) - log_gamma(kd + 1.0) -
+                         log_gamma(nd - kd + 1.0) + kd * std::log(p_) +
+                         (nd - kd) * std::log1p(-p_);
+  return std::exp(log_pmf);
+}
+
+double Binomial::cdf(std::uint64_t k) const {
+  if (k >= n_) return 1.0;
+  if (p_ == 0.0) return 1.0;
+  if (p_ == 1.0) return 0.0;
+  // P(X <= k) = I_{1-p}(n-k, k+1).
+  const double nd = static_cast<double>(n_);
+  const double kd = static_cast<double>(k);
+  return regularized_beta(nd - kd, kd + 1.0, 1.0 - p_);
+}
+
+double Binomial::mean() const noexcept {
+  return static_cast<double>(n_) * p_;
+}
+
+double Binomial::variance() const noexcept {
+  return static_cast<double>(n_) * p_ * (1.0 - p_);
+}
+
+std::uint64_t Binomial::sample(RandomEngine& rng) const {
+  return std::binomial_distribution<std::uint64_t>{n_, p_}(rng.raw());
+}
+
+}  // namespace rascal::stats

@@ -1,0 +1,196 @@
+// Probability distributions with density, CDF, quantile, moments, and
+// sampling.  The availability estimators (estimators.h) use ChiSquare
+// and FisherF quantiles exactly as the paper's equations (1) and (2);
+// the simulators use Exponential / LogNormal / Weibull / Deterministic
+// event times.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "stats/rng.h"
+
+namespace rascal::stats {
+
+/// Common interface for continuous distributions.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  [[nodiscard]] virtual double pdf(double x) const = 0;
+  [[nodiscard]] virtual double cdf(double x) const = 0;
+  /// Inverse CDF for p in (0, 1); endpoints may be +-infinity where
+  /// the support allows.  Throws std::domain_error outside (0, 1).
+  [[nodiscard]] virtual double quantile(double p) const = 0;
+  [[nodiscard]] virtual double mean() const = 0;
+  [[nodiscard]] virtual double variance() const = 0;
+  [[nodiscard]] virtual double sample(RandomEngine& rng) const;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double rate);
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override { return 1.0 / rate_; }
+  [[nodiscard]] double variance() const override {
+    return 1.0 / (rate_ * rate_);
+  }
+  [[nodiscard]] double sample(RandomEngine& rng) const override;
+  [[nodiscard]] std::string name() const override { return "Exponential"; }
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+
+ private:
+  double rate_;
+};
+
+class Uniform final : public Distribution {
+ public:
+  Uniform(double lo, double hi);
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override { return 0.5 * (lo_ + hi_); }
+  [[nodiscard]] double variance() const override {
+    return (hi_ - lo_) * (hi_ - lo_) / 12.0;
+  }
+  [[nodiscard]] std::string name() const override { return "Uniform"; }
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+class Normal final : public Distribution {
+ public:
+  Normal(double mu, double sigma);
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override { return mu_; }
+  [[nodiscard]] double variance() const override { return sigma_ * sigma_; }
+  [[nodiscard]] std::string name() const override { return "Normal"; }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+class LogNormal final : public Distribution {
+ public:
+  /// mu/sigma are the parameters of the underlying normal.
+  LogNormal(double mu, double sigma);
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] std::string name() const override { return "LogNormal"; }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+class Gamma final : public Distribution {
+ public:
+  /// Shape/rate parameterization.
+  Gamma(double shape, double rate);
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override { return shape_ / rate_; }
+  [[nodiscard]] double variance() const override {
+    return shape_ / (rate_ * rate_);
+  }
+  [[nodiscard]] double sample(RandomEngine& rng) const override;
+  [[nodiscard]] std::string name() const override { return "Gamma"; }
+
+ private:
+  double shape_;
+  double rate_;
+};
+
+class ChiSquare final : public Distribution {
+ public:
+  explicit ChiSquare(double degrees_of_freedom);
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override { return dof_; }
+  [[nodiscard]] double variance() const override { return 2.0 * dof_; }
+  [[nodiscard]] std::string name() const override { return "ChiSquare"; }
+
+ private:
+  double dof_;
+};
+
+class FisherF final : public Distribution {
+ public:
+  FisherF(double d1, double d2);
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] std::string name() const override { return "FisherF"; }
+
+ private:
+  double d1_;
+  double d2_;
+};
+
+class Weibull final : public Distribution {
+ public:
+  Weibull(double shape, double scale);
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] std::string name() const override { return "Weibull"; }
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+/// Point mass at `value` — used for deterministic recovery times in
+/// the discrete-event simulator.
+class Deterministic final : public Distribution {
+ public:
+  explicit Deterministic(double value);
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override { return value_; }
+  [[nodiscard]] double variance() const override { return 0.0; }
+  [[nodiscard]] double sample(RandomEngine& rng) const override;
+  [[nodiscard]] std::string name() const override { return "Deterministic"; }
+
+ private:
+  double value_;
+};
+
+/// Binomial(n, p) distribution over counts 0..n (discrete; kept
+/// outside the continuous hierarchy).
+class Binomial {
+ public:
+  Binomial(std::uint64_t n, double p);
+  [[nodiscard]] double pmf(std::uint64_t k) const;
+  [[nodiscard]] double cdf(std::uint64_t k) const;
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] std::uint64_t sample(RandomEngine& rng) const;
+
+ private:
+  std::uint64_t n_;
+  double p_;
+};
+
+}  // namespace rascal::stats

@@ -1,0 +1,104 @@
+#include "stats/estimators.h"
+
+#include <stdexcept>
+
+#include "stats/distributions.h"
+#include "stats/special_functions.h"
+
+namespace rascal::stats {
+
+namespace {
+
+void require_confidence(double confidence) {
+  if (!(confidence > 0.0) || !(confidence < 1.0)) {
+    throw std::invalid_argument("confidence must be in (0, 1)");
+  }
+}
+
+}  // namespace
+
+double coverage_lower_bound(std::uint64_t trials, std::uint64_t successes,
+                            double confidence) {
+  require_confidence(confidence);
+  if (successes > trials) {
+    throw std::invalid_argument("coverage_lower_bound: successes > trials");
+  }
+  if (successes == 0) {
+    throw std::invalid_argument(
+        "coverage_lower_bound: needs at least one success");
+  }
+  const double n = static_cast<double>(trials);
+  const double s = static_cast<double>(successes);
+  const double d1 = 2.0 * (n - s) + 2.0;
+  const double d2 = 2.0 * s;
+  const double f = FisherF(d1, d2).quantile(confidence);
+  return s / (s + (n - s + 1.0) * f);
+}
+
+double imperfect_recovery_upper_bound(std::uint64_t trials,
+                                      std::uint64_t successes,
+                                      double confidence) {
+  return 1.0 - coverage_lower_bound(trials, successes, confidence);
+}
+
+ProportionInterval clopper_pearson(std::uint64_t trials,
+                                   std::uint64_t successes,
+                                   double confidence) {
+  require_confidence(confidence);
+  if (successes > trials) {
+    throw std::invalid_argument("clopper_pearson: successes > trials");
+  }
+  const double alpha = 1.0 - confidence;
+  const double n = static_cast<double>(trials);
+  const double s = static_cast<double>(successes);
+  ProportionInterval interval;
+  if (successes > 0) {
+    interval.lower =
+        inverse_regularized_beta(s, n - s + 1.0, alpha / 2.0);
+  }
+  if (successes < trials) {
+    interval.upper =
+        inverse_regularized_beta(s + 1.0, n - s, 1.0 - alpha / 2.0);
+  }
+  return interval;
+}
+
+double failure_rate_upper_bound(double total_exposure, std::uint64_t failures,
+                                double confidence) {
+  require_confidence(confidence);
+  if (!(total_exposure > 0.0)) {
+    throw std::invalid_argument(
+        "failure_rate_upper_bound: exposure must be > 0");
+  }
+  const double dof = 2.0 * static_cast<double>(failures) + 2.0;
+  return ChiSquare(dof).quantile(confidence) / (2.0 * total_exposure);
+}
+
+RateInterval failure_rate_interval(double total_exposure,
+                                   std::uint64_t failures, double confidence) {
+  require_confidence(confidence);
+  if (!(total_exposure > 0.0)) {
+    throw std::invalid_argument("failure_rate_interval: exposure must be > 0");
+  }
+  const double alpha = 1.0 - confidence;
+  RateInterval interval;
+  if (failures > 0) {
+    interval.lower =
+        ChiSquare(2.0 * static_cast<double>(failures)).quantile(alpha / 2.0) /
+        (2.0 * total_exposure);
+  }
+  interval.upper =
+      ChiSquare(2.0 * static_cast<double>(failures) + 2.0)
+          .quantile(1.0 - alpha / 2.0) /
+      (2.0 * total_exposure);
+  return interval;
+}
+
+double failure_rate_mle(double total_exposure, std::uint64_t failures) {
+  if (!(total_exposure > 0.0)) {
+    throw std::invalid_argument("failure_rate_mle: exposure must be > 0");
+  }
+  return static_cast<double>(failures) / total_exposure;
+}
+
+}  // namespace rascal::stats

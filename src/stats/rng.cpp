@@ -1,0 +1,62 @@
+#include "stats/rng.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rascal::stats {
+
+namespace {
+
+// SplitMix64 finalizer; good avalanche for deriving substream seeds.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+RandomEngine RandomEngine::split(std::uint64_t stream_id) const {
+  return RandomEngine(splitmix64(seed_ ^ splitmix64(stream_id)));
+}
+
+double RandomEngine::uniform01() {
+  // 53-bit mantissa resolution in [0, 1).
+  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+}
+
+double RandomEngine::uniform(double lo, double hi) {
+  if (lo > hi) {
+    throw std::invalid_argument("RandomEngine::uniform: lo > hi");
+  }
+  return lo + (hi - lo) * uniform01();
+}
+
+double RandomEngine::exponential(double rate) {
+  if (!(rate > 0.0)) {
+    throw std::invalid_argument("RandomEngine::exponential: rate <= 0");
+  }
+  // -log(1 - U) avoids log(0).
+  return -std::log1p(-uniform01()) / rate;
+}
+
+double RandomEngine::normal01() {
+  return std::normal_distribution<double>{}(engine_);
+}
+
+bool RandomEngine::bernoulli(double probability) {
+  if (probability < 0.0 || probability > 1.0) {
+    throw std::invalid_argument("RandomEngine::bernoulli: p outside [0,1]");
+  }
+  return uniform01() < probability;
+}
+
+std::uint64_t RandomEngine::uniform_index(std::uint64_t bound) {
+  if (bound == 0) {
+    throw std::invalid_argument("RandomEngine::uniform_index: bound == 0");
+  }
+  return std::uniform_int_distribution<std::uint64_t>{0, bound - 1}(engine_);
+}
+
+}  // namespace rascal::stats

@@ -1,0 +1,56 @@
+#include "stats/sampling.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace rascal::stats {
+
+namespace {
+
+void validate(const std::vector<ParameterRange>& ranges) {
+  for (const ParameterRange& r : ranges) {
+    if (r.lo > r.hi) {
+      throw std::invalid_argument("sampling: range '" + r.name +
+                                  "' has lo > hi");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Sample> monte_carlo_samples(
+    const std::vector<ParameterRange>& ranges, std::size_t count,
+    RandomEngine& rng) {
+  validate(ranges);
+  std::vector<Sample> samples(count, Sample(ranges.size()));
+  for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t d = 0; d < ranges.size(); ++d) {
+      samples[i][d] = rng.uniform(ranges[d].lo, ranges[d].hi);
+    }
+  }
+  return samples;
+}
+
+std::vector<Sample> latin_hypercube_samples(
+    const std::vector<ParameterRange>& ranges, std::size_t count,
+    RandomEngine& rng) {
+  validate(ranges);
+  std::vector<Sample> samples(count, Sample(ranges.size()));
+  if (count == 0) return samples;
+  std::vector<std::size_t> cells(count);
+  for (std::size_t d = 0; d < ranges.size(); ++d) {
+    std::iota(cells.begin(), cells.end(), std::size_t{0});
+    std::shuffle(cells.begin(), cells.end(), rng.raw());
+    const double width =
+        (ranges[d].hi - ranges[d].lo) / static_cast<double>(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const double offset = rng.uniform01();
+      samples[i][d] = ranges[d].lo +
+                      (static_cast<double>(cells[i]) + offset) * width;
+    }
+  }
+  return samples;
+}
+
+}  // namespace rascal::stats

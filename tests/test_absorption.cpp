@@ -1,0 +1,110 @@
+#include "ctmc/absorption.h"
+
+#include <gtest/gtest.h>
+
+#include "ctmc/builder.h"
+
+namespace rascal::ctmc {
+namespace {
+
+TEST(Absorption, TwoStateMttfIsInverseRate) {
+  CtmcBuilder b;
+  b.state("Up", 1.0);
+  b.state("Down", 0.0);
+  b.rate(0, 1, 0.25).rate(1, 0, 10.0);
+  const Ctmc chain = b.build();
+  const auto times = mean_time_to_absorption(chain, {1});
+  EXPECT_NEAR(times[0], 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(times[1], 0.0);
+}
+
+TEST(Absorption, TandemQueueSumsStageMeans) {
+  // A -> B -> C with rates 2 and 5: E[T] = 1/2 + 1/5.
+  CtmcBuilder b;
+  b.state("A", 1.0);
+  b.state("B", 1.0);
+  b.state("C", 0.0);
+  b.rate(0, 1, 2.0).rate(1, 2, 5.0).rate(2, 0, 1.0);
+  const auto times = mean_time_to_absorption(b.build(), {2});
+  EXPECT_NEAR(times[0], 0.7, 1e-12);
+  EXPECT_NEAR(times[1], 0.2, 1e-12);
+}
+
+TEST(Absorption, BranchingChainWeightsByProbability) {
+  // From S, rate 1 to fast-absorbing F, rate 1 to slow path T -> F.
+  CtmcBuilder b;
+  const StateId s = b.state("S", 1.0);
+  const StateId t = b.state("T", 1.0);
+  const StateId f = b.state("F", 0.0);
+  b.rate(s, f, 1.0).rate(s, t, 1.0).rate(t, f, 0.5).rate(f, s, 1.0);
+  const auto times = mean_time_to_absorption(b.build(), {f});
+  // E[T_s] = 1/2 + (1/2) * E[T_t]; E[T_t] = 2.
+  EXPECT_NEAR(times[s], 0.5 + 0.5 * 2.0, 1e-12);
+}
+
+TEST(Absorption, TargetSetOfSeveralStates) {
+  CtmcBuilder b;
+  b.state("A", 1.0);
+  b.state("B", 0.0);
+  b.state("C", 0.0);
+  b.rate(0, 1, 1.0).rate(0, 2, 3.0).rate(1, 0, 1.0).rate(2, 0, 1.0);
+  const auto times = mean_time_to_absorption(b.build(), {1, 2});
+  EXPECT_NEAR(times[0], 0.25, 1e-12);  // exit rate 4
+}
+
+TEST(Absorption, UnreachableTargetThrows) {
+  CtmcBuilder b;
+  b.state("A", 1.0);
+  b.state("B", 1.0);
+  b.state("Target", 0.0);
+  b.rate(0, 1, 1.0).rate(1, 0, 1.0).rate(2, 0, 1.0);  // nothing enters 2
+  EXPECT_THROW((void)mean_time_to_absorption(b.build(), {2}),
+               std::domain_error);
+}
+
+TEST(Absorption, InputValidation) {
+  CtmcBuilder b;
+  b.state("A", 1.0);
+  b.state("B", 0.0);
+  b.rate(0, 1, 1.0).rate(1, 0, 1.0);
+  const Ctmc chain = b.build();
+  EXPECT_THROW((void)mean_time_to_absorption(chain, {}),
+               std::invalid_argument);
+  EXPECT_THROW((void)mean_time_to_absorption(chain, {7}),
+               std::invalid_argument);
+}
+
+TEST(AbsorptionProbabilities, SplitMatchesBranchingRates) {
+  // From S: rate 3 to X, rate 1 to Y. P(X first) = 0.75.
+  CtmcBuilder b;
+  const StateId s = b.state("S", 1.0);
+  const StateId x = b.state("X", 0.0);
+  const StateId y = b.state("Y", 0.0);
+  b.rate(s, x, 3.0).rate(s, y, 1.0).rate(x, s, 1.0).rate(y, s, 1.0);
+  const auto probs = absorption_probabilities(b.build(), {x, y});
+  EXPECT_NEAR(probs(s, 0), 0.75, 1e-12);
+  EXPECT_NEAR(probs(s, 1), 0.25, 1e-12);
+  // Target rows are unit vectors.
+  EXPECT_DOUBLE_EQ(probs(x, 0), 1.0);
+  EXPECT_DOUBLE_EQ(probs(y, 1), 1.0);
+  EXPECT_DOUBLE_EQ(probs(x, 1), 0.0);
+}
+
+TEST(AbsorptionProbabilities, MultiHopPathsAccumulate) {
+  // S -> M (rate 1), M -> X (rate 1), M -> Y (rate 3).
+  CtmcBuilder b;
+  const StateId s = b.state("S", 1.0);
+  const StateId m = b.state("M", 1.0);
+  const StateId x = b.state("X", 0.0);
+  const StateId y = b.state("Y", 0.0);
+  b.rate(s, m, 1.0).rate(m, x, 1.0).rate(m, y, 3.0);
+  b.rate(x, s, 1.0).rate(y, s, 1.0);
+  const auto probs = absorption_probabilities(b.build(), {x, y});
+  EXPECT_NEAR(probs(s, 0), 0.25, 1e-12);
+  EXPECT_NEAR(probs(s, 1), 0.75, 1e-12);
+  // Rows sum to one for states that must eventually absorb.
+  EXPECT_NEAR(probs(s, 0) + probs(s, 1), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rascal::ctmc

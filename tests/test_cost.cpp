@@ -1,0 +1,108 @@
+#include "analysis/cost.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/uncertainty.h"
+#include "models/jsas_system.h"
+#include "models/params.h"
+
+namespace rascal::analysis {
+namespace {
+
+core::AvailabilityMetrics sample_metrics() {
+  core::AvailabilityMetrics m;
+  m.availability = 0.99999;
+  m.unavailability = 1e-5;
+  m.downtime_minutes_per_year = 5.256;
+  m.failure_frequency = 2.0 / 8760.0;  // two failures per year
+  m.mtbf_hours = 4380.0;
+  return m;
+}
+
+TEST(Cost, BreakdownSumsComponents) {
+  CostStructure costs;
+  costs.downtime_cost_per_minute = 1000.0;
+  costs.cost_per_failure = 500.0;
+  costs.host_cost_per_year = 20000.0;
+  costs.sla_downtime_minutes = 10.0;
+  costs.sla_breach_penalty = 1e6;
+
+  const CostBreakdown breakdown = yearly_cost(sample_metrics(), 10, costs);
+  EXPECT_NEAR(breakdown.downtime_cost, 5256.0, 0.5);
+  EXPECT_NEAR(breakdown.incident_cost, 1000.0, 1e-9);
+  EXPECT_DOUBLE_EQ(breakdown.infrastructure_cost, 200000.0);
+  // Expected downtime is under the 10-minute SLA: no penalty.
+  EXPECT_DOUBLE_EQ(breakdown.expected_sla_penalty, 0.0);
+  EXPECT_NEAR(breakdown.total,
+              breakdown.downtime_cost + breakdown.incident_cost +
+                  breakdown.infrastructure_cost,
+              1e-9);
+}
+
+TEST(Cost, SlaPenaltyTriggersAboveAllowance) {
+  CostStructure costs;
+  costs.sla_downtime_minutes = 2.0;
+  costs.sla_breach_penalty = 7777.0;
+  const CostBreakdown breakdown = yearly_cost(sample_metrics(), 0, costs);
+  EXPECT_DOUBLE_EQ(breakdown.expected_sla_penalty, 7777.0);
+}
+
+TEST(Cost, RejectsNegativeInputs) {
+  CostStructure costs;
+  costs.downtime_cost_per_minute = -1.0;
+  EXPECT_THROW((void)yearly_cost(sample_metrics(), 1, costs),
+               std::invalid_argument);
+}
+
+TEST(Cost, BreachProbabilityFromSamples) {
+  EXPECT_DOUBLE_EQ(
+      sla_breach_probability({1.0, 2.0, 3.0, 4.0}, 2.5), 0.5);
+  EXPECT_DOUBLE_EQ(sla_breach_probability({1.0, 2.0}, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(sla_breach_probability({11.0, 12.0}, 10.0), 1.0);
+}
+
+// End to end: larger clusters trade infrastructure cost against
+// downtime cost; with expensive downtime the 4x4 config wins over the
+// 2x2 despite costing twice the hardware.
+TEST(Cost, DeploymentComparisonReflectsDowntimeValue) {
+  CostStructure costs;
+  costs.downtime_cost_per_minute = 100000.0;  // online trading scale
+  costs.host_cost_per_year = 15000.0;
+
+  const auto params = models::default_parameters();
+  const auto evaluate = [&](const models::JsasConfig& config) {
+    const auto r = models::solve_jsas(config, params);
+    core::AvailabilityMetrics m;
+    m.downtime_minutes_per_year = r.downtime_minutes_per_year;
+    m.failure_frequency = 1.0 / r.mtbf_hours;
+    const std::size_t hosts =
+        config.as_instances + 2 * config.hadb_pairs + config.hadb_spares;
+    return yearly_cost(m, hosts, costs);
+  };
+  const auto small = evaluate(models::JsasConfig::config1());
+  const auto large = evaluate(models::JsasConfig::config2());
+  EXPECT_GT(large.infrastructure_cost, small.infrastructure_cost);
+  EXPECT_LT(large.downtime_cost, small.downtime_cost);
+  EXPECT_LT(large.total, small.total);
+}
+
+// The breach probability machinery plugs into uncertainty samples.
+TEST(Cost, BreachProbabilityFromUncertaintyRun) {
+  UncertaintyOptions options;
+  options.samples = 200;
+  const auto result = uncertainty_analysis(
+      [](const expr::ParameterSet& p) {
+        return models::solve_jsas(models::JsasConfig::config1(), p)
+            .downtime_minutes_per_year;
+      },
+      models::default_parameters(),
+      {{"as_La_as", 10.0 / 8760.0, 50.0 / 8760.0},
+       {"hadb_FIR", 0.0, 0.002}},
+      options);
+  const double p_breach = sla_breach_probability(result.metrics, 5.25);
+  EXPECT_GE(p_breach, 0.0);
+  EXPECT_LE(p_breach, 0.35);  // most systems hold five 9s
+}
+
+}  // namespace
+}  // namespace rascal::analysis

@@ -1,0 +1,102 @@
+#include "sim/ctmc_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "ctmc/builder.h"
+#include "ctmc/steady_state.h"
+
+namespace rascal::sim {
+namespace {
+
+ctmc::Ctmc two_state(double lambda, double mu) {
+  ctmc::CtmcBuilder b;
+  b.state("Up", 1.0);
+  b.state("Down", 0.0);
+  b.rate(0, 1, lambda).rate(1, 0, mu);
+  return b.build();
+}
+
+TEST(CtmcSimulator, TwoStateAvailabilityConverges) {
+  const double lambda = 0.02;
+  const double mu = 1.0;
+  const ctmc::Ctmc chain = two_state(lambda, mu);
+  CtmcSimOptions options;
+  options.duration = 50000.0;
+  options.replications = 8;
+  const CtmcSimResult result = simulate_ctmc(chain, options);
+  const double exact = mu / (lambda + mu);
+  EXPECT_NEAR(result.availability, exact, 0.002);
+  // The analytic value must fall in (or very near) the 95% CI.
+  EXPECT_LT(result.availability_ci95.lower, exact + 0.002);
+  EXPECT_GT(result.availability_ci95.upper, exact - 0.002);
+}
+
+TEST(CtmcSimulator, MtbfMatchesFailureFrequency) {
+  const ctmc::Ctmc chain = two_state(0.05, 2.0);
+  CtmcSimOptions options;
+  options.duration = 40000.0;
+  options.replications = 5;
+  const CtmcSimResult result = simulate_ctmc(chain, options);
+  const auto metrics = core::solve_availability(chain);
+  EXPECT_NEAR(result.mtbf_hours, metrics.mtbf_hours,
+              0.05 * metrics.mtbf_hours);
+  EXPECT_GT(result.total_failures, 100u);
+}
+
+TEST(CtmcSimulator, MultiStateChainMatchesSolver) {
+  ctmc::CtmcBuilder b;
+  b.state("Ok", 1.0);
+  b.state("Degraded", 1.0);
+  b.state("Down", 0.0);
+  b.rate(0, 1, 0.1).rate(1, 0, 1.0).rate(1, 2, 0.05).rate(2, 0, 0.5);
+  const ctmc::Ctmc chain = b.build();
+  CtmcSimOptions options;
+  options.duration = 30000.0;
+  options.replications = 6;
+  const CtmcSimResult result = simulate_ctmc(chain, options);
+  const auto metrics = core::solve_availability(chain);
+  EXPECT_NEAR(result.availability, metrics.availability, 0.003);
+}
+
+TEST(CtmcSimulator, DeterministicGivenSeed) {
+  const ctmc::Ctmc chain = two_state(0.5, 1.0);
+  CtmcSimOptions options;
+  options.duration = 100.0;
+  options.replications = 2;
+  options.seed = 9;
+  const auto a = simulate_ctmc(chain, options);
+  const auto b2 = simulate_ctmc(chain, options);
+  EXPECT_DOUBLE_EQ(a.availability, b2.availability);
+  EXPECT_EQ(a.total_transitions, b2.total_transitions);
+}
+
+TEST(CtmcSimulator, AbsorbingStateStops) {
+  // Up -> Dead with no return: availability over [0, T] is the time
+  // to absorption divided by T.
+  ctmc::CtmcBuilder b;
+  b.state("Up", 1.0);
+  b.state("Dead", 0.0);
+  b.rate(0, 1, 10.0);
+  CtmcSimOptions options;
+  options.duration = 1000.0;
+  options.replications = 20;
+  const auto result = simulate_ctmc(b.build(), options);
+  // E[T_absorb] = 0.1 h; availability ~ 1e-4.
+  EXPECT_NEAR(result.availability, 1e-4, 5e-5);
+  EXPECT_EQ(result.total_failures,
+            static_cast<std::uint64_t>(options.replications));
+}
+
+TEST(CtmcSimulator, Validation) {
+  const ctmc::Ctmc chain = two_state(1.0, 1.0);
+  CtmcSimOptions bad;
+  bad.replications = 0;
+  EXPECT_THROW((void)simulate_ctmc(chain, bad), std::invalid_argument);
+  CtmcSimOptions bad2;
+  bad2.initial_state = 5;
+  EXPECT_THROW((void)simulate_ctmc(chain, bad2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rascal::sim

@@ -1,0 +1,120 @@
+#include "rbd/cut_sets.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace rascal::rbd {
+namespace {
+
+BlockPtr unit(const std::string& name, double a) {
+  return component(name, (1.0 - a) / a, 1.0);
+}
+
+std::vector<std::vector<std::string>> sorted(
+    std::vector<std::vector<std::string>> sets) {
+  for (auto& s : sets) std::sort(s.begin(), s.end());
+  std::sort(sets.begin(), sets.end());
+  return sets;
+}
+
+TEST(CutSets, SeriesHasSingletonCuts) {
+  const BlockPtr s = series("s", {unit("a", 0.9), unit("b", 0.9)});
+  EXPECT_EQ(sorted(minimal_cut_sets(s)),
+            sorted({{"a"}, {"b"}}));
+}
+
+TEST(CutSets, ParallelHasOneFullCut) {
+  const BlockPtr p =
+      parallel("p", {unit("a", 0.9), unit("b", 0.9), unit("c", 0.9)});
+  EXPECT_EQ(sorted(minimal_cut_sets(p)), sorted({{"a", "b", "c"}}));
+}
+
+TEST(CutSets, TwoOfThreeHasPairCuts) {
+  const BlockPtr q =
+      k_of_n("q", 2, {unit("a", 0.9), unit("b", 0.9), unit("c", 0.9)});
+  EXPECT_EQ(sorted(minimal_cut_sets(q)),
+            sorted({{"a", "b"}, {"a", "c"}, {"b", "c"}}));
+}
+
+TEST(CutSets, PaperConfig1Structure) {
+  // Series of three parallel pairs: the cut sets are exactly the
+  // events the paper models as system failures — all AS instances
+  // down, or both nodes of either pair down.
+  const BlockPtr config1 = series(
+      "config1",
+      {parallel("as", {unit("as1", 0.999), unit("as2", 0.999)}),
+       parallel("pair1", {unit("n1", 0.999), unit("n2", 0.999)}),
+       parallel("pair2", {unit("n3", 0.999), unit("n4", 0.999)})});
+  EXPECT_EQ(sorted(minimal_cut_sets(config1)),
+            sorted({{"as1", "as2"}, {"n1", "n2"}, {"n3", "n4"}}));
+}
+
+TEST(CutSets, SupersetsAreExcluded) {
+  // Bridge-free nested structure: series(a, parallel(b, c)).  {a} is
+  // a cut; {a, b} must not appear.
+  const BlockPtr s = series(
+      "s", {unit("a", 0.9), parallel("p", {unit("b", 0.9), unit("c", 0.9)})});
+  EXPECT_EQ(sorted(minimal_cut_sets(s)), sorted({{"a"}, {"b", "c"}}));
+}
+
+TEST(CutSets, NullRejected) {
+  EXPECT_THROW((void)minimal_cut_sets(nullptr), std::invalid_argument);
+}
+
+TEST(Importance, SeriesWeakestComponentDominates) {
+  // Birnbaum of a series component equals the product of the OTHER
+  // availabilities, so the weak link scores its strong partner's
+  // availability (0.999) and tops the ranking; criticality agrees.
+  const BlockPtr s = series("s", {unit("weak", 0.9), unit("strong", 0.999)});
+  const auto entries = component_importance(s);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].component, "weak");
+  EXPECT_NEAR(entries[0].birnbaum, 0.999, 1e-12);
+  EXPECT_NEAR(entries[1].birnbaum, 0.9, 1e-12);
+  // Criticality ranks the weak component first.
+  const auto weak = std::find_if(
+      entries.begin(), entries.end(),
+      [](const ImportanceEntry& e) { return e.component == "weak"; });
+  const auto strong = std::find_if(
+      entries.begin(), entries.end(),
+      [](const ImportanceEntry& e) { return e.component == "strong"; });
+  EXPECT_GT(weak->criticality, strong->criticality);
+}
+
+TEST(Importance, BirnbaumMatchesDerivativeDefinition) {
+  // For parallel(a, b): A = 1 - (1-Aa)(1-Ab), dA/dAa = 1 - Ab.
+  const double ab = 0.8;
+  const BlockPtr p = parallel("p", {unit("a", 0.9), unit("b", ab)});
+  const auto entries = component_importance(p);
+  const auto a_entry = std::find_if(
+      entries.begin(), entries.end(),
+      [](const ImportanceEntry& e) { return e.component == "a"; });
+  ASSERT_NE(a_entry, entries.end());
+  EXPECT_NEAR(a_entry->birnbaum, 1.0 - ab, 1e-12);
+}
+
+TEST(Importance, CriticalitiesOfSeriesSystemSumAboveOne) {
+  // Sanity on the normalization: criticality of each component in a
+  // pure series system is U_i-weighted share; all lie in (0, 1].
+  const BlockPtr s = series(
+      "s", {unit("a", 0.99), unit("b", 0.95), unit("c", 0.9)});
+  for (const auto& entry : component_importance(s)) {
+    EXPECT_GT(entry.criticality, 0.0);
+    EXPECT_LE(entry.criticality, 1.0 + 1e-9);
+  }
+}
+
+TEST(Importance, RedundantPairHasLowerBirnbaumThanSeriesElement) {
+  // In series(a, parallel(b, c)) the series element is the single
+  // point of failure and must dominate.
+  const BlockPtr s = series(
+      "s", {unit("a", 0.99),
+            parallel("p", {unit("b", 0.99), unit("c", 0.99)})});
+  const auto entries = component_importance(s);
+  EXPECT_EQ(entries[0].component, "a");
+  EXPECT_GT(entries[0].birnbaum, 10.0 * entries[1].birnbaum);
+}
+
+}  // namespace
+}  // namespace rascal::rbd

@@ -1,0 +1,169 @@
+#include "stats/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace rascal::stats {
+namespace {
+
+// --- generic property checks over the whole continuous family ---------
+
+struct DistCase {
+  std::shared_ptr<Distribution> dist;
+  std::vector<double> probe_points;
+};
+
+class ContinuousDistribution : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(ContinuousDistribution, QuantileInvertsCdf) {
+  const auto& d = *GetParam().dist;
+  for (double p : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    EXPECT_NEAR(d.cdf(d.quantile(p)), p, 1e-9) << d.name() << " p=" << p;
+  }
+}
+
+TEST_P(ContinuousDistribution, CdfIsMonotone) {
+  const auto& d = *GetParam().dist;
+  const auto& xs = GetParam().probe_points;
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+    EXPECT_LE(d.cdf(xs[i]), d.cdf(xs[i + 1]) + 1e-15) << d.name();
+  }
+}
+
+TEST_P(ContinuousDistribution, PdfIntegratesToCdfDifference) {
+  const auto& d = *GetParam().dist;
+  // Trapezoidal integration of the pdf between the 10% and 90%
+  // quantiles must recover the CDF difference.
+  const double lo = d.quantile(0.1);
+  const double hi = d.quantile(0.9);
+  const std::size_t steps = 20000;
+  const double h = (hi - lo) / static_cast<double>(steps);
+  double integral = 0.5 * (d.pdf(lo) + d.pdf(hi));
+  for (std::size_t i = 1; i < steps; ++i) {
+    integral += d.pdf(lo + static_cast<double>(i) * h);
+  }
+  integral *= h;
+  EXPECT_NEAR(integral, 0.8, 2e-4) << d.name();
+}
+
+TEST_P(ContinuousDistribution, SampleMeanConvergesToMean) {
+  const auto& d = *GetParam().dist;
+  RandomEngine rng(99);
+  const std::size_t n = 200000;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += d.sample(rng);
+  const double sample_mean = sum / static_cast<double>(n);
+  const double tolerance =
+      5.0 * std::sqrt(d.variance() / static_cast<double>(n)) + 1e-12;
+  EXPECT_NEAR(sample_mean, d.mean(), tolerance) << d.name();
+}
+
+TEST_P(ContinuousDistribution, QuantileRejectsEndpoints) {
+  const auto& d = *GetParam().dist;
+  EXPECT_THROW((void)d.quantile(0.0), std::domain_error) << d.name();
+  EXPECT_THROW((void)d.quantile(1.0), std::domain_error) << d.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Family, ContinuousDistribution,
+    ::testing::Values(
+        DistCase{std::make_shared<Exponential>(2.5), {0.0, 0.1, 0.5, 2.0}},
+        DistCase{std::make_shared<Uniform>(-1.0, 3.0), {-1.0, 0.0, 2.0, 3.0}},
+        DistCase{std::make_shared<Normal>(1.0, 2.0), {-3.0, 0.0, 1.0, 4.0}},
+        DistCase{std::make_shared<LogNormal>(0.0, 0.5), {0.1, 0.5, 1.0, 3.0}},
+        DistCase{std::make_shared<Gamma>(3.0, 2.0), {0.1, 1.0, 2.0, 5.0}},
+        DistCase{std::make_shared<ChiSquare>(4.0), {0.5, 2.0, 4.0, 9.0}},
+        DistCase{std::make_shared<FisherF>(6.0, 14.0), {0.2, 0.8, 1.5, 4.0}},
+        DistCase{std::make_shared<Weibull>(1.7, 2.0), {0.2, 1.0, 2.0, 4.0}}),
+    [](const auto& param_info) { return param_info.param.dist->name(); });
+
+// --- distribution-specific facts ---------------------------------------
+
+TEST(Exponential, MemorylessCdf) {
+  const Exponential e(0.5);
+  EXPECT_NEAR(e.cdf(2.0), 1.0 - std::exp(-1.0), 1e-14);
+  EXPECT_DOUBLE_EQ(e.cdf(-1.0), 0.0);
+  EXPECT_THROW(Exponential(0.0), std::invalid_argument);
+}
+
+TEST(Uniform, RejectsEmptyInterval) {
+  EXPECT_THROW(Uniform(2.0, 2.0), std::invalid_argument);
+}
+
+TEST(Normal, QuantileMatchesTableValues) {
+  const Normal n(0.0, 1.0);
+  EXPECT_NEAR(n.quantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(n.quantile(0.95), 1.644854, 1e-5);
+}
+
+TEST(ChiSquare, PaperEquation2Quantiles) {
+  // Values used by the paper's Equation (2) with 0 failures:
+  // chi2_{0.95}(2) = 5.991, chi2_{0.995}(2) = 10.597.
+  const ChiSquare chi2(2.0);
+  EXPECT_NEAR(chi2.quantile(0.95), 5.99146, 1e-4);
+  EXPECT_NEAR(chi2.quantile(0.995), 10.59663, 1e-4);
+}
+
+TEST(FisherF, LargeD2ApproachesScaledChiSquare) {
+  // F(d1, inf) -> chi2(d1)/d1.
+  const FisherF f(2.0, 1e7);
+  EXPECT_NEAR(f.quantile(0.95), 5.99146 / 2.0, 1e-3);
+}
+
+TEST(FisherF, MeanRequiresD2Above2) {
+  EXPECT_THROW((void)FisherF(2.0, 2.0).mean(), std::domain_error);
+  EXPECT_NEAR(FisherF(2.0, 10.0).mean(), 1.25, 1e-12);
+}
+
+TEST(LogNormal, MomentFormulas) {
+  const LogNormal ln(0.3, 0.7);
+  EXPECT_NEAR(ln.mean(), std::exp(0.3 + 0.5 * 0.49), 1e-12);
+}
+
+TEST(Weibull, ShapeOneIsExponential) {
+  const Weibull w(1.0, 2.0);
+  const Exponential e(0.5);
+  for (double x : {0.1, 1.0, 3.0}) {
+    EXPECT_NEAR(w.cdf(x), e.cdf(x), 1e-13);
+  }
+}
+
+TEST(Deterministic, PointMass) {
+  const Deterministic d(4.2);
+  EXPECT_DOUBLE_EQ(d.cdf(4.19), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(4.2), 1.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 4.2);
+  EXPECT_DOUBLE_EQ(d.mean(), 4.2);
+  EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+  RandomEngine rng(1);
+  EXPECT_DOUBLE_EQ(d.sample(rng), 4.2);
+}
+
+TEST(Binomial, PmfSumsToOne) {
+  const Binomial b(20, 0.3);
+  double sum = 0.0;
+  for (std::uint64_t k = 0; k <= 20; ++k) sum += b.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Binomial, CdfMatchesPartialSums) {
+  const Binomial b(15, 0.6);
+  double partial = 0.0;
+  for (std::uint64_t k = 0; k <= 15; ++k) {
+    partial += b.pmf(k);
+    EXPECT_NEAR(b.cdf(k), partial, 1e-10) << "k=" << k;
+  }
+}
+
+TEST(Binomial, DegenerateProbabilities) {
+  EXPECT_DOUBLE_EQ(Binomial(5, 0.0).pmf(0), 1.0);
+  EXPECT_DOUBLE_EQ(Binomial(5, 1.0).pmf(5), 1.0);
+  EXPECT_DOUBLE_EQ(Binomial(5, 0.0).cdf(3), 1.0);
+}
+
+}  // namespace
+}  // namespace rascal::stats

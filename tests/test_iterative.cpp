@@ -1,0 +1,81 @@
+#include "linalg/iterative.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "linalg/gth.h"
+
+namespace rascal::linalg {
+namespace {
+
+CsrMatrix two_state_generator(double lambda, double mu) {
+  return CsrMatrix(2, 2,
+                   {{0, 0, -lambda}, {0, 1, lambda}, {1, 0, mu}, {1, 1, -mu}});
+}
+
+TEST(PowerIteration, MatchesClosedFormTwoState) {
+  const auto result = power_stationary(two_state_generator(0.4, 1.6));
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.pi[0], 0.8, 1e-9);
+  EXPECT_NEAR(result.pi[1], 0.2, 1e-9);
+}
+
+TEST(GaussSeidel, MatchesClosedFormTwoState) {
+  const auto result = gauss_seidel_stationary(two_state_generator(0.4, 1.6));
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.pi[0], 0.8, 1e-10);
+  EXPECT_NEAR(result.pi[1], 0.2, 1e-10);
+}
+
+TEST(PowerIteration, ReportsIterationsAndResidual) {
+  const auto result = power_stationary(two_state_generator(1.0, 1.0));
+  EXPECT_GT(result.iterations, 0u);
+  EXPECT_LT(result.residual, 1e-8);
+}
+
+TEST(PowerIteration, RejectsNonSquare) {
+  EXPECT_THROW((void)power_stationary(CsrMatrix(2, 3, {})),
+               std::invalid_argument);
+}
+
+TEST(GaussSeidel, ThrowsOnAbsorbingState) {
+  // State 1 has no exit: no balance equation to sweep.
+  const CsrMatrix q(2, 2, {{0, 0, -1.0}, {0, 1, 1.0}});
+  EXPECT_THROW((void)gauss_seidel_stationary(q), std::domain_error);
+}
+
+class IterativeVsGth : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(IterativeVsGth, AgreesWithDirectSolverOnRandomChains) {
+  const std::size_t n = GetParam();
+  std::mt19937_64 gen(n * 31337);
+  std::uniform_real_distribution<double> dist(0.05, 3.0);
+  Matrix dense(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double exit = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (r == c) continue;
+      dense(r, c) = dist(gen);
+      exit += dense(r, c);
+    }
+    dense(r, r) = -exit;
+  }
+  const Vector exact = gth_stationary(dense);
+  const CsrMatrix sparse = CsrMatrix::from_dense(dense);
+
+  const auto power = power_stationary(sparse);
+  const auto seidel = gauss_seidel_stationary(sparse);
+  ASSERT_TRUE(power.converged);
+  ASSERT_TRUE(seidel.converged);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(power.pi[i], exact[i], 1e-8);
+    EXPECT_NEAR(seidel.pi[i], exact[i], 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IterativeVsGth,
+                         ::testing::Values(2, 3, 5, 10, 30, 80));
+
+}  // namespace
+}  // namespace rascal::linalg

@@ -1,0 +1,128 @@
+#include "sim/jsas_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "models/params.h"
+
+namespace rascal::sim {
+namespace {
+
+using models::JsasConfig;
+
+expr::ParameterSet params() { return models::default_parameters(); }
+
+TEST(JsasSimulator, DeterministicGivenSeed) {
+  JsasSimOptions options;
+  options.duration = 5.0 * 8760.0;
+  options.replications = 2;
+  options.seed = 33;
+  const auto a = simulate_jsas(JsasConfig::config1(), params(), options);
+  const auto b = simulate_jsas(JsasConfig::config1(), params(), options);
+  EXPECT_DOUBLE_EQ(a.availability, b.availability);
+  EXPECT_EQ(a.system_failures, b.system_failures);
+  EXPECT_EQ(a.as_instance_failures, b.as_instance_failures);
+}
+
+TEST(JsasSimulator, ComponentFailureCountsMatchRates) {
+  // Component-level sanity: with 2 AS instances at 52/yr each and
+  // 4 HADB nodes at 4/yr each, a 50-year run sees roughly 5200 AS
+  // instance failures and 800 node failures.
+  JsasSimOptions options;
+  options.duration = 50.0 * 8760.0;
+  options.replications = 1;
+  options.seed = 5;
+  const auto r = simulate_jsas(JsasConfig::config1(), params(), options);
+  EXPECT_NEAR(static_cast<double>(r.as_instance_failures), 5200.0, 300.0);
+  EXPECT_NEAR(static_cast<double>(r.hadb_node_failures), 800.0, 120.0);
+}
+
+TEST(JsasSimulator, AvailabilityNearAnalyticValue) {
+  // Config 1 analytic result: ~3.5 min/yr downtime.  The DES with
+  // exponential recoveries follows the same stochastic model, so a
+  // long run must land close (downtime is rare, so tolerance is wide
+  // but still meaningful: within 2x either way).
+  JsasSimOptions options;
+  options.duration = 400.0 * 8760.0;
+  options.replications = 6;
+  options.seed = 11;
+  options.exponential_recoveries = true;
+  const auto r = simulate_jsas(JsasConfig::config1(), params(), options);
+  EXPECT_GT(r.downtime_minutes_per_year, 3.5 / 2.0);
+  EXPECT_LT(r.downtime_minutes_per_year, 3.5 * 2.0);
+  EXPECT_GT(r.system_failures, 50u);
+}
+
+TEST(JsasSimulator, HigherFailureRatesReduceAvailability) {
+  expr::ParameterSet stressed = params();
+  stressed.set("as_La_as", 500.0 / 8760.0)
+      .set("hadb_La_hadb", 20.0 / 8760.0);
+  JsasSimOptions options;
+  options.duration = 30.0 * 8760.0;
+  options.replications = 3;
+  const auto base = simulate_jsas(JsasConfig::config1(), params(), options);
+  const auto worse =
+      simulate_jsas(JsasConfig::config1(), stressed, options);
+  EXPECT_LT(worse.availability, base.availability);
+  EXPECT_GT(worse.as_instance_failures, base.as_instance_failures);
+}
+
+TEST(JsasSimulator, DowntimeAttributionCoversTotal) {
+  JsasSimOptions options;
+  options.duration = 200.0 * 8760.0;
+  options.replications = 4;
+  options.seed = 21;
+  const auto r = simulate_jsas(JsasConfig::config1(), params(), options);
+  // AS and HADB attributions together cover the union (overlap makes
+  // the sum >= total).
+  EXPECT_GE(r.downtime_as_minutes + r.downtime_hadb_minutes,
+            r.downtime_minutes_per_year * 0.999);
+  EXPECT_GT(r.system_failures, 0u);
+  EXPECT_EQ(r.system_failures,
+            r.as_cluster_failures + r.hadb_pair_failures);
+}
+
+TEST(JsasSimulator, ImperfectRecoveryForcesPairFailures) {
+  expr::ParameterSet p = params();
+  p.set("hadb_FIR", 0.5);  // half of all recoveries fail outright
+  JsasSimOptions options;
+  options.duration = 20.0 * 8760.0;
+  options.replications = 2;
+  const auto r = simulate_jsas(JsasConfig::config1(), p, options);
+  EXPECT_GT(r.imperfect_recoveries, 0u);
+  EXPECT_GE(r.hadb_pair_failures, r.imperfect_recoveries);
+}
+
+TEST(JsasSimulator, ZeroFirNeverTriggersImperfectRecovery) {
+  expr::ParameterSet p = params();
+  p.set("hadb_FIR", 0.0);
+  JsasSimOptions options;
+  options.duration = 50.0 * 8760.0;
+  options.replications = 2;
+  const auto r = simulate_jsas(JsasConfig::config1(), p, options);
+  EXPECT_EQ(r.imperfect_recoveries, 0u);
+}
+
+TEST(JsasSimulator, MoreInstancesEliminateAsClusterFailures) {
+  JsasSimOptions options;
+  options.duration = 100.0 * 8760.0;
+  options.replications = 2;
+  options.seed = 3;
+  const auto small = simulate_jsas(JsasConfig::config1(), params(), options);
+  const auto large = simulate_jsas(JsasConfig{6, 2, 2}, params(), options);
+  EXPECT_LE(large.as_cluster_failures, small.as_cluster_failures);
+}
+
+TEST(JsasSimulator, Validation) {
+  JsasSimOptions options;
+  EXPECT_THROW((void)simulate_jsas(JsasConfig{1, 2, 2}, params(), options),
+               std::invalid_argument);
+  EXPECT_THROW((void)simulate_jsas(JsasConfig{2, 0, 2}, params(), options),
+               std::invalid_argument);
+  options.replications = 0;
+  EXPECT_THROW(
+      (void)simulate_jsas(JsasConfig::config1(), params(), options),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rascal::sim

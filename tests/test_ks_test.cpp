@@ -1,0 +1,82 @@
+#include "stats/ks_test.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/distributions.h"
+#include "stats/rng.h"
+
+namespace rascal::stats {
+namespace {
+
+std::vector<double> draw(const Distribution& d, std::size_t n,
+                         std::uint64_t seed) {
+  RandomEngine rng(seed);
+  std::vector<double> out(n);
+  for (double& x : out) x = d.sample(rng);
+  return out;
+}
+
+TEST(Kolmogorov, SurvivalFunctionKnownValues) {
+  EXPECT_DOUBLE_EQ(kolmogorov_survival(0.0), 1.0);
+  // Critical value: Q(1.3581) ~ 0.05.
+  EXPECT_NEAR(kolmogorov_survival(1.3581), 0.05, 0.001);
+  EXPECT_NEAR(kolmogorov_survival(1.2238), 0.10, 0.001);
+  EXPECT_LT(kolmogorov_survival(2.0), 0.001);
+}
+
+TEST(KsTest, AcceptsCorrectHypothesis) {
+  const Exponential e(2.0);
+  const auto result = ks_test(draw(e, 5000, 1), e);
+  EXPECT_TRUE(result.accepts(0.01)) << "p=" << result.p_value;
+  EXPECT_LT(result.statistic, 0.03);
+}
+
+TEST(KsTest, RejectsWrongRate) {
+  const Exponential truth(2.0);
+  const Exponential wrong(3.0);
+  const auto result = ks_test(draw(truth, 5000, 2), wrong);
+  EXPECT_FALSE(result.accepts(0.01)) << "p=" << result.p_value;
+}
+
+TEST(KsTest, RejectsWrongFamily) {
+  const Uniform truth(0.0, 1.0);
+  const Normal wrong(0.5, 0.29);  // same mean/variance, wrong shape
+  const auto result = ks_test(draw(truth, 8000, 3), wrong);
+  EXPECT_FALSE(result.accepts(0.01));
+}
+
+TEST(KsTest, StatisticIsExactForTinySample) {
+  // Single observation at the median: D = 0.5.
+  const auto result =
+      ks_test({0.5}, [](double x) { return x; });  // U(0,1) cdf
+  EXPECT_DOUBLE_EQ(result.statistic, 0.5);
+  EXPECT_EQ(result.sample_size, 1u);
+}
+
+TEST(KsTest, Validation) {
+  EXPECT_THROW((void)ks_test({}, [](double) { return 0.5; }),
+               std::invalid_argument);
+  EXPECT_THROW((void)ks_test({1.0}, std::function<double(double)>{}),
+               std::invalid_argument);
+}
+
+// The simulator's building blocks follow their claimed distributions.
+TEST(KsTest, RngExponentialSamplesPassKs) {
+  RandomEngine rng(4);
+  std::vector<double> sample(4000);
+  for (double& x : sample) x = rng.exponential(0.7);
+  EXPECT_TRUE(ks_test(std::move(sample), Exponential(0.7)).accepts(0.01));
+}
+
+TEST(KsTest, QuantileSamplingPassesKsForEveryFamily) {
+  RandomEngine rng(5);
+  const LogNormal ln(0.5, 0.4);
+  const Weibull wb(1.8, 3.0);
+  const Gamma gm(2.5, 1.5);
+  EXPECT_TRUE(ks_test(draw(ln, 3000, 6), ln).accepts(0.01));
+  EXPECT_TRUE(ks_test(draw(wb, 3000, 7), wb).accepts(0.01));
+  EXPECT_TRUE(ks_test(draw(gm, 3000, 8), gm).accepts(0.01));
+}
+
+}  // namespace
+}  // namespace rascal::stats

@@ -1,0 +1,81 @@
+#include "linalg/lu.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace rascal::linalg {
+namespace {
+
+TEST(Lu, SolvesSmallSystem) {
+  // 2x + y = 5; x + 3y = 10  =>  x = 1, y = 3.
+  const Vector x = solve_linear_system({{2.0, 1.0}, {1.0, 3.0}}, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, RequiresSquareMatrix) {
+  EXPECT_THROW(LuDecomposition(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Lu, DetectsSingularMatrix) {
+  EXPECT_THROW(LuDecomposition({{1.0, 2.0}, {2.0, 4.0}}), std::domain_error);
+}
+
+TEST(Lu, PivotsOnZeroDiagonal) {
+  // Naive elimination without pivoting fails on a(0,0) == 0.
+  const Vector x = solve_linear_system({{0.0, 1.0}, {1.0, 0.0}}, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, DeterminantOfKnownMatrix) {
+  const LuDecomposition lu(Matrix{{3.0, 1.0}, {2.0, 4.0}});
+  EXPECT_NEAR(lu.determinant(), 10.0, 1e-12);
+}
+
+TEST(Lu, DeterminantTracksPivotSign) {
+  // Permutation matrix has determinant -1.
+  const LuDecomposition lu(Matrix{{0.0, 1.0}, {1.0, 0.0}});
+  EXPECT_NEAR(lu.determinant(), -1.0, 1e-12);
+}
+
+TEST(Lu, SolveRejectsWrongLength) {
+  const LuDecomposition lu(Matrix::identity(3));
+  EXPECT_THROW((void)lu.solve(Vector{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Lu, MatrixRhsSolvesColumnwise) {
+  const LuDecomposition lu(Matrix{{2.0, 0.0}, {0.0, 4.0}});
+  const Matrix x = lu.solve(Matrix{{2.0, 4.0}, {4.0, 8.0}});
+  EXPECT_NEAR(x(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR(x(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x(1, 1), 2.0, 1e-12);
+}
+
+class LuRandomized : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuRandomized, ReconstructsRandomSystems) {
+  const std::size_t n = GetParam();
+  std::mt19937_64 gen(n * 7919);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = dist(gen);
+    a(r, r) += static_cast<double>(n);  // diagonal dominance
+  }
+  Vector x_true(n);
+  for (double& v : x_true) v = dist(gen);
+  const Vector b = a.multiply(x_true);
+  const Vector x = LuDecomposition(a).solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRandomized,
+                         ::testing::Values(1, 2, 3, 5, 10, 25, 60));
+
+}  // namespace
+}  // namespace rascal::linalg

@@ -1,0 +1,133 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace rascal::linalg {
+namespace {
+
+TEST(Matrix, ConstructsWithFill) {
+  const Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+  }
+}
+
+TEST(Matrix, InitializerListLaysOutRowMajor) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityHasOnesOnDiagonal) {
+  const Matrix id = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, AtChecksBounds) {
+  Matrix m(2, 2);
+  EXPECT_THROW((void)m.at(2, 0), std::out_of_range);
+  EXPECT_THROW((void)m.at(0, 2), std::out_of_range);
+  EXPECT_NO_THROW((void)m.at(1, 1));
+}
+
+TEST(Matrix, TransposeSwapsIndices) {
+  const Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+}
+
+TEST(Matrix, MultiplyVector) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  const Vector y = m.multiply(Vector{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, MultiplyVectorDimensionMismatchThrows) {
+  const Matrix m(2, 3);
+  EXPECT_THROW((void)m.multiply(Vector{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Matrix, LeftMultiplyIsRowVectorTimesMatrix) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  const Vector y = m.left_multiply({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(y[0], 7.0);   // 1*1 + 2*3
+  EXPECT_DOUBLE_EQ(y[1], 10.0);  // 1*2 + 2*4
+}
+
+TEST(Matrix, MatrixProductMatchesHandComputation) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{0.0, 1.0}, {1.0, 0.0}};
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 3.0);
+}
+
+TEST(Matrix, ProductWithIdentityIsIdentityOperation) {
+  const Matrix a{{2.0, -1.0}, {0.5, 3.0}};
+  EXPECT_EQ(a.multiply(Matrix::identity(2)), a);
+  EXPECT_EQ(Matrix::identity(2).multiply(a), a);
+}
+
+TEST(Matrix, MaxAbs) {
+  const Matrix m{{1.0, -5.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m.max_abs(), 5.0);
+}
+
+TEST(Matrix, StreamsReadably) {
+  const Matrix m{{1.0, 2.0}};
+  std::ostringstream os;
+  os << m;
+  EXPECT_EQ(os.str(), "[1, 2]");
+}
+
+TEST(VectorOps, Norms) {
+  const Vector v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(norm2(v), 5.0);
+  EXPECT_DOUBLE_EQ(norm1(v), 7.0);
+  EXPECT_DOUBLE_EQ(norm_inf(v), 4.0);
+}
+
+TEST(VectorOps, DotAndSubtract) {
+  EXPECT_DOUBLE_EQ(dot({1.0, 2.0}, {3.0, 4.0}), 11.0);
+  const Vector d = subtract({3.0, 4.0}, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(d[0], 2.0);
+  EXPECT_DOUBLE_EQ(d[1], 3.0);
+  EXPECT_THROW((void)dot({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW((void)subtract({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(VectorOps, NormalizeToSumOne) {
+  Vector v{1.0, 3.0};
+  normalize_to_sum_one(v);
+  EXPECT_DOUBLE_EQ(v[0], 0.25);
+  EXPECT_DOUBLE_EQ(v[1], 0.75);
+}
+
+TEST(VectorOps, NormalizeRejectsZeroSum) {
+  Vector v{0.0, 0.0};
+  EXPECT_THROW(normalize_to_sum_one(v), std::domain_error);
+}
+
+}  // namespace
+}  // namespace rascal::linalg

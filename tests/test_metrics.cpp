@@ -1,0 +1,160 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/units.h"
+#include "ctmc/builder.h"
+
+namespace rascal::core {
+namespace {
+
+ctmc::Ctmc two_state(double lambda, double mu) {
+  ctmc::CtmcBuilder b;
+  b.state("Up", 1.0);
+  b.state("Down", 0.0);
+  b.rate(0, 1, lambda).rate(1, 0, mu);
+  return b.build();
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(per_year(8760.0), 1.0);
+  EXPECT_DOUBLE_EQ(minutes(90.0), 1.5);
+  EXPECT_DOUBLE_EQ(seconds(3600.0), 1.0);
+  EXPECT_DOUBLE_EQ(days(2.0), 48.0);
+  EXPECT_DOUBLE_EQ(years(1.0), 8760.0);
+  EXPECT_DOUBLE_EQ(downtime_minutes_per_year(1.0), 525600.0);
+  EXPECT_NEAR(availability_from_downtime_minutes(5.256), 0.99999, 1e-12);
+}
+
+TEST(Metrics, TwoStateClosedForms) {
+  const double lambda = per_year(52.0);
+  const double mu = 1.0 / minutes(90.0);
+  const ctmc::Ctmc chain = two_state(lambda, mu);
+  const AvailabilityMetrics m = solve_availability(chain);
+
+  const double expected_avail = mu / (lambda + mu);
+  EXPECT_NEAR(m.availability, expected_avail, 1e-12);
+  EXPECT_NEAR(m.unavailability, 1.0 - expected_avail, 1e-12);
+  // Failure frequency = pi_up * lambda.
+  EXPECT_NEAR(m.failure_frequency, expected_avail * lambda, 1e-15);
+  EXPECT_NEAR(m.mtbf_hours, 1.0 / (expected_avail * lambda), 1e-6);
+  // MTTR of a 2-state chain is exactly 1/mu.
+  EXPECT_NEAR(m.mttr_hours, 1.0 / mu, 1e-9);
+  EXPECT_NEAR(m.expected_reward_rate, expected_avail, 1e-12);
+}
+
+TEST(Metrics, DowntimeMinutesMatchesUnavailability) {
+  const ctmc::Ctmc chain = two_state(0.001, 1.0);
+  const AvailabilityMetrics m = solve_availability(chain);
+  EXPECT_NEAR(m.downtime_minutes_per_year,
+              m.unavailability * kMinutesPerYear, 1e-9);
+}
+
+TEST(Metrics, AllUpChainHasInfiniteMtbf) {
+  ctmc::CtmcBuilder b;
+  b.state("A", 1.0);
+  b.state("B", 1.0);
+  b.rate(0, 1, 1.0).rate(1, 0, 1.0);
+  const AvailabilityMetrics m = solve_availability(b.build());
+  EXPECT_DOUBLE_EQ(m.availability, 1.0);
+  EXPECT_TRUE(std::isinf(m.mtbf_hours));
+  EXPECT_DOUBLE_EQ(m.mttr_hours, 0.0);
+}
+
+TEST(Metrics, PerformabilityRewardCountsDegradedStates) {
+  ctmc::CtmcBuilder b;
+  b.state("Full", 1.0);
+  b.state("Degraded", 0.5);
+  b.rate(0, 1, 1.0).rate(1, 0, 1.0);
+  const AvailabilityMetrics m = solve_availability(b.build());
+  // Both states >= 0.5 reward threshold: fully available...
+  EXPECT_DOUBLE_EQ(m.availability, 1.0);
+  // ...but the expected reward rate reflects the degradation.
+  EXPECT_NEAR(m.expected_reward_rate, 0.75, 1e-12);
+}
+
+TEST(Metrics, ThresholdSeparatesDegradedFromUp) {
+  ctmc::CtmcBuilder b;
+  b.state("Full", 1.0);
+  b.state("Degraded", 0.5);
+  b.rate(0, 1, 1.0).rate(1, 0, 1.0);
+  const ctmc::Ctmc chain = b.build();
+  const auto steady = ctmc::solve_steady_state(chain);
+  const AvailabilityMetrics strict =
+      availability_metrics(chain, steady, 0.75);
+  EXPECT_NEAR(strict.availability, 0.5, 1e-12);
+}
+
+TEST(Metrics, FrequencyCountsOnlyUpToDownCuts) {
+  // Up <-> Degraded (both up), Degraded -> Down -> Up.
+  ctmc::CtmcBuilder b;
+  b.state("Up", 1.0);
+  b.state("Degraded", 1.0);
+  b.state("Down", 0.0);
+  b.rate(0, 1, 2.0).rate(1, 0, 5.0).rate(1, 2, 1.0).rate(2, 0, 10.0);
+  const ctmc::Ctmc chain = b.build();
+  const auto steady = ctmc::solve_steady_state(chain);
+  const AvailabilityMetrics m = availability_metrics(chain, steady);
+  // Only the Degraded -> Down edge crosses the cut.
+  EXPECT_NEAR(m.failure_frequency, steady.probability(1) * 1.0, 1e-15);
+}
+
+TEST(TwoStateEquivalent, PreservesAvailabilityAndFrequency) {
+  ctmc::CtmcBuilder b;
+  b.state("Ok", 1.0);
+  b.state("Recovering", 1.0);
+  b.state("Down", 0.0);
+  b.rate(0, 1, 0.01).rate(1, 0, 12.0).rate(1, 2, 0.02).rate(2, 0, 2.0);
+  const ctmc::Ctmc chain = b.build();
+  const auto steady = ctmc::solve_steady_state(chain);
+  const AvailabilityMetrics m = availability_metrics(chain, steady);
+  const TwoStateEquivalent eq = two_state_equivalent(chain, steady);
+
+  EXPECT_NEAR(eq.availability(), m.availability, 1e-12);
+  // The collapsed chain's failure frequency: pi_up * lambda_eq.
+  EXPECT_NEAR(eq.lambda_eq * m.availability, m.failure_frequency, 1e-15);
+  EXPECT_NEAR(eq.mu_eq * m.unavailability, m.failure_frequency, 1e-15);
+}
+
+TEST(TwoStateEquivalent, AllUpChainYieldsZeroLambda) {
+  ctmc::CtmcBuilder b;
+  b.state("A", 1.0);
+  b.state("B", 1.0);
+  b.rate(0, 1, 1.0).rate(1, 0, 1.0);
+  const ctmc::Ctmc chain = b.build();
+  const auto eq = two_state_equivalent(chain, ctmc::solve_steady_state(chain));
+  EXPECT_DOUBLE_EQ(eq.lambda_eq, 0.0);
+  EXPECT_DOUBLE_EQ(eq.availability(), 1.0);
+}
+
+TEST(DowntimeByState, AttributionSumsToTotal) {
+  ctmc::CtmcBuilder b;
+  b.state("Up", 1.0);
+  b.state("DownA", 0.0);
+  b.state("DownB", 0.0);
+  b.rate(0, 1, 0.01).rate(0, 2, 0.02).rate(1, 0, 1.0).rate(2, 0, 0.5);
+  const ctmc::Ctmc chain = b.build();
+  const auto steady = ctmc::solve_steady_state(chain);
+  const AvailabilityMetrics m = availability_metrics(chain, steady);
+  const auto attribution = downtime_by_state(chain, steady);
+  ASSERT_EQ(attribution.size(), 2u);
+  double sum = 0.0;
+  for (const auto& entry : attribution) sum += entry.minutes_per_year;
+  EXPECT_NEAR(sum, m.downtime_minutes_per_year, 1e-9);
+  // DownB holds more probability mass (slower repair, higher rate).
+  EXPECT_GT(attribution[1].minutes_per_year,
+            attribution[0].minutes_per_year);
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  const ctmc::Ctmc chain = two_state(1.0, 1.0);
+  ctmc::SteadyState bogus;
+  bogus.probabilities = {1.0};
+  EXPECT_THROW((void)availability_metrics(chain, bogus),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rascal::core

@@ -1,0 +1,137 @@
+#include "rbd/block.h"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "core/units.h"
+#include "models/jsas_system.h"
+#include "models/params.h"
+
+namespace rascal::rbd {
+namespace {
+
+BlockPtr unit(const std::string& name, double a) {
+  // Component with availability a: mu = 1, lambda = (1-a)/a.
+  return component(name, (1.0 - a) / a, 1.0);
+}
+
+TEST(Rbd, ComponentAvailabilityClosedForm) {
+  const BlockPtr c = component("c", 0.5, 4.5);
+  EXPECT_NEAR(c->availability(), 0.9, 1e-15);
+  EXPECT_THROW((void)component("bad", 0.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rbd, SeriesMultipliesAvailabilities) {
+  const BlockPtr s = series("s", {unit("a", 0.9), unit("b", 0.8)});
+  EXPECT_NEAR(s->availability(), 0.72, 1e-12);
+}
+
+TEST(Rbd, ParallelMultipliesUnavailabilities) {
+  const BlockPtr p = parallel("p", {unit("a", 0.9), unit("b", 0.8)});
+  EXPECT_NEAR(p->availability(), 1.0 - 0.1 * 0.2, 1e-12);
+}
+
+TEST(Rbd, KofNMatchesEnumeration) {
+  const double a1 = 0.9;
+  const double a2 = 0.8;
+  const double a3 = 0.7;
+  const BlockPtr two_of_three = k_of_n(
+      "q", 2, {unit("a", a1), unit("b", a2), unit("c", a3)});
+  // Enumerate: P(>=2 up).
+  double expected = 0.0;
+  for (int mask = 0; mask < 8; ++mask) {
+    const double pa = (mask & 1) ? a1 : 1.0 - a1;
+    const double pb = (mask & 2) ? a2 : 1.0 - a2;
+    const double pc = (mask & 4) ? a3 : 1.0 - a3;
+    const int up = ((mask & 1) != 0) + ((mask & 2) != 0) + ((mask & 4) != 0);
+    if (up >= 2) expected += pa * pb * pc;
+  }
+  EXPECT_NEAR(two_of_three->availability(), expected, 1e-12);
+}
+
+TEST(Rbd, KofNDegenerateCases) {
+  // 1-of-n == parallel; n-of-n == series.
+  const std::vector<BlockPtr> children = {unit("a", 0.9), unit("b", 0.8),
+                                          unit("c", 0.95)};
+  EXPECT_NEAR(k_of_n("p", 1, children)->availability(),
+              parallel("p", children)->availability(), 1e-12);
+  EXPECT_NEAR(k_of_n("s", 3, children)->availability(),
+              series("s", children)->availability(), 1e-12);
+  EXPECT_THROW((void)k_of_n("bad", 0, children), std::invalid_argument);
+  EXPECT_THROW((void)k_of_n("bad", 4, children), std::invalid_argument);
+  EXPECT_THROW((void)series("empty", {}), std::invalid_argument);
+}
+
+TEST(Rbd, NestedStructure) {
+  // Two redundant front-ends in series with a 2-of-3 storage quorum.
+  const BlockPtr system = series(
+      "system",
+      {parallel("front", {unit("f1", 0.99), unit("f2", 0.99)}),
+       k_of_n("quorum", 2,
+              {unit("s1", 0.98), unit("s2", 0.98), unit("s3", 0.98)})});
+  const double front = 1.0 - 0.01 * 0.01;
+  const double quorum =
+      3 * 0.98 * 0.98 * 0.02 + 0.98 * 0.98 * 0.98;
+  EXPECT_NEAR(system->availability(), front * quorum, 1e-12);
+}
+
+TEST(Rbd, CtmcEmbeddingMatchesClosedForm) {
+  const BlockPtr system = series(
+      "sys", {parallel("p", {component("a", 0.01, 1.0),
+                             component("b", 0.02, 0.5)}),
+              component("c", 0.001, 2.0)});
+  const ctmc::Ctmc chain = to_ctmc(system);
+  EXPECT_EQ(chain.num_states(), 8u);
+  const auto metrics = core::solve_availability(chain);
+  EXPECT_NEAR(metrics.availability, system->availability(), 1e-12);
+}
+
+TEST(Rbd, CtmcEmbeddingKofN) {
+  const BlockPtr quorum = k_of_n(
+      "q", 2, {component("a", 0.1, 1.0), component("b", 0.2, 1.5),
+               component("c", 0.05, 0.8)});
+  const auto metrics = core::solve_availability(to_ctmc(quorum));
+  EXPECT_NEAR(metrics.availability, quorum->availability(), 1e-12);
+}
+
+// The static RBD view of Config 1 ("at least one AS instance and one
+// node per pair") is *optimistic* relative to the paper's Markov
+// model: it has no workload acceleration, no imperfect recovery, and
+// no session-recovery window.
+TEST(Rbd, StaticViewIsOptimisticVersusMarkovModel) {
+  using core::per_year;
+  const auto params = models::default_parameters();
+  const double as_la = per_year(52.0);
+  const double as_mu = 1.0 / (50.0 / 52.0 * (90.0 / 3600.0) +
+                              2.0 / 52.0 * 1.0);  // mixed restart time
+  const double node_la = per_year(4.0);
+  // Weighted mean node recovery time from the Figure 3 parameters.
+  const double node_mu =
+      4.0 / (2.0 * (1.0 / 60.0) + 1.0 * 0.25 + 1.0 * 0.5);
+
+  const BlockPtr config1 = series(
+      "config1",
+      {parallel("as", {component("as1", as_la, as_mu),
+                       component("as2", as_la, as_mu)}),
+       parallel("pair1", {component("n1", node_la, node_mu),
+                          component("n2", node_la, node_mu)}),
+       parallel("pair2", {component("n3", node_la, node_mu),
+                          component("n4", node_la, node_mu)})});
+
+  const double rbd_downtime =
+      core::downtime_minutes_per_year(1.0 - config1->availability());
+  const double markov_downtime =
+      models::solve_jsas(models::JsasConfig::config1(), params)
+          .downtime_minutes_per_year;
+  EXPECT_LT(rbd_downtime, markov_downtime);
+  // ...but the static view is the right order of magnitude (minutes).
+  EXPECT_GT(rbd_downtime, 0.05);
+}
+
+TEST(Rbd, NullBlockRejected) {
+  EXPECT_THROW((void)to_ctmc(nullptr), std::invalid_argument);
+  EXPECT_THROW((void)series("s", {nullptr}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rascal::rbd

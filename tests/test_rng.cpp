@@ -1,0 +1,110 @@
+#include "stats/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace rascal::stats {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  RandomEngine a(123);
+  RandomEngine b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  RandomEngine a(1);
+  RandomEngine b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform01() == b.uniform01()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, Uniform01StaysInRange) {
+  RandomEngine rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  RandomEngine rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 5.0);
+  }
+  EXPECT_THROW((void)rng.uniform(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialHasCorrectMean) {
+  RandomEngine rng(11);
+  const double rate = 4.0;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 5.0 / (rate * std::sqrt(double(n))));
+  EXPECT_THROW((void)rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  RandomEngine rng(13);
+  const double p = 0.3;
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(p) ? 1 : 0;
+  EXPECT_NEAR(double(hits) / n, p, 0.01);
+  EXPECT_THROW((void)rng.bernoulli(1.5), std::invalid_argument);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  RandomEngine rng(17);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.uniform_index(5)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+  EXPECT_THROW((void)rng.uniform_index(0), std::invalid_argument);
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+  const RandomEngine root(42);
+  RandomEngine s0 = root.split(0);
+  RandomEngine s1 = root.split(1);
+  // Streams must differ from each other...
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (s0.uniform01() == s1.uniform01()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+  // ...and be reproducible.
+  RandomEngine s0_again = root.split(0);
+  RandomEngine s0_ref = root.split(0);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(s0_again.uniform01(), s0_ref.uniform01());
+  }
+}
+
+TEST(Rng, NormalHasUnitVariance) {
+  RandomEngine rng(23);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal01();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+}  // namespace
+}  // namespace rascal::stats

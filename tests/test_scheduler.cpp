@@ -1,0 +1,101 @@
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rascal::sim {
+namespace {
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(3.0, [&] { order.push_back(3); });
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_at(2.0, [&] { order.push_back(2); });
+  s.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now(), 10.0);
+}
+
+TEST(Scheduler, TiesBreakInScheduleOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_at(1.0, [&] { order.push_back(2); });
+  s.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Scheduler, HorizonStopsExecution) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(1.0, [&] { ++fired; });
+  s.schedule_at(5.0, [&] { ++fired; });
+  s.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(s.now(), 2.0);
+  s.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, EventsMayScheduleMoreEvents) {
+  Scheduler s;
+  std::vector<double> fire_times;
+  // Self-rescheduling heartbeat every 1.0 time unit.
+  std::function<void()> beat = [&] {
+    fire_times.push_back(s.now());
+    if (s.now() < 4.5) s.schedule_after(1.0, beat);
+  };
+  s.schedule_at(1.0, beat);
+  s.run_until(100.0);
+  EXPECT_EQ(fire_times, (std::vector<double>{1.0, 2.0, 3.0, 4.0, 5.0}));
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  int fired = 0;
+  const EventId id = s.schedule_at(1.0, [&] { ++fired; });
+  s.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(999));  // unknown id
+  s.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, CancelFromWithinEvent) {
+  Scheduler s;
+  int fired = 0;
+  const EventId later = s.schedule_at(2.0, [&] { ++fired; });
+  s.schedule_at(1.0, [&] { s.cancel(later); });
+  s.run_until(5.0);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Scheduler, RejectsPastScheduling) {
+  Scheduler s;
+  s.schedule_at(2.0, [] {});
+  s.run_until(2.0);
+  EXPECT_THROW((void)s.schedule_at(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW((void)s.schedule_after(-0.5, [] {}), std::invalid_argument);
+}
+
+TEST(Scheduler, StepReturnsFalseWhenEmpty) {
+  Scheduler s;
+  EXPECT_FALSE(s.step());
+  s.schedule_at(1.0, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, PendingCountsUncancelledEvents) {
+  Scheduler s;
+  const EventId a = s.schedule_at(1.0, [] {});
+  s.schedule_at(2.0, [] {});
+  EXPECT_EQ(s.pending(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace rascal::sim

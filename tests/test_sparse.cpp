@@ -1,0 +1,84 @@
+#include "linalg/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rascal::linalg {
+namespace {
+
+TEST(Csr, BuildsFromTriplets) {
+  const CsrMatrix m(2, 3, {{0, 1, 5.0}, {1, 2, 7.0}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.non_zeros(), 2u);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 7.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+}
+
+TEST(Csr, DuplicateTripletsAreSummed) {
+  const CsrMatrix m(1, 1, {{0, 0, 1.5}, {0, 0, 2.5}});
+  EXPECT_EQ(m.non_zeros(), 1u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 4.0);
+}
+
+TEST(Csr, CancellingDuplicatesAreDropped) {
+  const CsrMatrix m(1, 2, {{0, 0, 1.0}, {0, 0, -1.0}, {0, 1, 2.0}});
+  EXPECT_EQ(m.non_zeros(), 1u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+}
+
+TEST(Csr, RejectsOutOfRangeTriplets) {
+  EXPECT_THROW(CsrMatrix(1, 1, {{0, 1, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(CsrMatrix(1, 1, {{1, 0, 1.0}}), std::invalid_argument);
+}
+
+TEST(Csr, MultiplyMatchesDense) {
+  const Matrix d{{1.0, 0.0, 2.0}, {0.0, 3.0, 0.0}, {4.0, 0.0, 5.0}};
+  const CsrMatrix s = CsrMatrix::from_dense(d);
+  const Vector x{1.0, 2.0, 3.0};
+  const Vector ys = s.multiply(x);
+  const Vector yd = d.multiply(x);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(ys[i], yd[i]);
+}
+
+TEST(Csr, LeftMultiplyMatchesDense) {
+  const Matrix d{{1.0, -1.0}, {2.0, 0.5}};
+  const CsrMatrix s = CsrMatrix::from_dense(d);
+  const Vector x{0.25, 4.0};
+  const Vector ys = s.left_multiply(x);
+  const Vector yd = d.left_multiply(x);
+  for (std::size_t i = 0; i < 2; ++i) EXPECT_DOUBLE_EQ(ys[i], yd[i]);
+}
+
+TEST(Csr, RoundTripsThroughDense) {
+  const Matrix d{{0.0, 1.0}, {2.0, 0.0}};
+  EXPECT_EQ(CsrMatrix::from_dense(d).to_dense(), d);
+}
+
+TEST(Csr, RowReturnsOrderedEntries) {
+  const CsrMatrix m(1, 4, {{0, 3, 4.0}, {0, 1, 2.0}});
+  const auto row = m.row(0);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0].first, 1u);
+  EXPECT_DOUBLE_EQ(row[0].second, 2.0);
+  EXPECT_EQ(row[1].first, 3u);
+  EXPECT_DOUBLE_EQ(row[1].second, 4.0);
+}
+
+TEST(Csr, DimensionMismatchThrows) {
+  const CsrMatrix m(2, 3, {});
+  EXPECT_THROW((void)m.multiply(Vector{1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW((void)m.left_multiply(Vector{1.0, 2.0, 3.0}),
+               std::invalid_argument);
+}
+
+TEST(Csr, FromDenseDropsSmallEntries) {
+  const Matrix d{{1e-15, 1.0}, {0.5, 1e-16}};
+  const CsrMatrix s = CsrMatrix::from_dense(d, 1e-12);
+  EXPECT_EQ(s.non_zeros(), 2u);
+}
+
+}  // namespace
+}  // namespace rascal::linalg

@@ -1,0 +1,107 @@
+#include "analysis/user_impact.h"
+
+#include <gtest/gtest.h>
+
+#include "ctmc/builder.h"
+#include "ctmc/steady_state.h"
+#include "models/app_server.h"
+#include "models/params.h"
+
+namespace rascal::analysis {
+namespace {
+
+ctmc::Ctmc simple_chain() {
+  ctmc::CtmcBuilder b;
+  b.state("Up", 1.0);
+  b.state("Degraded", 0.8);  // served, but slower
+  b.state("Down", 0.0);
+  b.rate(0, 1, 0.2).rate(1, 0, 2.0).rate(1, 2, 0.1).rate(2, 0, 1.0);
+  return b.build();
+}
+
+TEST(UserImpact, PartitionsRequestsByStateClass) {
+  const ctmc::Ctmc chain = simple_chain();
+  const auto steady = ctmc::solve_steady_state(chain);
+  const Workload workload{3600.0, 500.0};  // 1 req/s, 500 sessions
+  const UserImpact impact = user_impact(chain, steady, workload);
+
+  const double requests_per_year = 3600.0 * 8760.0;
+  EXPECT_NEAR(impact.lost_requests_per_year,
+              steady.probability(2) * requests_per_year, 1e-6);
+  EXPECT_NEAR(impact.degraded_requests_per_year,
+              steady.probability(1) * 0.2 * requests_per_year, 1e-6);
+  // Failures: only the Degraded -> Down edge crosses the cut.
+  EXPECT_NEAR(impact.failures_per_year,
+              steady.probability(1) * 0.1 * 8760.0, 1e-9);
+  EXPECT_NEAR(impact.sessions_lost_per_year,
+              impact.failures_per_year * 500.0, 1e-9);
+}
+
+TEST(UserImpact, RewardRateAndCapacityLoss) {
+  const ctmc::Ctmc chain = simple_chain();
+  const auto steady = ctmc::solve_steady_state(chain);
+  const UserImpact impact = user_impact(chain, steady, {3600.0, 0.0});
+  const double expected_reward = steady.probability(0) * 1.0 +
+                                 steady.probability(1) * 0.8;
+  EXPECT_NEAR(impact.expected_reward_rate, expected_reward, 1e-12);
+  EXPECT_NEAR(impact.capacity_minutes_lost_per_year,
+              (1.0 - expected_reward) * 8760.0 * 60.0, 1e-6);
+}
+
+TEST(UserImpact, ZeroWorkloadLosesNothing) {
+  const ctmc::Ctmc chain = simple_chain();
+  const auto steady = ctmc::solve_steady_state(chain);
+  const UserImpact impact = user_impact(chain, steady, {0.0, 0.0});
+  EXPECT_DOUBLE_EQ(impact.lost_requests_per_year, 0.0);
+  EXPECT_DOUBLE_EQ(impact.sessions_lost_per_year, 0.0);
+  EXPECT_GT(impact.failures_per_year, 0.0);  // failures still happen
+}
+
+TEST(UserImpact, Validation) {
+  const ctmc::Ctmc chain = simple_chain();
+  const auto steady = ctmc::solve_steady_state(chain);
+  EXPECT_THROW((void)user_impact(chain, steady, {-1.0, 0.0}),
+               std::invalid_argument);
+  ctmc::SteadyState bogus;
+  bogus.probabilities = {1.0};
+  EXPECT_THROW((void)user_impact(chain, bogus, {1.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(CapacityModel, RewardsAreOccupancyFractions) {
+  const auto chain = models::app_server_capacity_model(4).bind(
+      models::default_parameters());
+  // All_Work has reward 1; All_Down has 0; some state has 0.25.
+  EXPECT_DOUBLE_EQ(chain.reward(chain.state("All_Work")), 1.0);
+  EXPECT_DOUBLE_EQ(chain.reward(chain.state("All_Down")), 0.0);
+  bool quarter = false;
+  for (ctmc::StateId s = 0; s < chain.num_states(); ++s) {
+    if (chain.reward(s) == 0.25) quarter = true;
+  }
+  EXPECT_TRUE(quarter);
+}
+
+TEST(CapacityModel, ExpectedCapacityExceedsStrictAvailabilityView) {
+  // The capacity view is gentler than all-or-nothing: expected
+  // capacity ~ 1 - (fraction of one instance lost during restarts),
+  // far from the strict availability of the same chain.
+  const auto params = models::default_parameters();
+  const auto capacity_chain =
+      models::app_server_capacity_model(2).bind(params);
+  const auto steady = ctmc::solve_steady_state(capacity_chain);
+  const auto impact =
+      user_impact(capacity_chain, steady, {3600.0, 0.0}, /*up=*/1e-9);
+  EXPECT_GT(impact.expected_reward_rate, 0.999);
+  EXPECT_LT(impact.expected_reward_rate, 1.0);
+  // Half the capacity is gone while one of two instances restarts:
+  // capacity-minutes lost far exceed strict downtime (~2.4 min/yr).
+  EXPECT_GT(impact.capacity_minutes_lost_per_year, 50.0);
+}
+
+TEST(CapacityModel, RejectsDegenerateSizes) {
+  EXPECT_THROW((void)models::app_server_capacity_model(1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rascal::analysis

@@ -1,0 +1,79 @@
+#include "models/web_tier.h"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "models/params.h"
+
+namespace rascal::models {
+namespace {
+
+expr::ParameterSet full_params() {
+  return default_parameters().with(default_web_parameters());
+}
+
+TEST(WebTier, StructureAndRates) {
+  const auto chain = web_tier_model(3).bind(default_web_parameters());
+  EXPECT_EQ(chain.num_states(), 4u);
+  EXPECT_TRUE(chain.is_irreducible());
+  const double la = 12.0 / 8760.0;
+  EXPECT_NEAR(chain.rate(chain.state("All_Up"), chain.state("1_Down")),
+              3.0 * la, 1e-12);
+  EXPECT_NEAR(chain.rate(chain.state("2_Down"), chain.state("1_Down")),
+              2.0 / (5.0 / 60.0), 1e-9);
+  // Only the all-down state is a failure state.
+  EXPECT_EQ(chain.states_with_reward_below(0.5).size(), 1u);
+}
+
+TEST(WebTier, SingleServerIsTwoState) {
+  const auto chain = web_tier_model(1).bind(default_web_parameters());
+  EXPECT_EQ(chain.num_states(), 2u);
+  const auto m = core::solve_availability(chain);
+  // 12/yr x 30 min manual restore = 360 min/yr.
+  EXPECT_NEAR(m.downtime_minutes_per_year, 360.0, 2.0);
+}
+
+TEST(WebTier, RedundancyMakesTierDowntimeNegligible) {
+  const auto params = default_web_parameters();
+  const auto duo = core::solve_availability(web_tier_model(2).bind(params));
+  // Two stateless servers with 5-minute restarts: ~0.08 min/yr, a
+  // rounding error against the 3.5 min/yr system budget.
+  EXPECT_LT(duo.downtime_minutes_per_year, 0.1);
+  const auto solo = core::solve_availability(web_tier_model(1).bind(params));
+  EXPECT_LT(duo.unavailability, solo.unavailability / 1000.0);
+}
+
+TEST(WebTier, RejectsZeroServers) {
+  EXPECT_THROW((void)web_tier_model(0), std::invalid_argument);
+}
+
+TEST(JsasWithWeb, ExtendedHierarchySolves) {
+  const auto model = jsas_with_web_model(JsasConfig::config1(), 2);
+  expr::ParameterSet params = full_params();
+  params.set("N_pair", 2.0);
+  const auto result = model.solve(params);
+  ASSERT_EQ(result.submodels.size(), 3u);
+  EXPECT_EQ(result.submodels[0].name, "Web Tier");
+
+  // With a redundant web tier the system result stays within a hair
+  // of the paper's Config 1 (web adds ~0.01 min/yr).
+  EXPECT_NEAR(result.system.downtime_minutes_per_year, 3.49, 0.1);
+}
+
+TEST(JsasWithWeb, SingleWebServerDominatesDowntime) {
+  // The reason the paper assumes a redundant web tier: one web box in
+  // front would swamp the five-9s budget (360 min/yr vs 3.5).
+  const auto model = jsas_with_web_model(JsasConfig::config1(), 1);
+  expr::ParameterSet params = full_params();
+  params.set("N_pair", 2.0);
+  const auto result = model.solve(params);
+  EXPECT_GT(result.system.downtime_minutes_per_year, 300.0);
+}
+
+TEST(JsasWithWeb, Validation) {
+  EXPECT_THROW((void)jsas_with_web_model(JsasConfig{1, 2, 2}, 2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rascal::models

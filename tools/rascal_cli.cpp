@@ -1,0 +1,283 @@
+// rascal_cli — solve availability models from .rasc files.
+//
+//   rascal_cli solve MODEL.rasc [--set NAME=VALUE ...] [--method M]
+//   rascal_cli states MODEL.rasc [--set NAME=VALUE ...]
+//   rascal_cli sweep MODEL.rasc --param NAME --from A --to B
+//              [--points N] [--metric availability|downtime|mtbf]
+//              [--set NAME=VALUE ...]
+//   rascal_cli mttf  MODEL.rasc [--start STATE] [--set NAME=VALUE ...]
+//   rascal_cli lump  MODEL.rasc [--set NAME=VALUE ...]
+//   rascal_cli dot   MODEL.rasc [--set NAME=VALUE ...]   (Graphviz)
+//   rascal_cli sens  MODEL.rasc [--set NAME=VALUE ...]   (exact d/dtheta)
+//
+// Methods: gth (default), lu, power, gauss-seidel.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/exact_sensitivity.h"
+#include "analysis/parametric.h"
+#include "core/metrics.h"
+#include "ctmc/absorption.h"
+#include "ctmc/lumping.h"
+#include "ctmc/steady_state.h"
+#include "io/dot_export.h"
+#include "io/model_file.h"
+#include "report/ascii_plot.h"
+#include "report/table.h"
+
+namespace {
+
+using namespace rascal;
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  rascal_cli solve  MODEL.rasc [--set NAME=VALUE ...] "
+         "[--method gth|lu|power|gauss-seidel]\n"
+         "  rascal_cli states MODEL.rasc [--set NAME=VALUE ...]\n"
+         "  rascal_cli sweep  MODEL.rasc --param NAME --from A --to B\n"
+         "             [--points N] [--metric availability|downtime|mtbf]"
+         " [--set NAME=VALUE ...]\n"
+         "  rascal_cli mttf   MODEL.rasc [--start STATE] "
+         "[--set NAME=VALUE ...]\n"
+         "  rascal_cli lump   MODEL.rasc [--set NAME=VALUE ...]\n"
+         "  rascal_cli dot    MODEL.rasc [--set NAME=VALUE ...]\n"
+         "  rascal_cli sens   MODEL.rasc [--set NAME=VALUE ...]\n";
+  return 2;
+}
+
+struct Arguments {
+  std::string command;
+  std::string model_path;
+  expr::ParameterSet overrides;
+  ctmc::SteadyStateMethod method = ctmc::SteadyStateMethod::kGth;
+  std::string sweep_param;
+  double from = 0.0;
+  double to = 0.0;
+  std::size_t points = 11;
+  std::string metric = "availability";
+  std::string start_state;  // mttf: defaults to the first state
+};
+
+bool parse_set(const std::string& text, expr::ParameterSet& out) {
+  const auto eq = text.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  try {
+    out.set(text.substr(0, eq), std::stod(text.substr(eq + 1)));
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+bool parse_method(const std::string& name, ctmc::SteadyStateMethod& out) {
+  if (name == "gth") out = ctmc::SteadyStateMethod::kGth;
+  else if (name == "lu") out = ctmc::SteadyStateMethod::kLu;
+  else if (name == "power") out = ctmc::SteadyStateMethod::kPower;
+  else if (name == "gauss-seidel") out = ctmc::SteadyStateMethod::kGaussSeidel;
+  else return false;
+  return true;
+}
+
+bool parse_arguments(int argc, char** argv, Arguments& args) {
+  if (argc < 3) return false;
+  args.command = argv[1];
+  args.model_path = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--set") {
+      const char* value = next();
+      if (!value || !parse_set(value, args.overrides)) return false;
+    } else if (flag == "--method") {
+      const char* value = next();
+      if (!value || !parse_method(value, args.method)) return false;
+    } else if (flag == "--param") {
+      const char* value = next();
+      if (!value) return false;
+      args.sweep_param = value;
+    } else if (flag == "--from" || flag == "--to") {
+      const char* value = next();
+      if (!value) return false;
+      (flag == "--from" ? args.from : args.to) = std::stod(value);
+    } else if (flag == "--points") {
+      const char* value = next();
+      if (!value) return false;
+      args.points = static_cast<std::size_t>(std::stoul(value));
+    } else if (flag == "--metric") {
+      const char* value = next();
+      if (!value) return false;
+      args.metric = value;
+    } else if (flag == "--start") {
+      const char* value = next();
+      if (!value) return false;
+      args.start_state = value;
+    } else {
+      std::cerr << "unknown flag: " << flag << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+void print_metrics(const core::AvailabilityMetrics& m) {
+  std::printf("availability        : %.9f (%s)\n", m.availability,
+              report::format_percent(m.availability, 5).c_str());
+  std::printf("yearly downtime     : %.4f minutes\n",
+              m.downtime_minutes_per_year);
+  std::printf("failure frequency   : %.6e per hour\n", m.failure_frequency);
+  std::printf("MTBF                : %.2f hours\n", m.mtbf_hours);
+  std::printf("MTTR                : %.4f hours\n", m.mttr_hours);
+  std::printf("expected reward rate: %.9f\n", m.expected_reward_rate);
+}
+
+int run_solve(const Arguments& args) {
+  const io::ModelFile file = io::load_model(args.model_path);
+  if (!file.name.empty()) std::printf("model: %s\n\n", file.name.c_str());
+  const ctmc::Ctmc chain = file.bind(args.overrides);
+  const auto steady = ctmc::solve_steady_state(chain, args.method);
+  print_metrics(core::availability_metrics(chain, steady));
+  return 0;
+}
+
+int run_states(const Arguments& args) {
+  const io::ModelFile file = io::load_model(args.model_path);
+  const ctmc::Ctmc chain = file.bind(args.overrides);
+  const auto steady = ctmc::solve_steady_state(chain, args.method);
+  report::TextTable table({"State", "Reward", "Probability",
+                           "Minutes/year"});
+  for (ctmc::StateId s = 0; s < chain.num_states(); ++s) {
+    table.add_row({chain.state_name(s),
+                   report::format_general(chain.reward(s), 3),
+                   report::format_general(steady.probability(s), 6),
+                   report::format_fixed(
+                       steady.probability(s) * 8760.0 * 60.0, 3)});
+  }
+  std::cout << table.to_string();
+  return 0;
+}
+
+int run_sweep(const Arguments& args) {
+  if (args.sweep_param.empty() || args.points < 2) {
+    return usage();
+  }
+  const io::ModelFile file = io::load_model(args.model_path);
+  const analysis::ModelFunction metric_fn =
+      [&](const expr::ParameterSet& params) {
+        const auto m = core::availability_metrics(
+            file.model.bind(params),
+            ctmc::solve_steady_state(file.model.bind(params), args.method));
+        if (args.metric == "downtime") return m.downtime_minutes_per_year;
+        if (args.metric == "mtbf") return m.mtbf_hours;
+        return m.availability;
+      };
+  const auto values = analysis::linspace(args.from, args.to, args.points);
+  const auto sweep = analysis::parametric_sweep(
+      metric_fn, file.parameters.with(args.overrides), args.sweep_param,
+      values);
+
+  std::vector<double> ys;
+  report::TextTable table({args.sweep_param, args.metric});
+  for (const auto& point : sweep) {
+    ys.push_back(point.metric);
+    table.add_row({report::format_general(point.parameter_value, 6),
+                   report::format_general(point.metric, 9)});
+  }
+  std::cout << table.to_string() << "\n";
+  report::PlotOptions plot;
+  plot.title = args.metric + " vs " + args.sweep_param;
+  plot.x_label = args.sweep_param;
+  std::cout << report::line_plot(values, ys, plot);
+  return 0;
+}
+
+int run_mttf(const Arguments& args) {
+  const io::ModelFile file = io::load_model(args.model_path);
+  const ctmc::Ctmc chain = file.bind(args.overrides);
+  const auto down_states = chain.states_with_reward_below(0.5);
+  if (down_states.empty()) {
+    std::cerr << "error: the model has no down states\n";
+    return 1;
+  }
+  const ctmc::StateId start =
+      args.start_state.empty() ? 0 : chain.state(args.start_state);
+  const auto times = ctmc::mean_time_to_absorption(chain, down_states);
+  std::printf("MTTF from '%s' to the first down state: %.4f hours "
+              "(%.2f days)\n",
+              chain.state_name(start).c_str(), times[start],
+              times[start] / 24.0);
+  const auto hit = ctmc::absorption_probabilities(chain, down_states);
+  for (std::size_t j = 0; j < down_states.size(); ++j) {
+    std::printf("  P(first failure is '%s') = %.4f\n",
+                chain.state_name(down_states[j]).c_str(), hit(start, j));
+  }
+  return 0;
+}
+
+int run_lump(const Arguments& args) {
+  const io::ModelFile file = io::load_model(args.model_path);
+  const ctmc::Ctmc chain = file.bind(args.overrides);
+  const ctmc::Partition partition = ctmc::coarsest_ordinary_lumping(chain);
+  std::printf("%zu states lump into %zu blocks:\n", chain.num_states(),
+              partition.size());
+  for (std::size_t b = 0; b < partition.size(); ++b) {
+    std::printf("  block %zu:", b);
+    for (ctmc::StateId s : partition[b]) {
+      std::printf(" %s", chain.state_name(s).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int run_sens(const Arguments& args) {
+  const io::ModelFile file = io::load_model(args.model_path);
+  const expr::ParameterSet params = file.parameters.with(args.overrides);
+  report::TextTable table({"Parameter", "Value", "dA/dtheta",
+                           "dDowntime/dtheta (min/yr per unit)"});
+  for (const std::string& name : file.model.parameters()) {
+    analysis::ExactSensitivity s;
+    try {
+      s = analysis::steady_state_sensitivity(file.model, params, name);
+    } catch (const std::domain_error&) {
+      continue;  // non-differentiable use (abs/min/max); skip
+    }
+    table.add_row({name, report::format_general(params.get(name), 6),
+                   report::format_general(s.d_availability, 4),
+                   report::format_general(s.d_downtime_minutes, 4)});
+  }
+  std::cout << table.to_string();
+  return 0;
+}
+
+int run_dot(const Arguments& args) {
+  const io::ModelFile file = io::load_model(args.model_path);
+  io::DotOptions options;
+  if (!file.name.empty()) options.graph_name = file.name;
+  io::write_dot(std::cout, file.bind(args.overrides), options);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Arguments args;
+  if (!parse_arguments(argc, argv, args)) return usage();
+  try {
+    if (args.command == "solve") return run_solve(args);
+    if (args.command == "states") return run_states(args);
+    if (args.command == "sweep") return run_sweep(args);
+    if (args.command == "mttf") return run_mttf(args);
+    if (args.command == "lump") return run_lump(args);
+    if (args.command == "dot") return run_dot(args);
+    if (args.command == "sens") return run_sens(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
