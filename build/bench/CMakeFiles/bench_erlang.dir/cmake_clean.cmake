@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_erlang.dir/bench_erlang.cpp.o"
+  "CMakeFiles/bench_erlang.dir/bench_erlang.cpp.o.d"
+  "bench_erlang"
+  "bench_erlang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_erlang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_faultinj.dir/bench_faultinj.cpp.o"
+  "CMakeFiles/bench_faultinj.dir/bench_faultinj.cpp.o.d"
+  "bench_faultinj"
+  "bench_faultinj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_faultinj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

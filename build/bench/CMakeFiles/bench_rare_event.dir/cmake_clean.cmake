@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rare_event.dir/bench_rare_event.cpp.o"
+  "CMakeFiles/bench_rare_event.dir/bench_rare_event.cpp.o.d"
+  "bench_rare_event"
+  "bench_rare_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rare_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spn.dir/bench_spn.cpp.o"
+  "CMakeFiles/bench_spn.dir/bench_spn.cpp.o.d"
+  "bench_spn"
+  "bench_spn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_upgrade.dir/bench_upgrade.cpp.o"
+  "CMakeFiles/bench_upgrade.dir/bench_upgrade.cpp.o.d"
+  "bench_upgrade"
+  "bench_upgrade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_upgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failover_simulation.dir/failover_simulation.cpp.o"
+  "CMakeFiles/failover_simulation.dir/failover_simulation.cpp.o.d"
+  "failover_simulation"
+  "failover_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failover_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

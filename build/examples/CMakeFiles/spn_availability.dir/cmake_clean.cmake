@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spn_availability.dir/spn_availability.cpp.o"
+  "CMakeFiles/spn_availability.dir/spn_availability.cpp.o.d"
+  "spn_availability"
+  "spn_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spn_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

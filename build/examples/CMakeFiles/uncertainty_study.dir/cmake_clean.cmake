@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uncertainty_study.dir/uncertainty_study.cpp.o"
+  "CMakeFiles/uncertainty_study.dir/uncertainty_study.cpp.o.d"
+  "uncertainty_study"
+  "uncertainty_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uncertainty_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

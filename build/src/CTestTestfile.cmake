@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("linalg")
+subdirs("stats")
+subdirs("expr")
+subdirs("ctmc")
+subdirs("core")
+subdirs("analysis")
+subdirs("spn")
+subdirs("sim")
+subdirs("faultinj")
+subdirs("models")
+subdirs("report")
+subdirs("io")
+subdirs("rbd")

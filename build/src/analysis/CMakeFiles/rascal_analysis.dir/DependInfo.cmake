@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cost.cpp" "src/analysis/CMakeFiles/rascal_analysis.dir/cost.cpp.o" "gcc" "src/analysis/CMakeFiles/rascal_analysis.dir/cost.cpp.o.d"
+  "/root/repo/src/analysis/exact_sensitivity.cpp" "src/analysis/CMakeFiles/rascal_analysis.dir/exact_sensitivity.cpp.o" "gcc" "src/analysis/CMakeFiles/rascal_analysis.dir/exact_sensitivity.cpp.o.d"
+  "/root/repo/src/analysis/parametric.cpp" "src/analysis/CMakeFiles/rascal_analysis.dir/parametric.cpp.o" "gcc" "src/analysis/CMakeFiles/rascal_analysis.dir/parametric.cpp.o.d"
+  "/root/repo/src/analysis/sensitivity.cpp" "src/analysis/CMakeFiles/rascal_analysis.dir/sensitivity.cpp.o" "gcc" "src/analysis/CMakeFiles/rascal_analysis.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/analysis/uncertainty.cpp" "src/analysis/CMakeFiles/rascal_analysis.dir/uncertainty.cpp.o" "gcc" "src/analysis/CMakeFiles/rascal_analysis.dir/uncertainty.cpp.o.d"
+  "/root/repo/src/analysis/user_impact.cpp" "src/analysis/CMakeFiles/rascal_analysis.dir/user_impact.cpp.o" "gcc" "src/analysis/CMakeFiles/rascal_analysis.dir/user_impact.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rascal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rascal_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/rascal_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctmc/CMakeFiles/rascal_ctmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rascal_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

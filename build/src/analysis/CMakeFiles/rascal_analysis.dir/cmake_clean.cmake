@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rascal_analysis.dir/cost.cpp.o"
+  "CMakeFiles/rascal_analysis.dir/cost.cpp.o.d"
+  "CMakeFiles/rascal_analysis.dir/exact_sensitivity.cpp.o"
+  "CMakeFiles/rascal_analysis.dir/exact_sensitivity.cpp.o.d"
+  "CMakeFiles/rascal_analysis.dir/parametric.cpp.o"
+  "CMakeFiles/rascal_analysis.dir/parametric.cpp.o.d"
+  "CMakeFiles/rascal_analysis.dir/sensitivity.cpp.o"
+  "CMakeFiles/rascal_analysis.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/rascal_analysis.dir/uncertainty.cpp.o"
+  "CMakeFiles/rascal_analysis.dir/uncertainty.cpp.o.d"
+  "CMakeFiles/rascal_analysis.dir/user_impact.cpp.o"
+  "CMakeFiles/rascal_analysis.dir/user_impact.cpp.o.d"
+  "librascal_analysis.a"
+  "librascal_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rascal_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

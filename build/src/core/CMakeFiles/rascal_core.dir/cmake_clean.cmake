@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rascal_core.dir/hierarchy.cpp.o"
+  "CMakeFiles/rascal_core.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/rascal_core.dir/metrics.cpp.o"
+  "CMakeFiles/rascal_core.dir/metrics.cpp.o.d"
+  "librascal_core.a"
+  "librascal_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rascal_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctmc/absorption.cpp" "src/ctmc/CMakeFiles/rascal_ctmc.dir/absorption.cpp.o" "gcc" "src/ctmc/CMakeFiles/rascal_ctmc.dir/absorption.cpp.o.d"
+  "/root/repo/src/ctmc/builder.cpp" "src/ctmc/CMakeFiles/rascal_ctmc.dir/builder.cpp.o" "gcc" "src/ctmc/CMakeFiles/rascal_ctmc.dir/builder.cpp.o.d"
+  "/root/repo/src/ctmc/compose.cpp" "src/ctmc/CMakeFiles/rascal_ctmc.dir/compose.cpp.o" "gcc" "src/ctmc/CMakeFiles/rascal_ctmc.dir/compose.cpp.o.d"
+  "/root/repo/src/ctmc/ctmc.cpp" "src/ctmc/CMakeFiles/rascal_ctmc.dir/ctmc.cpp.o" "gcc" "src/ctmc/CMakeFiles/rascal_ctmc.dir/ctmc.cpp.o.d"
+  "/root/repo/src/ctmc/erlang.cpp" "src/ctmc/CMakeFiles/rascal_ctmc.dir/erlang.cpp.o" "gcc" "src/ctmc/CMakeFiles/rascal_ctmc.dir/erlang.cpp.o.d"
+  "/root/repo/src/ctmc/lumping.cpp" "src/ctmc/CMakeFiles/rascal_ctmc.dir/lumping.cpp.o" "gcc" "src/ctmc/CMakeFiles/rascal_ctmc.dir/lumping.cpp.o.d"
+  "/root/repo/src/ctmc/steady_state.cpp" "src/ctmc/CMakeFiles/rascal_ctmc.dir/steady_state.cpp.o" "gcc" "src/ctmc/CMakeFiles/rascal_ctmc.dir/steady_state.cpp.o.d"
+  "/root/repo/src/ctmc/transient.cpp" "src/ctmc/CMakeFiles/rascal_ctmc.dir/transient.cpp.o" "gcc" "src/ctmc/CMakeFiles/rascal_ctmc.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/rascal_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/rascal_expr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rascal_ctmc.dir/absorption.cpp.o"
+  "CMakeFiles/rascal_ctmc.dir/absorption.cpp.o.d"
+  "CMakeFiles/rascal_ctmc.dir/builder.cpp.o"
+  "CMakeFiles/rascal_ctmc.dir/builder.cpp.o.d"
+  "CMakeFiles/rascal_ctmc.dir/compose.cpp.o"
+  "CMakeFiles/rascal_ctmc.dir/compose.cpp.o.d"
+  "CMakeFiles/rascal_ctmc.dir/ctmc.cpp.o"
+  "CMakeFiles/rascal_ctmc.dir/ctmc.cpp.o.d"
+  "CMakeFiles/rascal_ctmc.dir/erlang.cpp.o"
+  "CMakeFiles/rascal_ctmc.dir/erlang.cpp.o.d"
+  "CMakeFiles/rascal_ctmc.dir/lumping.cpp.o"
+  "CMakeFiles/rascal_ctmc.dir/lumping.cpp.o.d"
+  "CMakeFiles/rascal_ctmc.dir/steady_state.cpp.o"
+  "CMakeFiles/rascal_ctmc.dir/steady_state.cpp.o.d"
+  "CMakeFiles/rascal_ctmc.dir/transient.cpp.o"
+  "CMakeFiles/rascal_ctmc.dir/transient.cpp.o.d"
+  "librascal_ctmc.a"
+  "librascal_ctmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rascal_ctmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

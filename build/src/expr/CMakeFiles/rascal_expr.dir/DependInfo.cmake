@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/ast.cpp" "src/expr/CMakeFiles/rascal_expr.dir/ast.cpp.o" "gcc" "src/expr/CMakeFiles/rascal_expr.dir/ast.cpp.o.d"
+  "/root/repo/src/expr/expression.cpp" "src/expr/CMakeFiles/rascal_expr.dir/expression.cpp.o" "gcc" "src/expr/CMakeFiles/rascal_expr.dir/expression.cpp.o.d"
+  "/root/repo/src/expr/lexer.cpp" "src/expr/CMakeFiles/rascal_expr.dir/lexer.cpp.o" "gcc" "src/expr/CMakeFiles/rascal_expr.dir/lexer.cpp.o.d"
+  "/root/repo/src/expr/parameter_set.cpp" "src/expr/CMakeFiles/rascal_expr.dir/parameter_set.cpp.o" "gcc" "src/expr/CMakeFiles/rascal_expr.dir/parameter_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

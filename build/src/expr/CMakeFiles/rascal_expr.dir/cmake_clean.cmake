@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rascal_expr.dir/ast.cpp.o"
+  "CMakeFiles/rascal_expr.dir/ast.cpp.o.d"
+  "CMakeFiles/rascal_expr.dir/expression.cpp.o"
+  "CMakeFiles/rascal_expr.dir/expression.cpp.o.d"
+  "CMakeFiles/rascal_expr.dir/lexer.cpp.o"
+  "CMakeFiles/rascal_expr.dir/lexer.cpp.o.d"
+  "CMakeFiles/rascal_expr.dir/parameter_set.cpp.o"
+  "CMakeFiles/rascal_expr.dir/parameter_set.cpp.o.d"
+  "librascal_expr.a"
+  "librascal_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rascal_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rascal_faultinj.dir/injector.cpp.o"
+  "CMakeFiles/rascal_faultinj.dir/injector.cpp.o.d"
+  "CMakeFiles/rascal_faultinj.dir/testbed.cpp.o"
+  "CMakeFiles/rascal_faultinj.dir/testbed.cpp.o.d"
+  "librascal_faultinj.a"
+  "librascal_faultinj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rascal_faultinj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

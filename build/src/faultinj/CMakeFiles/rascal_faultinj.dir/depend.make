@@ -1,0 +1,2 @@
+# Empty dependencies file for rascal_faultinj.
+# This may be replaced when dependencies are built.

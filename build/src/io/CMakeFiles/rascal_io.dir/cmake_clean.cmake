@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rascal_io.dir/dot_export.cpp.o"
+  "CMakeFiles/rascal_io.dir/dot_export.cpp.o.d"
+  "CMakeFiles/rascal_io.dir/model_file.cpp.o"
+  "CMakeFiles/rascal_io.dir/model_file.cpp.o.d"
+  "librascal_io.a"
+  "librascal_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rascal_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rascal_linalg.dir/expm.cpp.o"
+  "CMakeFiles/rascal_linalg.dir/expm.cpp.o.d"
+  "CMakeFiles/rascal_linalg.dir/gth.cpp.o"
+  "CMakeFiles/rascal_linalg.dir/gth.cpp.o.d"
+  "CMakeFiles/rascal_linalg.dir/iterative.cpp.o"
+  "CMakeFiles/rascal_linalg.dir/iterative.cpp.o.d"
+  "CMakeFiles/rascal_linalg.dir/lu.cpp.o"
+  "CMakeFiles/rascal_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/rascal_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/rascal_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/rascal_linalg.dir/sparse.cpp.o"
+  "CMakeFiles/rascal_linalg.dir/sparse.cpp.o.d"
+  "librascal_linalg.a"
+  "librascal_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rascal_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

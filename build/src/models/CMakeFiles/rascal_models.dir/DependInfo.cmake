@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/app_server.cpp" "src/models/CMakeFiles/rascal_models.dir/app_server.cpp.o" "gcc" "src/models/CMakeFiles/rascal_models.dir/app_server.cpp.o.d"
+  "/root/repo/src/models/hadb_pair.cpp" "src/models/CMakeFiles/rascal_models.dir/hadb_pair.cpp.o" "gcc" "src/models/CMakeFiles/rascal_models.dir/hadb_pair.cpp.o.d"
+  "/root/repo/src/models/hadb_pair_explicit.cpp" "src/models/CMakeFiles/rascal_models.dir/hadb_pair_explicit.cpp.o" "gcc" "src/models/CMakeFiles/rascal_models.dir/hadb_pair_explicit.cpp.o.d"
+  "/root/repo/src/models/hadb_spares.cpp" "src/models/CMakeFiles/rascal_models.dir/hadb_spares.cpp.o" "gcc" "src/models/CMakeFiles/rascal_models.dir/hadb_spares.cpp.o.d"
+  "/root/repo/src/models/jsas_system.cpp" "src/models/CMakeFiles/rascal_models.dir/jsas_system.cpp.o" "gcc" "src/models/CMakeFiles/rascal_models.dir/jsas_system.cpp.o.d"
+  "/root/repo/src/models/params.cpp" "src/models/CMakeFiles/rascal_models.dir/params.cpp.o" "gcc" "src/models/CMakeFiles/rascal_models.dir/params.cpp.o.d"
+  "/root/repo/src/models/single_instance.cpp" "src/models/CMakeFiles/rascal_models.dir/single_instance.cpp.o" "gcc" "src/models/CMakeFiles/rascal_models.dir/single_instance.cpp.o.d"
+  "/root/repo/src/models/spn_variants.cpp" "src/models/CMakeFiles/rascal_models.dir/spn_variants.cpp.o" "gcc" "src/models/CMakeFiles/rascal_models.dir/spn_variants.cpp.o.d"
+  "/root/repo/src/models/upgrade.cpp" "src/models/CMakeFiles/rascal_models.dir/upgrade.cpp.o" "gcc" "src/models/CMakeFiles/rascal_models.dir/upgrade.cpp.o.d"
+  "/root/repo/src/models/web_tier.cpp" "src/models/CMakeFiles/rascal_models.dir/web_tier.cpp.o" "gcc" "src/models/CMakeFiles/rascal_models.dir/web_tier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rascal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctmc/CMakeFiles/rascal_ctmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/rascal_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/spn/CMakeFiles/rascal_spn.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rascal_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rascal_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rascal_models.dir/app_server.cpp.o"
+  "CMakeFiles/rascal_models.dir/app_server.cpp.o.d"
+  "CMakeFiles/rascal_models.dir/hadb_pair.cpp.o"
+  "CMakeFiles/rascal_models.dir/hadb_pair.cpp.o.d"
+  "CMakeFiles/rascal_models.dir/hadb_pair_explicit.cpp.o"
+  "CMakeFiles/rascal_models.dir/hadb_pair_explicit.cpp.o.d"
+  "CMakeFiles/rascal_models.dir/hadb_spares.cpp.o"
+  "CMakeFiles/rascal_models.dir/hadb_spares.cpp.o.d"
+  "CMakeFiles/rascal_models.dir/jsas_system.cpp.o"
+  "CMakeFiles/rascal_models.dir/jsas_system.cpp.o.d"
+  "CMakeFiles/rascal_models.dir/params.cpp.o"
+  "CMakeFiles/rascal_models.dir/params.cpp.o.d"
+  "CMakeFiles/rascal_models.dir/single_instance.cpp.o"
+  "CMakeFiles/rascal_models.dir/single_instance.cpp.o.d"
+  "CMakeFiles/rascal_models.dir/spn_variants.cpp.o"
+  "CMakeFiles/rascal_models.dir/spn_variants.cpp.o.d"
+  "CMakeFiles/rascal_models.dir/upgrade.cpp.o"
+  "CMakeFiles/rascal_models.dir/upgrade.cpp.o.d"
+  "CMakeFiles/rascal_models.dir/web_tier.cpp.o"
+  "CMakeFiles/rascal_models.dir/web_tier.cpp.o.d"
+  "librascal_models.a"
+  "librascal_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rascal_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rbd/block.cpp" "src/rbd/CMakeFiles/rascal_rbd.dir/block.cpp.o" "gcc" "src/rbd/CMakeFiles/rascal_rbd.dir/block.cpp.o.d"
+  "/root/repo/src/rbd/cut_sets.cpp" "src/rbd/CMakeFiles/rascal_rbd.dir/cut_sets.cpp.o" "gcc" "src/rbd/CMakeFiles/rascal_rbd.dir/cut_sets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ctmc/CMakeFiles/rascal_ctmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rascal_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/rascal_expr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

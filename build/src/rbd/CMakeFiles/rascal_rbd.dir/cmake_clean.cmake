@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rascal_rbd.dir/block.cpp.o"
+  "CMakeFiles/rascal_rbd.dir/block.cpp.o.d"
+  "CMakeFiles/rascal_rbd.dir/cut_sets.cpp.o"
+  "CMakeFiles/rascal_rbd.dir/cut_sets.cpp.o.d"
+  "librascal_rbd.a"
+  "librascal_rbd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rascal_rbd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rascal_report.dir/ascii_plot.cpp.o"
+  "CMakeFiles/rascal_report.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/rascal_report.dir/csv.cpp.o"
+  "CMakeFiles/rascal_report.dir/csv.cpp.o.d"
+  "CMakeFiles/rascal_report.dir/table.cpp.o"
+  "CMakeFiles/rascal_report.dir/table.cpp.o.d"
+  "librascal_report.a"
+  "librascal_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rascal_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rascal_sim.dir/ctmc_simulator.cpp.o"
+  "CMakeFiles/rascal_sim.dir/ctmc_simulator.cpp.o.d"
+  "CMakeFiles/rascal_sim.dir/importance_sampling.cpp.o"
+  "CMakeFiles/rascal_sim.dir/importance_sampling.cpp.o.d"
+  "CMakeFiles/rascal_sim.dir/jsas_simulator.cpp.o"
+  "CMakeFiles/rascal_sim.dir/jsas_simulator.cpp.o.d"
+  "CMakeFiles/rascal_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/rascal_sim.dir/scheduler.cpp.o.d"
+  "librascal_sim.a"
+  "librascal_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rascal_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

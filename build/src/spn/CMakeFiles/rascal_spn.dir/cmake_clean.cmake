@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rascal_spn.dir/petri_net.cpp.o"
+  "CMakeFiles/rascal_spn.dir/petri_net.cpp.o.d"
+  "CMakeFiles/rascal_spn.dir/reachability.cpp.o"
+  "CMakeFiles/rascal_spn.dir/reachability.cpp.o.d"
+  "CMakeFiles/rascal_spn.dir/simulation.cpp.o"
+  "CMakeFiles/rascal_spn.dir/simulation.cpp.o.d"
+  "librascal_spn.a"
+  "librascal_spn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rascal_spn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librascal_spn.a"
+)

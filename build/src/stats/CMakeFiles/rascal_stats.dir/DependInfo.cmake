@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/distributions.cpp" "src/stats/CMakeFiles/rascal_stats.dir/distributions.cpp.o" "gcc" "src/stats/CMakeFiles/rascal_stats.dir/distributions.cpp.o.d"
+  "/root/repo/src/stats/estimators.cpp" "src/stats/CMakeFiles/rascal_stats.dir/estimators.cpp.o" "gcc" "src/stats/CMakeFiles/rascal_stats.dir/estimators.cpp.o.d"
+  "/root/repo/src/stats/ks_test.cpp" "src/stats/CMakeFiles/rascal_stats.dir/ks_test.cpp.o" "gcc" "src/stats/CMakeFiles/rascal_stats.dir/ks_test.cpp.o.d"
+  "/root/repo/src/stats/rng.cpp" "src/stats/CMakeFiles/rascal_stats.dir/rng.cpp.o" "gcc" "src/stats/CMakeFiles/rascal_stats.dir/rng.cpp.o.d"
+  "/root/repo/src/stats/sampling.cpp" "src/stats/CMakeFiles/rascal_stats.dir/sampling.cpp.o" "gcc" "src/stats/CMakeFiles/rascal_stats.dir/sampling.cpp.o.d"
+  "/root/repo/src/stats/special_functions.cpp" "src/stats/CMakeFiles/rascal_stats.dir/special_functions.cpp.o" "gcc" "src/stats/CMakeFiles/rascal_stats.dir/special_functions.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/rascal_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/rascal_stats.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/rascal_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

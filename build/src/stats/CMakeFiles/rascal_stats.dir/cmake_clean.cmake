@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rascal_stats.dir/distributions.cpp.o"
+  "CMakeFiles/rascal_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/rascal_stats.dir/estimators.cpp.o"
+  "CMakeFiles/rascal_stats.dir/estimators.cpp.o.d"
+  "CMakeFiles/rascal_stats.dir/ks_test.cpp.o"
+  "CMakeFiles/rascal_stats.dir/ks_test.cpp.o.d"
+  "CMakeFiles/rascal_stats.dir/rng.cpp.o"
+  "CMakeFiles/rascal_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/rascal_stats.dir/sampling.cpp.o"
+  "CMakeFiles/rascal_stats.dir/sampling.cpp.o.d"
+  "CMakeFiles/rascal_stats.dir/special_functions.cpp.o"
+  "CMakeFiles/rascal_stats.dir/special_functions.cpp.o.d"
+  "CMakeFiles/rascal_stats.dir/summary.cpp.o"
+  "CMakeFiles/rascal_stats.dir/summary.cpp.o.d"
+  "librascal_stats.a"
+  "librascal_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rascal_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

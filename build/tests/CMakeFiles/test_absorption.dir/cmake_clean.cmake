@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_absorption.dir/test_absorption.cpp.o"
+  "CMakeFiles/test_absorption.dir/test_absorption.cpp.o.d"
+  "test_absorption"
+  "test_absorption.pdb"
+  "test_absorption[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_absorption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cut_sets.dir/test_cut_sets.cpp.o"
+  "CMakeFiles/test_cut_sets.dir/test_cut_sets.cpp.o.d"
+  "test_cut_sets"
+  "test_cut_sets.pdb"
+  "test_cut_sets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cut_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_derivative.dir/test_derivative.cpp.o"
+  "CMakeFiles/test_derivative.dir/test_derivative.cpp.o.d"
+  "test_derivative"
+  "test_derivative.pdb"
+  "test_derivative[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_derivative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

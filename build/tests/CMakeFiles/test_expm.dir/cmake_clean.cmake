@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_expm.dir/test_expm.cpp.o"
+  "CMakeFiles/test_expm.dir/test_expm.cpp.o.d"
+  "test_expm"
+  "test_expm.pdb"
+  "test_expm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_expm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_faultinj.dir/test_faultinj.cpp.o"
+  "CMakeFiles/test_faultinj.dir/test_faultinj.cpp.o.d"
+  "test_faultinj"
+  "test_faultinj.pdb"
+  "test_faultinj[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_faultinj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gth.dir/test_gth.cpp.o"
+  "CMakeFiles/test_gth.dir/test_gth.cpp.o.d"
+  "test_gth"
+  "test_gth.pdb"
+  "test_gth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_importance_sampling.dir/test_importance_sampling.cpp.o"
+  "CMakeFiles/test_importance_sampling.dir/test_importance_sampling.cpp.o.d"
+  "test_importance_sampling"
+  "test_importance_sampling.pdb"
+  "test_importance_sampling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_importance_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

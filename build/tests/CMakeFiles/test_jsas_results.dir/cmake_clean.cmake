@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jsas_results.dir/test_jsas_results.cpp.o"
+  "CMakeFiles/test_jsas_results.dir/test_jsas_results.cpp.o.d"
+  "test_jsas_results"
+  "test_jsas_results.pdb"
+  "test_jsas_results[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jsas_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_file.dir/test_model_file.cpp.o"
+  "CMakeFiles/test_model_file.dir/test_model_file.cpp.o.d"
+  "test_model_file"
+  "test_model_file.pdb"
+  "test_model_file[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

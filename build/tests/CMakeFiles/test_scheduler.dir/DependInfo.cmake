@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/test_scheduler.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/test_scheduler.dir/test_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rascal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/rascal_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rascal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/spn/CMakeFiles/rascal_spn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctmc/CMakeFiles/rascal_ctmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/rascal_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rascal_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rascal_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

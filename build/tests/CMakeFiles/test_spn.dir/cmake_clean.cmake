@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spn.dir/test_spn.cpp.o"
+  "CMakeFiles/test_spn.dir/test_spn.cpp.o.d"
+  "test_spn"
+  "test_spn.pdb"
+  "test_spn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_user_impact.dir/test_user_impact.cpp.o"
+  "CMakeFiles/test_user_impact.dir/test_user_impact.cpp.o.d"
+  "test_user_impact"
+  "test_user_impact.pdb"
+  "test_user_impact[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_user_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_web_tier.dir/test_web_tier.cpp.o"
+  "CMakeFiles/test_web_tier.dir/test_web_tier.cpp.o.d"
+  "test_web_tier"
+  "test_web_tier.pdb"
+  "test_web_tier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_web_tier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rascal_cli.dir/rascal_cli.cpp.o"
+  "CMakeFiles/rascal_cli.dir/rascal_cli.cpp.o.d"
+  "rascal_cli"
+  "rascal_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rascal_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_solve_hadb_pair "/root/repo/build/tools/rascal_cli" "solve" "/root/repo/examples/models/hadb_pair.rasc")
+set_tests_properties(cli_solve_hadb_pair PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_states_app_server "/root/repo/build/tools/rascal_cli" "states" "/root/repo/examples/models/app_server_2inst.rasc" "--set" "La_as=0.002")
+set_tests_properties(cli_states_app_server PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sweep_fir "/root/repo/build/tools/rascal_cli" "sweep" "/root/repo/examples/models/hadb_pair.rasc" "--param" "FIR" "--from" "0" "--to" "0.002" "--points" "5" "--metric" "downtime")
+set_tests_properties(cli_sweep_fir PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_mttf_hadb_pair "/root/repo/build/tools/rascal_cli" "mttf" "/root/repo/examples/models/hadb_pair.rasc" "--start" "Ok")
+set_tests_properties(cli_mttf_hadb_pair PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_lump_app_server "/root/repo/build/tools/rascal_cli" "lump" "/root/repo/examples/models/app_server_2inst.rasc")
+set_tests_properties(cli_lump_app_server PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sens_hadb_pair "/root/repo/build/tools/rascal_cli" "sens" "/root/repo/examples/models/hadb_pair.rasc")
+set_tests_properties(cli_sens_hadb_pair PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_dot_hadb_pair "/root/repo/build/tools/rascal_cli" "dot" "/root/repo/examples/models/hadb_pair.rasc")
+set_tests_properties(cli_dot_hadb_pair PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;28;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_missing_file "/root/repo/build/tools/rascal_cli" "solve" "/nonexistent.rasc")
+set_tests_properties(cli_rejects_missing_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;31;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_usage "/root/repo/build/tools/rascal_cli")
+set_tests_properties(cli_rejects_bad_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;34;add_test;/root/repo/tools/CMakeLists.txt;0;")
