@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/thread_pool.h"
+
 namespace rascal::analysis {
 
 std::vector<double> linspace(double lo, double hi, std::size_t count) {
@@ -20,15 +22,14 @@ std::vector<double> linspace(double lo, double hi, std::size_t count) {
 std::vector<SweepPoint> parametric_sweep(const ModelFunction& model,
                                          const expr::ParameterSet& base,
                                          const std::string& parameter,
-                                         const std::vector<double>& values) {
-  std::vector<SweepPoint> points;
-  points.reserve(values.size());
-  for (double v : values) {
-    expr::ParameterSet params = base;
-    params.set(parameter, v);
-    points.push_back({v, model(params)});
-  }
-  return points;
+                                         const std::vector<double>& values,
+                                         std::size_t threads) {
+  return core::parallel_map(
+      values.size(), core::resolve_threads(threads), [&](std::size_t i) {
+        expr::ParameterSet params = base;
+        params.set(parameter, values[i]);
+        return SweepPoint{values[i], model(params)};
+      });
 }
 
 }  // namespace rascal::analysis

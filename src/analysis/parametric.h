@@ -26,9 +26,13 @@ struct SweepPoint {
 };
 
 /// Evaluates `model` at `base` with `parameter` overridden by each of
-/// `values`, in order.
+/// `values`, in order.  `threads` workers evaluate the points (0 =
+/// automatic: RASCAL_THREADS env, else hardware_concurrency); results
+/// are index-ordered so every thread count returns identical points.
+/// threads != 1 requires `model` to be safe to call concurrently.
 [[nodiscard]] std::vector<SweepPoint> parametric_sweep(
     const ModelFunction& model, const expr::ParameterSet& base,
-    const std::string& parameter, const std::vector<double>& values);
+    const std::string& parameter, const std::vector<double>& values,
+    std::size_t threads = 1);
 
 }  // namespace rascal::analysis

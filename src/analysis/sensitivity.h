@@ -27,10 +27,14 @@ struct Sensitivity {
 
 /// Central-difference sensitivities for each named parameter around
 /// `base`.  `relative_step` scales the perturbation per parameter
-/// (|x| * step, or step when x == 0).
+/// (|x| * step, or step when x == 0).  `threads` workers evaluate the
+/// per-parameter stencils (0 = automatic); results are index-ordered,
+/// so any thread count returns identical sensitivities.  threads != 1
+/// requires `model` to be safe to call concurrently.
 [[nodiscard]] std::vector<Sensitivity> finite_difference_sensitivities(
     const ModelFunction& model, const expr::ParameterSet& base,
-    const std::vector<std::string>& parameters, double relative_step = 1e-4);
+    const std::vector<std::string>& parameters, double relative_step = 1e-4,
+    std::size_t threads = 1);
 
 struct TornadoBar {
   std::string parameter;
@@ -42,10 +46,14 @@ struct TornadoBar {
   }
 };
 
-/// One bar per range, sorted by descending swing.
+/// One bar per range, sorted by descending swing.  `threads` workers
+/// evaluate the endpoint pairs (0 = automatic); bars are assembled in
+/// range order before sorting, so any thread count returns identical
+/// bars.  threads != 1 requires a concurrency-safe `model`.
 [[nodiscard]] std::vector<TornadoBar> tornado_analysis(
     const ModelFunction& model, const expr::ParameterSet& base,
-    const std::vector<stats::ParameterRange>& ranges);
+    const std::vector<stats::ParameterRange>& ranges,
+    std::size_t threads = 1);
 
 /// Spearman rank correlation coefficient between two equal-length
 /// samples.  Throws std::invalid_argument on mismatch or length < 2.

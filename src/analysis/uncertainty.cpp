@@ -2,12 +2,24 @@
 
 #include <stdexcept>
 
+#include "core/thread_pool.h"
 #include "stats/rng.h"
 
 namespace rascal::analysis {
 
 double UncertaintyResult::fraction_below(double threshold) const {
   return stats::fraction_below(metrics, threshold);
+}
+
+expr::ParameterSet sample_parameters(
+    const expr::ParameterSet& base,
+    const std::vector<stats::ParameterRange>& ranges,
+    const stats::Sample& draw) {
+  expr::ParameterSet params = base;
+  for (std::size_t d = 0; d < ranges.size(); ++d) {
+    params.set(ranges[d].name, draw[d]);
+  }
+  return params;
 }
 
 UncertaintyResult uncertainty_analysis(
@@ -23,18 +35,23 @@ UncertaintyResult uncertainty_analysis(
           ? stats::latin_hypercube_samples(ranges, options.samples, rng)
           : stats::monte_carlo_samples(ranges, options.samples, rng);
 
+  // The draws are fixed before the parallel region, each model solve
+  // depends only on its own draw, and every reduction below runs over
+  // the index-ordered metrics — so the thread count cannot change any
+  // output bit.
+  const std::vector<double> metrics = core::parallel_map(
+      draws.size(), core::resolve_threads(options.threads),
+      [&](std::size_t i) {
+        return model(sample_parameters(base, ranges, draws[i]));
+      });
+
   UncertaintyResult result;
   result.samples.reserve(draws.size());
   result.metrics.reserve(draws.size());
-  for (const stats::Sample& draw : draws) {
-    expr::ParameterSet params = base;
-    for (std::size_t d = 0; d < ranges.size(); ++d) {
-      params.set(ranges[d].name, draw[d]);
-    }
-    const double metric = model(params);
-    result.samples.push_back({draw, metric});
-    result.metrics.push_back(metric);
-    result.summary.add(metric);
+  for (std::size_t i = 0; i < draws.size(); ++i) {
+    result.samples.push_back({draws[i], metrics[i]});
+    result.metrics.push_back(metrics[i]);
+    result.summary.add(metrics[i]);
   }
   result.mean = result.summary.mean();
   result.interval80 = stats::sample_interval(result.metrics, 0.8);

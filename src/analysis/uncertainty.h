@@ -20,6 +20,12 @@ struct UncertaintyOptions {
   std::size_t samples = 1000;  // paper uses 1,000 snapshots
   std::uint64_t seed = 2004;   // reproducible by default
   bool latin_hypercube = false;
+  // Worker threads for the per-sample model solves: 0 = automatic
+  // (RASCAL_THREADS env, else hardware_concurrency).  All draws are
+  // generated up front and metrics are accumulated in draw order, so
+  // every thread count returns bit-identical results.  threads != 1
+  // requires `model` to be safe to call concurrently.
+  std::size_t threads = 1;
 };
 
 struct UncertaintySample {
@@ -39,6 +45,14 @@ struct UncertaintyResult {
   /// (e.g. yearly downtime under 5.25 min = five-9s availability).
   [[nodiscard]] double fraction_below(double threshold) const;
 };
+
+/// Pure helper: `base` with every range's parameter overridden by the
+/// corresponding coordinate of `draw`.  Shared by the serial and
+/// parallel evaluation paths.
+[[nodiscard]] expr::ParameterSet sample_parameters(
+    const expr::ParameterSet& base,
+    const std::vector<stats::ParameterRange>& ranges,
+    const stats::Sample& draw);
 
 /// Runs the analysis: each draw overrides `base` with sampled values
 /// for every range, then evaluates `model`.

@@ -1,0 +1,93 @@
+// Deterministic parallel-execution layer.
+//
+// A fixed-size worker pool plus chunked parallel_for / parallel_map
+// primitives used by every embarrassingly parallel sampling loop in
+// the library (uncertainty analysis, parametric sweeps, the
+// fault-injection campaign, simulator replications).
+//
+// Determinism contract: the primitives only decide *where* an index
+// runs, never *what* it computes.  Callers draw per-index randomness
+// from RandomEngine::split(index) substreams and write results into
+// index-addressed slots, so any thread count — including 1 — produces
+// bit-identical output.  Reductions that are sensitive to floating
+// point ordering must be performed over the index-ordered results
+// after the parallel region, not inside it.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace rascal::core {
+
+/// Resolves a requested thread count to the count actually used:
+///   requested >  0 -> requested (explicit request wins);
+///   requested == 0 -> the RASCAL_THREADS environment variable when it
+///                     parses to a positive integer, otherwise
+///                     std::thread::hardware_concurrency() (min 1).
+[[nodiscard]] std::size_t resolve_threads(std::size_t requested);
+
+/// Fixed-size worker pool.  Tasks are executed by `size()` long-lived
+/// worker threads; `wait()` blocks until every submitted task has
+/// finished.  The pool itself imposes no ordering between tasks —
+/// deterministic callers must not care which worker runs which task.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return workers_.size();
+  }
+
+  /// Enqueues a task for execution on some worker.
+  void submit(std::function<void()> task);
+
+  /// Blocks until all tasks submitted so far have completed.
+  void wait();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs `body(begin, end)` over a chunked partition of [0, count)
+/// using `threads` workers (resolved per resolve_threads).  Chunks are
+/// contiguous and cover each index exactly once; with threads <= 1 (or
+/// count <= 1) the body runs inline on the calling thread.  The first
+/// exception thrown by any chunk is rethrown on the caller after all
+/// workers finish.
+void parallel_for(
+    std::size_t count, std::size_t threads,
+    const std::function<void(std::size_t begin, std::size_t end)>& body);
+
+/// results[i] = fn(i) for i in [0, count), computed on `threads`
+/// workers.  The result vector is index-ordered and independent of the
+/// thread count.  The element type must be default-constructible.
+template <typename Fn>
+[[nodiscard]] auto parallel_map(std::size_t count, std::size_t threads,
+                                Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{}))> {
+  std::vector<decltype(fn(std::size_t{}))> out(count);
+  parallel_for(count, threads, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) out[i] = fn(i);
+  });
+  return out;
+}
+
+}  // namespace rascal::core

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/thread_pool.h"
 #include "stats/estimators.h"
 
 namespace rascal::faultinj {
@@ -130,85 +131,106 @@ double recovery_time(FaultClass fault, const RecoveryModel& model,
   return 0.0;
 }
 
+// One injection: fault the target, observe availability, drive
+// recovery, restore the testbed.  All randomness comes from the
+// trial's own substream, so trials are independent of each other and
+// of the thread that runs them.
+InjectionRecord run_trial(std::size_t trial, Testbed& bed,
+                          const std::vector<HostId>& hadb_hosts,
+                          const std::vector<HostId>& as_hosts,
+                          const RecoveryModel& recovery,
+                          stats::RandomEngine rng) {
+  const FaultClass fault = kAllFaults[trial % std::size(kAllFaults)];
+  const std::vector<HostId>& pool =
+      targets_hadb(fault) ? hadb_hosts : as_hosts;
+  const HostId target = pool[rng.uniform_index(pool.size())];
+
+  apply_fault(bed, fault, target, rng);
+
+  InjectionRecord record;
+  record.fault = fault;
+  record.target = target;
+  // Fluctuate the workload and occasionally combine the injection
+  // with a rare operating mode, as the lab campaign did.
+  record.workload = static_cast<WorkloadLevel>(rng.uniform_index(3));
+  const double mode_pick = rng.uniform01();
+  record.mode = mode_pick < 0.05   ? SystemMode::kRepair
+                : mode_pick < 0.10 ? SystemMode::kDataReorganization
+                                   : SystemMode::kNormal;
+  double condition_factor = 1.0;
+  switch (record.workload) {
+    case WorkloadLevel::kIdle:
+      condition_factor *= recovery.idle_factor;
+      break;
+    case WorkloadLevel::kModerate: break;
+    case WorkloadLevel::kFullyLoaded:
+      condition_factor *= recovery.full_load_factor;
+      break;
+  }
+  switch (record.mode) {
+    case SystemMode::kNormal: break;
+    case SystemMode::kRepair:
+      condition_factor *= recovery.repair_mode_factor;
+      break;
+    case SystemMode::kDataReorganization:
+      condition_factor *= recovery.reorg_mode_factor;
+      break;
+  }
+  // Single-fault tolerance: the redundant peer keeps the service up
+  // while exactly one node is impaired.
+  record.service_stayed_available = bed.service_available();
+  // The watchdog / companion drives recovery; with probability
+  // true_imperfect_recovery the recovery handler itself fails (the
+  // event FIR models).
+  record.target_recovered =
+      !rng.bernoulli(recovery.true_imperfect_recovery);
+  record.recovery_time_hours =
+      recovery_time(fault, recovery, rng) * condition_factor;
+
+  // Recovered automatically or repaired by operators — either way the
+  // testbed is pristine before the next trial.
+  bed.restore(target);
+  return record;
+}
+
 }  // namespace
 
 CampaignResult run_campaign(const CampaignOptions& options) {
   if (options.trials == 0) {
     throw std::invalid_argument("run_campaign: zero trials");
   }
-  stats::RandomEngine rng(options.seed);
-  CampaignResult result;
-  result.records.reserve(options.trials);
-
-  Testbed bed = Testbed::jsas_lab();
+  const stats::RandomEngine root(options.seed);
+  const Testbed prototype = Testbed::jsas_lab();
   const std::vector<HostId> hadb_hosts =
-      bed.hosts_with_role(HostRole::kHadbNode);
+      prototype.hosts_with_role(HostRole::kHadbNode);
   const std::vector<HostId> as_hosts =
-      bed.hosts_with_role(HostRole::kAppServer);
+      prototype.hosts_with_role(HostRole::kAppServer);
 
-  constexpr std::size_t kNumFaults = std::size(kAllFaults);
-  for (std::size_t trial = 0; trial < options.trials; ++trial) {
-    const FaultClass fault = kAllFaults[trial % kNumFaults];
-    const std::vector<HostId>& pool =
-        targets_hadb(fault) ? hadb_hosts : as_hosts;
-    const HostId target = pool[rng.uniform_index(pool.size())];
+  // Each trial draws from its own substream and writes only its own
+  // record slot; every worker faults a private copy of the testbed.
+  CampaignResult result;
+  result.records.resize(options.trials);
+  core::parallel_for(
+      options.trials, core::resolve_threads(options.threads),
+      [&](std::size_t begin, std::size_t end) {
+        Testbed bed = prototype;
+        for (std::size_t trial = begin; trial < end; ++trial) {
+          result.records[trial] =
+              run_trial(trial, bed, hadb_hosts, as_hosts, options.recovery,
+                        root.split(trial));
+        }
+      });
 
-    apply_fault(bed, fault, target, rng);
-
-    InjectionRecord record;
-    record.fault = fault;
-    record.target = target;
-    // Fluctuate the workload and occasionally combine the injection
-    // with a rare operating mode, as the lab campaign did.
-    record.workload = static_cast<WorkloadLevel>(rng.uniform_index(3));
-    const double mode_pick = rng.uniform01();
-    record.mode = mode_pick < 0.05   ? SystemMode::kRepair
-                  : mode_pick < 0.10 ? SystemMode::kDataReorganization
-                                     : SystemMode::kNormal;
-    double condition_factor = 1.0;
-    switch (record.workload) {
-      case WorkloadLevel::kIdle:
-        condition_factor *= options.recovery.idle_factor;
-        break;
-      case WorkloadLevel::kModerate: break;
-      case WorkloadLevel::kFullyLoaded:
-        condition_factor *= options.recovery.full_load_factor;
-        break;
-    }
-    switch (record.mode) {
-      case SystemMode::kNormal: break;
-      case SystemMode::kRepair:
-        condition_factor *= options.recovery.repair_mode_factor;
-        break;
-      case SystemMode::kDataReorganization:
-        condition_factor *= options.recovery.reorg_mode_factor;
-        break;
-    }
-    // Single-fault tolerance: the redundant peer keeps the service up
-    // while exactly one node is impaired.
-    record.service_stayed_available = bed.service_available();
-    // The watchdog / companion drives recovery; with probability
-    // true_imperfect_recovery the recovery handler itself fails (the
-    // event FIR models).
-    record.target_recovered =
-        !rng.bernoulli(options.recovery.true_imperfect_recovery);
-    record.recovery_time_hours =
-        recovery_time(fault, options.recovery, rng) * condition_factor;
-
-    if (record.target_recovered) {
-      bed.restore(target);
-    } else {
-      // Operators repair the box before the campaign continues.
-      bed.restore(target);
-    }
-
+  // Order-sensitive aggregation happens serially, in trial order, so
+  // the summaries are bit-identical for every thread count.
+  for (const InjectionRecord& record : result.records) {
     ++result.trials;
     if (record.service_stayed_available && record.target_recovered) {
       ++result.successes;
     }
     result.recovery_by_workload[static_cast<std::size_t>(record.workload)]
         .add(record.recovery_time_hours);
-    switch (fault) {
+    switch (record.fault) {
       case FaultClass::kHadbKillAllProcesses:
       case FaultClass::kHadbKillRandomProcess:
       case FaultClass::kHadbFastTerminate:
@@ -223,7 +245,6 @@ CampaignResult run_campaign(const CampaignOptions& options) {
       default:
         break;
     }
-    result.records.push_back(record);
   }
   return result;
 }

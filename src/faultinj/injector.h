@@ -82,6 +82,12 @@ struct InjectionRecord {
 struct CampaignOptions {
   std::size_t trials = 3287;  // the paper's campaign size
   std::uint64_t seed = 1973;
+  // Worker threads for the per-trial parallelism: 0 = automatic
+  // (RASCAL_THREADS env, else hardware_concurrency).  Every trial
+  // draws from its own RandomEngine::split(trial) substream and the
+  // aggregates are accumulated in trial order after the parallel
+  // region, so any thread count produces bit-identical results.
+  std::size_t threads = 0;
   RecoveryModel recovery;
 };
 

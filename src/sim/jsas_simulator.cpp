@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/thread_pool.h"
 #include "core/units.h"
 #include "stats/rng.h"
 
@@ -70,11 +71,25 @@ struct SimParams {
         acc(p.get("Acc")) {}
 };
 
+// Everything one replication produces; merged into the JsasSimResult
+// in replication order so parallel runs stay bit-identical.
+struct ReplicationOutcome {
+  double availability = 0.0;
+  double as_down_time = 0.0;
+  double hadb_down_time = 0.0;
+  std::uint64_t system_failures = 0;
+  std::uint64_t as_cluster_failures = 0;
+  std::uint64_t hadb_pair_failures = 0;
+  std::uint64_t imperfect_recoveries = 0;
+  std::uint64_t as_instance_failures = 0;
+  std::uint64_t hadb_node_failures = 0;
+};
+
 class Replication {
  public:
   Replication(const models::JsasConfig& config, const SimParams& params,
               const JsasSimOptions& options, stats::RandomEngine rng,
-              JsasSimResult& totals)
+              ReplicationOutcome& totals)
       : params_(params),
         options_(options),
         rng_(std::move(rng)),
@@ -328,7 +343,7 @@ class Replication {
   const SimParams& params_;
   const JsasSimOptions& options_;
   stats::RandomEngine rng_;
-  JsasSimResult& totals_;
+  ReplicationOutcome& totals_;
 
   std::vector<Instance> instances_;
   std::vector<Pair> pairs_;
@@ -361,17 +376,35 @@ JsasSimResult simulate_jsas(const models::JsasConfig& config,
   }
   const SimParams sim_params(params);
 
+  // Replications were already seeded from per-index substreams; run
+  // them on workers, each filling its own outcome slot, then merge in
+  // replication order so every thread count is bit-identical.
+  const stats::RandomEngine root(options.seed);
+  const std::vector<ReplicationOutcome> outcomes = core::parallel_map(
+      options.replications, core::resolve_threads(options.threads),
+      [&](std::size_t rep) {
+        ReplicationOutcome outcome;
+        Replication replication(config, sim_params, options,
+                                root.split(rep), outcome);
+        outcome.availability = replication.run();
+        outcome.as_down_time = replication.as_down_time();
+        outcome.hadb_down_time = replication.hadb_down_time();
+        return outcome;
+      });
+
   JsasSimResult result;
-  stats::RandomEngine root(options.seed);
   double as_down_total = 0.0;
   double hadb_down_total = 0.0;
-  for (std::size_t rep = 0; rep < options.replications; ++rep) {
-    Replication replication(config, sim_params, options, root.split(rep),
-                            result);
-    const double availability = replication.run();
-    result.per_replication_availability.add(availability);
-    as_down_total += replication.as_down_time();
-    hadb_down_total += replication.hadb_down_time();
+  for (const ReplicationOutcome& outcome : outcomes) {
+    result.per_replication_availability.add(outcome.availability);
+    as_down_total += outcome.as_down_time;
+    hadb_down_total += outcome.hadb_down_time;
+    result.system_failures += outcome.system_failures;
+    result.as_cluster_failures += outcome.as_cluster_failures;
+    result.hadb_pair_failures += outcome.hadb_pair_failures;
+    result.imperfect_recoveries += outcome.imperfect_recoveries;
+    result.as_instance_failures += outcome.as_instance_failures;
+    result.hadb_node_failures += outcome.hadb_node_failures;
   }
 
   const double total_time =

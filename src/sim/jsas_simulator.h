@@ -26,6 +26,12 @@ struct JsasSimOptions {
   std::size_t replications = 10;
   std::uint64_t seed = 7;
   bool exponential_recoveries = false;
+  // Worker threads across replications: 0 = automatic (RASCAL_THREADS
+  // env, else hardware_concurrency).  Each replication draws from its
+  // own RandomEngine::split(rep) substream and per-replication totals
+  // are merged in replication order after the parallel region, so any
+  // thread count produces bit-identical results.
+  std::size_t threads = 0;
 };
 
 struct JsasSimResult {

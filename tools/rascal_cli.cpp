@@ -39,7 +39,9 @@ int usage() {
          "  rascal_cli states MODEL.rasc [--set NAME=VALUE ...]\n"
          "  rascal_cli sweep  MODEL.rasc --param NAME --from A --to B\n"
          "             [--points N] [--metric availability|downtime|mtbf]"
-         " [--set NAME=VALUE ...]\n"
+         " [--set NAME=VALUE ...] [--threads N]\n"
+         "             (--threads 0 = auto: RASCAL_THREADS env, else all"
+         " cores)\n"
          "  rascal_cli mttf   MODEL.rasc [--start STATE] "
          "[--set NAME=VALUE ...]\n"
          "  rascal_cli lump   MODEL.rasc [--set NAME=VALUE ...]\n"
@@ -59,6 +61,7 @@ struct Arguments {
   std::size_t points = 11;
   std::string metric = "availability";
   std::string start_state;  // mttf: defaults to the first state
+  std::size_t threads = 0;  // 0 = auto (RASCAL_THREADS, else all cores)
 };
 
 bool parse_set(const std::string& text, expr::ParameterSet& out) {
@@ -108,6 +111,10 @@ bool parse_arguments(int argc, char** argv, Arguments& args) {
       const char* value = next();
       if (!value) return false;
       args.points = static_cast<std::size_t>(std::stoul(value));
+    } else if (flag == "--threads") {
+      const char* value = next();
+      if (!value) return false;
+      args.threads = static_cast<std::size_t>(std::stoul(value));
     } else if (flag == "--metric") {
       const char* value = next();
       if (!value) return false;
@@ -178,7 +185,7 @@ int run_sweep(const Arguments& args) {
   const auto values = analysis::linspace(args.from, args.to, args.points);
   const auto sweep = analysis::parametric_sweep(
       metric_fn, file.parameters.with(args.overrides), args.sweep_param,
-      values);
+      values, args.threads);
 
   std::vector<double> ys;
   report::TextTable table({args.sweep_param, args.metric});
