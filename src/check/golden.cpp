@@ -1,0 +1,216 @@
+#include "check/golden.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rascal::check {
+
+namespace {
+
+std::string format_double(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", v);
+  return buffer;
+}
+
+// Minimal recursive-descent reader for the flat two-level object
+// emitted by to_json.  Positions are byte offsets for error messages.
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  GoldenRecord parse() {
+    GoldenRecord record;
+    expect('{');
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      finish();
+      return record;
+    }
+    while (true) {
+      const std::string key = parse_string();
+      expect(':');
+      if (!record.emplace(key, parse_entry()).second) {
+        fail("duplicate metric '" + key + "'");
+      }
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      finish();
+      return record;
+    }
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::runtime_error("golden JSON, offset " + std::to_string(pos_) +
+                             ": " + message);
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    skip_whitespace();
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') fail("escape sequences are not supported");
+      out += text_[pos_++];
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  double parse_number() {
+    skip_whitespace();
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin) fail("expected a number");
+    pos_ += static_cast<std::size_t>(end - begin);
+    if (!std::isfinite(value)) fail("non-finite number");
+    return value;
+  }
+
+  GoldenEntry parse_entry() {
+    GoldenEntry entry;
+    bool has_value = false;
+    expect('{');
+    while (true) {
+      const std::string field = parse_string();
+      expect(':');
+      const double number = parse_number();
+      if (field == "value") {
+        entry.value = number;
+        has_value = true;
+      } else if (field == "abs_tol") {
+        entry.abs_tol = number;
+      } else if (field == "rel_tol") {
+        entry.rel_tol = number;
+      } else {
+        fail("unknown field '" + field + "'");
+      }
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      break;
+    }
+    if (!has_value) fail("entry is missing \"value\"");
+    return entry;
+  }
+
+  void finish() {
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing content after record");
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string to_json(const GoldenRecord& record) {
+  std::ostringstream os;
+  os << "{\n";
+  bool first = true;
+  for (const auto& [name, entry] : record) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  \"" << name << "\": {\"value\": " << format_double(entry.value)
+       << ", \"abs_tol\": " << format_double(entry.abs_tol)
+       << ", \"rel_tol\": " << format_double(entry.rel_tol) << "}";
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+GoldenRecord parse_json(const std::string& text) {
+  return JsonReader(text).parse();
+}
+
+GoldenRecord load_golden(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error(
+        "cannot open golden file: " + path +
+        " (regenerate with 'rascal_cli --update-golden DIR')");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return parse_json(buffer.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+void write_golden(const std::string& path, const GoldenRecord& record) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot write golden file: " + path);
+  }
+  out << to_json(record);
+  if (!out) {
+    throw std::runtime_error("failed writing golden file: " + path);
+  }
+}
+
+std::vector<std::string> compare_golden(const GoldenRecord& golden,
+                                        const GoldenRecord& current) {
+  std::vector<std::string> problems;
+  for (const auto& [name, locked] : golden) {
+    const auto it = current.find(name);
+    if (it == current.end()) {
+      problems.push_back("metric '" + name +
+                         "' is locked but no longer computed");
+      continue;
+    }
+    const double fresh = it->second.value;
+    const double tolerance =
+        locked.abs_tol + locked.rel_tol * std::abs(locked.value);
+    if (!(std::abs(fresh - locked.value) <= tolerance)) {
+      std::ostringstream os;
+      os.precision(17);
+      os << "metric '" << name << "' drifted: golden " << locked.value
+         << ", current " << fresh << ", tolerance " << tolerance;
+      problems.push_back(os.str());
+    }
+  }
+  for (const auto& [name, entry] : current) {
+    (void)entry;
+    if (!golden.count(name)) {
+      problems.push_back("metric '" + name +
+                         "' is computed but not locked (update goldens)");
+    }
+  }
+  return problems;
+}
+
+}  // namespace rascal::check

@@ -1,0 +1,49 @@
+// Golden-file regression records: named scalar metrics, each locked
+// with its own absolute/relative tolerance, serialized as a flat JSON
+// object.  The reproduced paper numbers live in tests/golden/*.json;
+// `rascal_cli golden` verifies them and `rascal_cli --update-golden`
+// regenerates them deterministically (fixed seeds, fixed sample
+// counts).
+//
+// A comparison passes when
+//   |current - value| <= abs_tol + rel_tol * |value|.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rascal::check {
+
+struct GoldenEntry {
+  double value = 0.0;
+  double abs_tol = 0.0;
+  double rel_tol = 1e-9;
+};
+
+/// Metric name -> locked value with tolerance.  std::map keeps the
+/// serialization deterministic.
+using GoldenRecord = std::map<std::string, GoldenEntry>;
+
+/// Serializes with full double precision and stable key order, so
+/// repeated --update-golden runs are byte-identical.
+[[nodiscard]] std::string to_json(const GoldenRecord& record);
+
+/// Parses the subset of JSON emitted by to_json.  Throws
+/// std::runtime_error with a position-annotated message on malformed
+/// input, unknown fields, or duplicate keys.
+[[nodiscard]] GoldenRecord parse_json(const std::string& text);
+
+/// Reads/writes a record at `path`.  load throws std::runtime_error
+/// when the file is missing (the error suggests --update-golden).
+[[nodiscard]] GoldenRecord load_golden(const std::string& path);
+void write_golden(const std::string& path, const GoldenRecord& record);
+
+/// Compares freshly computed metrics against a golden record.  Every
+/// metric must exist on both sides; mismatches, missing metrics, and
+/// out-of-tolerance values come back as human-readable lines (empty =
+/// pass).
+[[nodiscard]] std::vector<std::string> compare_golden(
+    const GoldenRecord& golden, const GoldenRecord& current);
+
+}  // namespace rascal::check

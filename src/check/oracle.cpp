@@ -1,0 +1,193 @@
+#include "check/oracle.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/metrics.h"
+#include "ctmc/steady_state.h"
+#include "ctmc/transient.h"
+#include "linalg/expm.h"
+
+namespace rascal::check {
+
+namespace {
+
+const char* method_name(ctmc::SteadyStateMethod method) {
+  switch (method) {
+    case ctmc::SteadyStateMethod::kGth: return "gth";
+    case ctmc::SteadyStateMethod::kLu: return "lu";
+    case ctmc::SteadyStateMethod::kPower: return "power";
+    case ctmc::SteadyStateMethod::kGaussSeidel: return "gauss-seidel";
+  }
+  return "?";
+}
+
+double availability_of(const ctmc::Ctmc& chain, const linalg::Vector& pi) {
+  double up = 0.0;
+  for (std::size_t s = 0; s < chain.num_states(); ++s) {
+    if (chain.reward(s) >= core::kDefaultUpThreshold) up += pi[s];
+  }
+  return up;
+}
+
+}  // namespace
+
+std::string OracleReport::summary() const {
+  std::ostringstream os;
+  os << checks << " checks, " << failures.size() << " failures";
+  for (const std::string& f : failures) os << "\n  " << f;
+  return os.str();
+}
+
+void OracleReport::absorb(const OracleReport& other,
+                          const std::string& context) {
+  checks += other.checks;
+  for (const std::string& f : other.failures) {
+    failures.push_back(context + ": " + f);
+  }
+}
+
+void OracleReport::expect_close(const std::string& what, double lhs,
+                                double rhs, double tolerance) {
+  ++checks;
+  const double diff = std::abs(lhs - rhs);
+  if (!(diff <= tolerance) || !std::isfinite(lhs) || !std::isfinite(rhs)) {
+    std::ostringstream os;
+    os.precision(17);
+    os << what << ": " << lhs << " vs " << rhs << " (|diff| " << diff
+       << " > tol " << tolerance << ")";
+    failures.push_back(os.str());
+  }
+}
+
+OracleReport check_steady_state_consensus(const ctmc::Ctmc& chain,
+                                          const OracleOptions& options) {
+  std::vector<ctmc::SteadyStateMethod> methods = {
+      ctmc::SteadyStateMethod::kGth, ctmc::SteadyStateMethod::kLu};
+  if (options.include_iterative) {
+    methods.push_back(ctmc::SteadyStateMethod::kPower);
+    methods.push_back(ctmc::SteadyStateMethod::kGaussSeidel);
+  }
+
+  OracleReport report;
+  std::vector<ctmc::SteadyState> solutions;
+  solutions.reserve(methods.size());
+  for (const auto method : methods) {
+    try {
+      solutions.push_back(ctmc::solve_steady_state(chain, method));
+    } catch (const std::exception& e) {
+      ++report.checks;
+      report.failures.push_back(std::string(method_name(method)) +
+                                ": threw: " + e.what());
+      solutions.push_back({});
+    }
+  }
+
+  // Each solution must satisfy its own balance equations...
+  for (std::size_t m = 0; m < methods.size(); ++m) {
+    if (solutions[m].probabilities.empty()) continue;
+    report.expect_close(std::string("residual ||pi Q|| (") +
+                            method_name(methods[m]) + ")",
+                        solutions[m].residual, 0.0,
+                        options.steady_tolerance);
+  }
+  // ...and all pairs must agree state-by-state and on availability.
+  for (std::size_t a = 0; a < methods.size(); ++a) {
+    for (std::size_t b = a + 1; b < methods.size(); ++b) {
+      const auto& pa = solutions[a].probabilities;
+      const auto& pb = solutions[b].probabilities;
+      if (pa.empty() || pb.empty()) continue;
+      const std::string pair = std::string(method_name(methods[a])) + " vs " +
+                               method_name(methods[b]);
+      for (std::size_t s = 0; s < chain.num_states(); ++s) {
+        report.expect_close(pair + " pi[" + chain.state_name(s) + "]",
+                            pa[s], pb[s], options.steady_tolerance);
+      }
+      report.expect_close(pair + " availability",
+                          availability_of(chain, pa),
+                          availability_of(chain, pb),
+                          options.steady_tolerance);
+    }
+  }
+  return report;
+}
+
+OracleReport check_steady_state_against(const ctmc::Ctmc& chain,
+                                        const linalg::Vector& expected,
+                                        const OracleOptions& options) {
+  std::vector<ctmc::SteadyStateMethod> methods = {
+      ctmc::SteadyStateMethod::kGth, ctmc::SteadyStateMethod::kLu};
+  if (options.include_iterative) {
+    methods.push_back(ctmc::SteadyStateMethod::kPower);
+    methods.push_back(ctmc::SteadyStateMethod::kGaussSeidel);
+  }
+  OracleReport report;
+  for (const auto method : methods) {
+    ctmc::SteadyState steady;
+    try {
+      steady = ctmc::solve_steady_state(chain, method);
+    } catch (const std::exception& e) {
+      // Iterative methods may honestly refuse to converge on skewed
+      // chains (e.g. strongly drifted birth-death walks); refusal is
+      // not disagreement.  Direct methods have no such excuse.
+      const bool iterative = method == ctmc::SteadyStateMethod::kPower ||
+                             method == ctmc::SteadyStateMethod::kGaussSeidel;
+      if (!iterative) {
+        ++report.checks;
+        report.failures.push_back(std::string(method_name(method)) +
+                                  ": threw: " + e.what());
+      }
+      continue;
+    }
+    for (std::size_t s = 0; s < chain.num_states(); ++s) {
+      report.expect_close(std::string(method_name(method)) +
+                              " vs closed form pi[" + chain.state_name(s) +
+                              "]",
+                          steady.probabilities[s], expected[s],
+                          options.steady_tolerance);
+    }
+  }
+  return report;
+}
+
+OracleReport check_transient_consensus(const ctmc::Ctmc& chain, double t,
+                                       const OracleOptions& options) {
+  OracleReport report;
+  const auto uni = ctmc::transient_distribution(chain, ctmc::StateId{0}, t);
+
+  linalg::Matrix qt = chain.generator();
+  for (std::size_t r = 0; r < qt.rows(); ++r) {
+    for (std::size_t c = 0; c < qt.cols(); ++c) qt(r, c) *= t;
+  }
+  const linalg::Matrix p = linalg::matrix_exponential(qt);
+  for (std::size_t s = 0; s < chain.num_states(); ++s) {
+    report.expect_close("uniformization vs expm pi_t[" +
+                            chain.state_name(s) + "]",
+                        uni.probabilities[s], p(0, s),
+                        options.transient_tolerance);
+  }
+  double mass = 0.0;
+  for (double x : uni.probabilities) mass += x;
+  report.expect_close("uniformization mass", mass, 1.0,
+                      options.transient_tolerance);
+  return report;
+}
+
+OracleReport check_simulation_consensus(const ctmc::Ctmc& chain,
+                                        const sim::CtmcSimOptions& sim_options,
+                                        const OracleOptions& options) {
+  OracleReport report;
+  const auto steady =
+      ctmc::solve_steady_state(chain, ctmc::SteadyStateMethod::kGth);
+  const double analytic = availability_of(chain, steady.probabilities);
+  const auto sim = sim::simulate_ctmc(chain, sim_options);
+  const double half_width =
+      0.5 * (sim.availability_ci95.upper - sim.availability_ci95.lower);
+  const double tolerance =
+      options.ci_factor * half_width + options.ci_absolute_floor;
+  report.expect_close("analytic vs simulated availability (CI-aware)",
+                      analytic, sim.availability, tolerance);
+  return report;
+}
+
+}  // namespace rascal::check

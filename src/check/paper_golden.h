@@ -1,0 +1,34 @@
+// Reproduced paper headline numbers (Secs. 5-7) as golden records.
+//
+// Three groups, one JSON file each under tests/golden/:
+//   jsas        — Table 2 / Table 3 system results (availability,
+//                 yearly downtime and its AS/HADB attribution, MTBF)
+//   hadb        — HADB node-pair submodel (Figure 3) and the explicit
+//                 finite-spare-pool extension
+//   uncertainty — Section 7 Monte Carlo statistics for Configs 1 and 2
+//                 (mean yearly downtime, 80%/90% intervals, five-9s
+//                 fraction), fixed seed, 300 snapshots
+//
+// Everything is deterministic: analytic metrics exactly, sampled
+// metrics via the fixed-seed RandomEngine.  Tolerances implement the
+// policy in TESTING.md: tight (1e-6 relative) for solver outputs,
+// looser (1e-3 relative) for Monte Carlo statistics so benign
+// floating-point reorderings pass while RNG-scheme or model drift
+// fails.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/golden.h"
+
+namespace rascal::check {
+
+/// Group names, in the order files are written.
+[[nodiscard]] std::vector<std::string> paper_golden_groups();
+
+/// Freshly computes the record for one group.  Throws
+/// std::invalid_argument for an unknown group name.
+[[nodiscard]] GoldenRecord compute_paper_golden(const std::string& group);
+
+}  // namespace rascal::check

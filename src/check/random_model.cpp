@@ -1,0 +1,142 @@
+#include "check/random_model.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace rascal::check {
+
+namespace {
+
+// Log-uniform draw over [options.min_rate, options.max_rate].
+double random_rate(stats::RandomEngine& rng,
+                   const RandomModelOptions& options) {
+  const double lo = std::log(options.min_rate);
+  const double hi = std::log(options.max_rate);
+  return std::exp(rng.uniform(lo, hi));
+}
+
+std::size_t random_size(stats::RandomEngine& rng,
+                        const RandomModelOptions& options) {
+  if (options.min_states < 2 || options.max_states < options.min_states) {
+    throw std::invalid_argument(
+        "random model: need 2 <= min_states <= max_states");
+  }
+  return options.min_states +
+         static_cast<std::size_t>(rng.uniform_index(
+             options.max_states - options.min_states + 1));
+}
+
+}  // namespace
+
+GeneratedModel random_ergodic_ctmc(stats::RandomEngine& rng,
+                                   const RandomModelOptions& options) {
+  const std::size_t n = random_size(rng, options);
+  std::vector<ctmc::State> states;
+  states.reserve(n);
+  bool has_down = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    // State 0 is always up so availability metrics are meaningful and
+    // simulations can regenerate from an up state.
+    const bool down =
+        i > 0 && rng.bernoulli(options.down_probability);
+    has_down = has_down || down;
+    states.push_back({"s" + std::to_string(i), down ? 0.0 : 1.0});
+  }
+  if (!has_down) states.back().reward = 0.0;
+
+  std::vector<ctmc::Transition> transitions;
+  // Hamiltonian cycle 0 -> 1 -> ... -> n-1 -> 0 guarantees a single
+  // recurrent class containing every state.
+  for (std::size_t i = 0; i < n; ++i) {
+    transitions.push_back({i, (i + 1) % n, random_rate(rng, options)});
+  }
+  for (std::size_t from = 0; from < n; ++from) {
+    for (std::size_t to = 0; to < n; ++to) {
+      if (from == to || to == (from + 1) % n) continue;
+      if (rng.bernoulli(options.extra_edge_probability)) {
+        transitions.push_back({from, to, random_rate(rng, options)});
+      }
+    }
+  }
+  GeneratedModel out{ctmc::Ctmc(std::move(states), std::move(transitions)),
+                     "ergodic(n=" + std::to_string(n) + ")",
+                     std::nullopt,
+                     std::nullopt};
+  return out;
+}
+
+GeneratedModel random_birth_death(stats::RandomEngine& rng,
+                                  const RandomModelOptions& options) {
+  const std::size_t n = random_size(rng, options);
+  std::vector<ctmc::State> states;
+  states.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Level 0 = all-up; the deepest levels are down, mirroring an
+    // occupancy/repair model.
+    states.push_back({"level" + std::to_string(i),
+                      i + 1 == n ? 0.0 : 1.0});
+  }
+  std::vector<double> births(n - 1);
+  std::vector<double> deaths(n - 1);  // deaths[i]: rate of i+1 -> i
+  std::vector<ctmc::Transition> transitions;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    births[i] = random_rate(rng, options);
+    deaths[i] = random_rate(rng, options);
+    transitions.push_back({i, i + 1, births[i]});
+    transitions.push_back({i + 1, i, deaths[i]});
+  }
+  // Closed form: pi_k = pi_0 * prod_{i<k} births[i]/deaths[i].
+  linalg::Vector pi(n, 0.0);
+  pi[0] = 1.0;
+  for (std::size_t k = 1; k < n; ++k) {
+    pi[k] = pi[k - 1] * births[k - 1] / deaths[k - 1];
+  }
+  double total = 0.0;
+  for (double p : pi) total += p;
+  for (double& p : pi) p /= total;
+
+  GeneratedModel out{ctmc::Ctmc(std::move(states), std::move(transitions)),
+                     "birth-death(n=" + std::to_string(n) + ")",
+                     std::move(pi),
+                     std::nullopt};
+  return out;
+}
+
+GeneratedModel random_erlang_chain(stats::RandomEngine& rng,
+                                   const RandomModelOptions& options) {
+  const std::size_t stages = random_size(rng, options);
+  std::vector<ctmc::State> states;
+  states.reserve(stages + 1);
+  for (std::size_t i = 0; i < stages; ++i) {
+    states.push_back({"stage" + std::to_string(i), 1.0});
+  }
+  states.push_back({"absorbed", 0.0});
+  std::vector<ctmc::Transition> transitions;
+  double mtta = 0.0;
+  for (std::size_t i = 0; i < stages; ++i) {
+    const double rate = random_rate(rng, options);
+    mtta += 1.0 / rate;
+    transitions.push_back({i, i + 1, rate});
+  }
+  // A slow return edge keeps the chain a valid Ctmc object for any
+  // analysis that requires every state to have an exit; absorption
+  // analyses treat "absorbed" as a target and ignore its exits.
+  transitions.push_back({stages, 0, 1.0});
+  GeneratedModel out{ctmc::Ctmc(std::move(states), std::move(transitions)),
+                     "erlang(k=" + std::to_string(stages) + ")",
+                     std::nullopt,
+                     mtta};
+  return out;
+}
+
+ctmc::Ctmc rescale_rates(const ctmc::Ctmc& chain, double factor) {
+  if (!(factor > 0.0) || !std::isfinite(factor)) {
+    throw std::invalid_argument("rescale_rates: factor must be positive");
+  }
+  std::vector<ctmc::Transition> transitions = chain.transitions();
+  for (ctmc::Transition& t : transitions) t.rate *= factor;
+  return ctmc::Ctmc(chain.states(), std::move(transitions));
+}
+
+}  // namespace rascal::check

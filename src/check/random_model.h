@@ -1,0 +1,72 @@
+// Seeded random-model generation for property-based testing.
+//
+// Each generator produces a structured CTMC together with whatever
+// ground truth its structure admits: birth-death chains carry their
+// closed-form stationary vector, Erlang chains their exact mean
+// absorption time, and general ergodic chains a guaranteed Hamiltonian
+// cycle (irreducibility by construction).  The differential oracle
+// (oracle.h) then cross-checks every solver path on the same chain —
+// the tool-vs-tool validation style of the MAROS/GRIF comparison and
+// the solver-vs-simulation drift studies for storage reliability
+// models.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ctmc/ctmc.h"
+#include "linalg/matrix.h"
+#include "stats/rng.h"
+
+namespace rascal::check {
+
+struct RandomModelOptions {
+  std::size_t min_states = 3;
+  std::size_t max_states = 12;
+  // Rates are drawn log-uniformly from [min_rate, max_rate]; widening
+  // the ratio stresses stiffness (availability models span repair
+  // rates of ~60/h against failure rates of ~1e-4/h).
+  double min_rate = 0.1;
+  double max_rate = 10.0;
+  // Probability of each extra directed edge beyond the guaranteed
+  // structure (cycle / birth-death skeleton).
+  double extra_edge_probability = 0.3;
+  // Probability that a state is "down" (reward 0) rather than "up".
+  double down_probability = 0.4;
+};
+
+/// A generated chain plus the ground truth its structure guarantees.
+struct GeneratedModel {
+  ctmc::Ctmc chain;
+  std::string description;  // e.g. "ergodic(n=7, seed stream 12)"
+  // Closed-form stationary distribution (birth-death only).
+  std::optional<linalg::Vector> analytic_steady;
+  // Exact mean time to absorption from state 0 (Erlang chains only).
+  std::optional<double> analytic_mtta;
+};
+
+/// Random irreducible chain: a Hamiltonian cycle through all states
+/// (irreducibility by construction) plus random extra edges.  Rewards
+/// are 0/1 with at least one up and one down state.
+[[nodiscard]] GeneratedModel random_ergodic_ctmc(
+    stats::RandomEngine& rng, const RandomModelOptions& options = {});
+
+/// Random birth-death chain with closed-form stationary distribution
+/// pi_k proportional to prod_{i<k} birth_i / death_{i+1}, attached as
+/// analytic_steady.
+[[nodiscard]] GeneratedModel random_birth_death(
+    stats::RandomEngine& rng, const RandomModelOptions& options = {});
+
+/// Erlang-style absorbing chain Stage1 -> ... -> StageK -> Absorbed
+/// with random per-stage rates; analytic_mtta = sum of stage means.
+[[nodiscard]] GeneratedModel random_erlang_chain(
+    stats::RandomEngine& rng, const RandomModelOptions& options = {});
+
+/// Uniformly rescales every transition rate by `factor` (> 0), the
+/// basis of the rate-rescaling metamorphic property: the stationary
+/// distribution is invariant and all first-passage times scale by
+/// 1/factor.
+[[nodiscard]] ctmc::Ctmc rescale_rates(const ctmc::Ctmc& chain,
+                                       double factor);
+
+}  // namespace rascal::check

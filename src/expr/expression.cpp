@@ -26,6 +26,26 @@ class Parser {
   }
 
  private:
+  // Deeply nested input ("((((..." or "----...") otherwise recurses
+  // once per level and overflows the stack; depth-bounded evaluation
+  // is also what keeps the recursive Node walks (evaluate,
+  // differentiate, to_string) safe on every tree this parser built.
+  static constexpr std::size_t kMaxDepth = 256;
+
+  struct DepthGuard {
+    explicit DepthGuard(Parser& parser) : parser_(parser) {
+      if (++parser_.depth_ > kMaxDepth) {
+        throw ParseError("expression nests deeper than " +
+                             std::to_string(kMaxDepth) + " levels",
+                         parser_.peek().position);
+      }
+    }
+    ~DepthGuard() { --parser_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    Parser& parser_;
+  };
+
   const Token& peek() const { return tokens_[pos_]; }
   Token advance() { return tokens_[pos_++]; }
 
@@ -44,6 +64,7 @@ class Parser {
   }
 
   NodePtr parse_expression() {
+    const DepthGuard guard(*this);
     NodePtr lhs = parse_term();
     while (true) {
       if (match(TokenKind::kPlus)) {
@@ -73,6 +94,7 @@ class Parser {
   }
 
   NodePtr parse_unary() {
+    const DepthGuard guard(*this);
     if (match(TokenKind::kMinus)) {
       return std::make_shared<NegateNode>(parse_unary());
     }
@@ -121,6 +143,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace

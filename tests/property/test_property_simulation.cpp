@@ -1,0 +1,110 @@
+// Statistical oracles: the analytic solvers versus Monte Carlo
+// trajectory simulation (CI-aware tolerances throughout), and
+// importance sampling versus plain simulation.  Seeds are fixed, so
+// every run is deterministic; the CI factor (4x a 95% interval) keeps
+// the checks meaningful rather than vacuously wide.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "check/oracle.h"
+#include "check/random_model.h"
+#include "core/metrics.h"
+#include "ctmc/builder.h"
+#include "models/hadb_pair.h"
+#include "models/params.h"
+#include "sim/importance_sampling.h"
+
+namespace rascal::check {
+namespace {
+
+TEST(SimulationConsensus, SimulatorMatchesSolversOn100RandomModels) {
+  stats::RandomEngine root(0x51AB);
+  RandomModelOptions options;
+  options.min_rate = 0.2;  // keep trajectories event-dense
+  options.max_rate = 8.0;
+  sim::CtmcSimOptions sim_options;
+  sim_options.duration = 400.0;
+  sim_options.replications = 6;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    stats::RandomEngine rng = root.split(i);
+    const GeneratedModel model = random_ergodic_ctmc(rng, options);
+    sim_options.seed = 0x900D ^ i;
+    const OracleReport report =
+        check_simulation_consensus(model.chain, sim_options);
+    EXPECT_TRUE(report.ok())
+        << model.description << " [stream " << i << "]\n"
+        << report.summary();
+  }
+}
+
+TEST(SimulationConsensus, ImportanceSamplingMatchesAnalyticRareEvent) {
+  // Figure-3 HADB pair: unavailability ~1e-6, invisible to plain
+  // simulation at any sane budget, squarely in the regime where CTMC
+  // solvers and simulators have been shown to drift apart.
+  const auto chain =
+      models::hadb_pair_model().bind(models::default_parameters());
+  const double exact = core::solve_availability(chain).unavailability;
+
+  sim::ImportanceSamplingOptions options;
+  options.cycles = 20000;
+  options.plain_cycles = 20000;
+  const auto result = sim::estimate_unavailability(chain, options);
+  const double half_width = 0.5 * (result.unavailability_ci95.upper -
+                                   result.unavailability_ci95.lower);
+  EXPECT_NEAR(result.unavailability, exact, 4.0 * half_width)
+      << "exact " << exact << " IS " << result.unavailability;
+}
+
+TEST(SimulationConsensus, ImportanceSamplingMatchesPlainSimulation) {
+  // Failure biasing is a rare-event technique: it assumes repairs are
+  // much faster than failures (the regime the default failure
+  // predicate classifies).  So the metamorphic check uses randomized
+  // REPAIRABLE models — a 3-component birth-death over the failed
+  // count, down when >= 2 have failed — rare enough to be interesting,
+  // busy enough that the unbiased estimator still observes downtime.
+  stats::RandomEngine root(0xFA57);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    stats::RandomEngine rng = root.split(i);
+    const double lambda = rng.uniform(0.01, 0.05);
+    const double mu = rng.uniform(0.5, 2.0);
+
+    ctmc::CtmcBuilder b;
+    b.state("all_up", 1.0);
+    b.state("one_failed", 1.0);
+    b.state("two_failed", 0.0);
+    b.state("three_failed", 0.0);
+    b.rate(0, 1, 3.0 * lambda).rate(1, 2, 2.0 * lambda).rate(2, 3, lambda);
+    b.rate(1, 0, mu).rate(2, 1, mu).rate(3, 2, mu);
+    const ctmc::Ctmc chain = b.build();
+    const double exact = core::solve_availability(chain).unavailability;
+
+    sim::ImportanceSamplingOptions biased;
+    biased.cycles = 15000;
+    biased.plain_cycles = 15000;
+    biased.seed = 0x900D + i;
+    const auto with_is = sim::estimate_unavailability(chain, biased);
+
+    sim::ImportanceSamplingOptions plain = biased;
+    plain.failure_bias = 0.0;
+    plain.seed = 0x1234 + i;
+    const auto without_is = sim::estimate_unavailability(chain, plain);
+
+    const auto half = [](const sim::ImportanceSamplingResult& r) {
+      return 0.5 *
+             (r.unavailability_ci95.upper - r.unavailability_ci95.lower);
+    };
+    const double tolerance =
+        4.0 * (half(with_is) + half(without_is)) + 1e-12;
+    EXPECT_NEAR(with_is.unavailability, without_is.unavailability, tolerance)
+        << "lambda=" << lambda << " mu=" << mu << " [trial " << i << "]";
+    EXPECT_NEAR(with_is.unavailability, exact, 4.0 * half(with_is) + 1e-12)
+        << "[trial " << i << "]";
+    EXPECT_NEAR(without_is.unavailability, exact,
+                4.0 * half(without_is) + 1e-12)
+        << "[trial " << i << "]";
+  }
+}
+
+}  // namespace
+}  // namespace rascal::check

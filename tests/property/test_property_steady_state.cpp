@@ -1,0 +1,77 @@
+// Differential steady-state testing: every solver path (GTH, LU,
+// power iteration, Gauss-Seidel) must agree pairwise on >= 100 seeded
+// random models per run, and all of them must match the closed-form
+// stationary distribution of random birth-death chains.  Fixed seeds
+// keep the randomized suite deterministic.
+#include <gtest/gtest.h>
+
+#include "check/oracle.h"
+#include "check/random_model.h"
+
+namespace rascal::check {
+namespace {
+
+TEST(SteadyStateConsensus, AllFourSolversAgreeOn110RandomModels) {
+  stats::RandomEngine root(0x5EEDC0DE);
+  std::size_t total_checks = 0;
+  for (std::uint64_t i = 0; i < 110; ++i) {
+    stats::RandomEngine rng = root.split(i);
+    const GeneratedModel model = random_ergodic_ctmc(rng);
+    const OracleReport report = check_steady_state_consensus(model.chain);
+    EXPECT_TRUE(report.ok())
+        << model.description << " [stream " << i << "]\n"
+        << report.summary();
+    total_checks += report.checks;
+  }
+  // 110 models x (residuals + 6 solver pairs x (states + availability)).
+  EXPECT_GT(total_checks, 110u * 10u);
+}
+
+TEST(SteadyStateConsensus, SolversMatchBirthDeathClosedFormOn60Models) {
+  stats::RandomEngine root(0xB1D7);
+  for (std::uint64_t i = 0; i < 60; ++i) {
+    stats::RandomEngine rng = root.split(i);
+    const GeneratedModel model = random_birth_death(rng);
+    ASSERT_TRUE(model.analytic_steady.has_value());
+    const OracleReport report =
+        check_steady_state_against(model.chain, *model.analytic_steady);
+    EXPECT_TRUE(report.ok())
+        << model.description << " [stream " << i << "]\n"
+        << report.summary();
+  }
+}
+
+TEST(SteadyStateConsensus, DirectSolversAgreeOnStiffModels) {
+  // Six orders of magnitude between the slowest and fastest rate —
+  // the regime availability models live in, where iterative methods
+  // need millions of uniformized sweeps but GTH and LU stay exact.
+  RandomModelOptions stiff;
+  stiff.min_rate = 1e-3;
+  stiff.max_rate = 1e3;
+  OracleOptions oracle;
+  oracle.include_iterative = false;
+  stats::RandomEngine root(0x571FF);
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    stats::RandomEngine rng = root.split(i);
+    const GeneratedModel model = random_ergodic_ctmc(rng, stiff);
+    const OracleReport report =
+        check_steady_state_consensus(model.chain, oracle);
+    EXPECT_TRUE(report.ok())
+        << model.description << " [stream " << i << "]\n"
+        << report.summary();
+  }
+}
+
+TEST(SteadyStateConsensus, ReportsDisagreementWhenFedDifferentChains) {
+  // The oracle itself is under test here: a hand-broken comparison
+  // must produce a failure line, not silent acceptance.
+  OracleReport report;
+  report.expect_close("intentionally wrong", 1.0, 2.0, 1e-9);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.checks, 1u);
+  EXPECT_NE(report.summary().find("intentionally wrong"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace rascal::check

@@ -1,0 +1,118 @@
+// Paper-golden regression: the reproduced Sec. 5/7 headline numbers
+// are locked into tests/golden/*.json with per-metric tolerances.  If
+// a solver, model, or RNG-scheme change drifts any of them, this test
+// names the metric; a deliberate re-baseline is
+// `rascal_cli --update-golden tests/golden`.
+#include <gtest/gtest.h>
+
+#include "check/golden.h"
+#include "check/paper_golden.h"
+
+namespace rascal::check {
+namespace {
+
+std::string golden_dir() {
+  return std::string(RASCAL_SOURCE_DIR) + "/tests/golden/";
+}
+
+class PaperGolden : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PaperGolden, MatchesLockedValues) {
+  const std::string group = GetParam();
+  const GoldenRecord locked = load_golden(golden_dir() + group + ".json");
+  EXPECT_FALSE(locked.empty());
+  const GoldenRecord fresh = compute_paper_golden(group);
+  const auto problems = compare_golden(locked, fresh);
+  for (const std::string& p : problems) ADD_FAILURE() << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Groups, PaperGolden,
+                         ::testing::ValuesIn(paper_golden_groups()),
+                         [](const auto& group_info) {
+                           return group_info.param;
+                         });
+
+TEST(PaperGolden, RegenerationIsDeterministic) {
+  // --update-golden must be reproducible run-to-run: two fresh
+  // computations serialize byte-identically.
+  for (const std::string& group : paper_golden_groups()) {
+    EXPECT_EQ(to_json(compute_paper_golden(group)),
+              to_json(compute_paper_golden(group)))
+        << group;
+  }
+}
+
+// ---- the golden-record machinery itself -------------------------------
+
+TEST(GoldenRecordFormat, JsonRoundTripsExactly) {
+  GoldenRecord record;
+  record["a.metric"] = {0.99999330123456789, 0.0, 1e-6};
+  record["b.metric"] = {-3.5e-7, 1e-9, 0.0};
+  record["empty.tolerances"] = {42.0, 0.0, 0.0};
+  const GoldenRecord parsed = parse_json(to_json(record));
+  ASSERT_EQ(parsed.size(), record.size());
+  for (const auto& [name, entry] : record) {
+    const auto it = parsed.find(name);
+    ASSERT_NE(it, parsed.end()) << name;
+    EXPECT_EQ(it->second.value, entry.value) << name;
+    EXPECT_EQ(it->second.abs_tol, entry.abs_tol) << name;
+    EXPECT_EQ(it->second.rel_tol, entry.rel_tol) << name;
+  }
+}
+
+TEST(GoldenRecordFormat, RejectsMalformedJson) {
+  EXPECT_THROW((void)parse_json(""), std::runtime_error);
+  EXPECT_THROW((void)parse_json("{"), std::runtime_error);
+  EXPECT_THROW((void)parse_json("{\"a\": 1}"), std::runtime_error);
+  EXPECT_THROW((void)parse_json("{\"a\": {\"abs_tol\": 1}}"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_json("{\"a\": {\"value\": 1}} trailing"),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)parse_json("{\"a\": {\"value\": 1, \"bogus\": 2}}"),
+      std::runtime_error);
+  EXPECT_THROW((void)parse_json("{\"a\": {\"value\": nan}}"),
+               std::runtime_error);
+}
+
+TEST(GoldenCompare, FlagsDriftMissingAndUnlockedMetrics) {
+  GoldenRecord locked;
+  locked["stable"] = {1.0, 0.0, 1e-6};
+  locked["drifted"] = {2.0, 0.0, 1e-6};
+  locked["vanished"] = {3.0, 0.0, 1e-6};
+  GoldenRecord current;
+  current["stable"] = {1.0 + 5e-7, 0.0, 0.0};   // within rel_tol
+  current["drifted"] = {2.001, 0.0, 0.0};       // beyond rel_tol
+  current["unlocked"] = {9.0, 0.0, 0.0};        // not in the golden file
+
+  const auto problems = compare_golden(locked, current);
+  ASSERT_EQ(problems.size(), 3u);
+  EXPECT_NE(problems[0].find("drifted"), std::string::npos);
+  EXPECT_NE(problems[1].find("vanished"), std::string::npos);
+  EXPECT_NE(problems[2].find("unlocked"), std::string::npos);
+}
+
+TEST(GoldenCompare, ToleranceCombinesAbsoluteAndRelative)
+{
+  GoldenRecord locked;
+  locked["m"] = {100.0, 0.5, 1e-3};  // tolerance = 0.5 + 0.1 = 0.6
+  GoldenRecord near;
+  near["m"] = {100.59, 0.0, 0.0};
+  EXPECT_TRUE(compare_golden(locked, near).empty());
+  GoldenRecord far;
+  far["m"] = {100.61, 0.0, 0.0};
+  EXPECT_EQ(compare_golden(locked, far).size(), 1u);
+}
+
+TEST(GoldenLoad, MissingFileSuggestsUpdateFlag) {
+  try {
+    (void)load_golden("/nonexistent/golden.json");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("--update-golden"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace rascal::check

@@ -1,0 +1,138 @@
+// Hostile-input tests: malformed expressions and model files must
+// produce a typed error, never a crash, hang, or silent acceptance.
+// The deep-nesting cases guard the parser's recursion bound — without
+// it "((((..." walks off the stack.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "expr/expression.h"
+#include "expr/lexer.h"
+#include "io/model_file.h"
+
+namespace rascal {
+namespace {
+
+// ---- expression parser ------------------------------------------------
+
+TEST(ExprNegative, RejectsDeeplyNestedParentheses) {
+  const std::string input =
+      std::string(100000, '(') + "1" + std::string(100000, ')');
+  EXPECT_THROW((void)expr::Expression::parse(input), expr::ParseError);
+}
+
+TEST(ExprNegative, RejectsDeepUnaryMinusChain) {
+  EXPECT_THROW((void)expr::Expression::parse(std::string(100000, '-') + "1"),
+               expr::ParseError);
+}
+
+TEST(ExprNegative, RejectsDeeplyNestedCalls) {
+  std::string input = "1";
+  for (int i = 0; i < 100000; ++i) input = "exp(" + input + ")";
+  EXPECT_THROW((void)expr::Expression::parse(input), expr::ParseError);
+}
+
+TEST(ExprNegative, AcceptsModerateNesting) {
+  // The depth bound must not reject the expressions real models use.
+  std::string input = "1";
+  for (int i = 0; i < 100; ++i) input = "(" + input + ")";
+  EXPECT_DOUBLE_EQ(
+      expr::Expression::parse(input).evaluate(expr::ParameterSet{}), 1.0);
+}
+
+TEST(ExprNegative, RejectsMalformedSyntax) {
+  const char* cases[] = {
+      "",        " ",      "(",      ")",     "()",    "1 +",   "+ 1",
+      "* 2",     "1 * * 2", "1..2",  "2^",    "f(",    "f(1,",  "f(1,)",
+      "a b",     "1 2",     "(1",    "1)",    ",",     "1,2",
+  };
+  for (const char* text : cases) {
+    EXPECT_THROW((void)expr::Expression::parse(text), expr::ParseError)
+        << "input: \"" << text << "\"";
+  }
+}
+
+TEST(ExprNegative, RejectsIllegalCharacters) {
+  const char* cases[] = {"1 @ 2", "$x", "x;", "\x01", "a~b", "x?y"};
+  for (const char* text : cases) {
+    EXPECT_THROW((void)expr::Expression::parse(text), expr::ParseError)
+        << "input: \"" << text << "\"";
+  }
+}
+
+TEST(ExprNegative, ErrorsCarrySourcePosition) {
+  try {
+    (void)expr::Expression::parse("1 + (2 *");
+    FAIL() << "expected ParseError";
+  } catch (const expr::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("expected"), std::string::npos);
+  }
+}
+
+// ---- model-file loader ------------------------------------------------
+
+io::ModelFileError parse_failure(const std::string& text) {
+  try {
+    (void)io::parse_model_text(text);
+  } catch (const io::ModelFileError& e) {
+    return e;
+  }
+  ADD_FAILURE() << "accepted malformed model:\n" << text;
+  return io::ModelFileError("accepted", 0);
+}
+
+TEST(ModelFileNegative, RejectsStructurallyBrokenModels) {
+  const char* cases[] = {
+      "",                                    // empty file
+      "model only a name",                   // no states
+      "state A reward 1",                    // no transitions
+      "bogus directive",                     // unknown directive
+      "param X",                             // missing value
+      "param X 1\nparam X 2",                // duplicate parameter
+      "state A reward 1\nstate A reward 0",  // duplicate state
+      "state A 1",                           // missing 'reward' keyword
+      "state A reward",                      // missing reward value
+      "rate A B 1",                          // rate before states exist
+      "state A reward 1\nrate A B 1",        // unknown target state
+      "state A reward 1\nstate B reward 0\nrate A B",  // missing rate expr
+  };
+  for (const char* text : cases) {
+    (void)parse_failure(text);
+  }
+}
+
+TEST(ModelFileNegative, RejectsMalformedExpressionsInsideDirectives) {
+  (void)parse_failure("param X 1 +\nstate A reward 1\nrate A A 1");
+  (void)parse_failure("state A reward (1\nstate B reward 0\nrate A B 1");
+  (void)parse_failure(
+      "state A reward 1\nstate B reward 0\nrate A B 1 * * 2");
+}
+
+TEST(ModelFileNegative, DeepNestingInParamValueErrorsCleanly) {
+  const std::string bomb =
+      "param X " + std::string(100000, '(') + "1" + std::string(100000, ')');
+  const auto error = parse_failure(bomb + "\nstate A reward 1");
+  EXPECT_EQ(error.line(), 1u);
+}
+
+TEST(ModelFileNegative, ErrorsReportTheOffendingLine) {
+  const auto error =
+      parse_failure("model ok\nstate A reward 1\nrate A Z 1\n");
+  EXPECT_EQ(error.line(), 3u);
+  EXPECT_NE(std::string(error.what()).find("Z"), std::string::npos);
+}
+
+TEST(ModelFileNegative, MissingFileThrowsRuntimeError) {
+  EXPECT_THROW((void)io::load_model("/nonexistent/model.rasc"),
+               std::runtime_error);
+}
+
+TEST(ModelFileNegative, UnknownParameterSurfacesAtBindTime) {
+  const auto file = io::parse_model_text(
+      "state A reward 1\nstate B reward 0\nrate A B lambda_undefined\n"
+      "rate B A 1");
+  EXPECT_THROW((void)file.bind({}), std::exception);
+}
+
+}  // namespace
+}  // namespace rascal

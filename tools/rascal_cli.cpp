@@ -9,6 +9,7 @@
 //   rascal_cli lump  MODEL.rasc [--set NAME=VALUE ...]
 //   rascal_cli dot   MODEL.rasc [--set NAME=VALUE ...]   (Graphviz)
 //   rascal_cli sens  MODEL.rasc [--set NAME=VALUE ...]   (exact d/dtheta)
+//   rascal_cli golden GOLDEN_DIR [--update-golden]       (paper regression)
 //
 // Methods: gth (default), lu, power, gauss-seidel.
 #include <cstdio>
@@ -18,6 +19,8 @@
 
 #include "analysis/exact_sensitivity.h"
 #include "analysis/parametric.h"
+#include "check/golden.h"
+#include "check/paper_golden.h"
 #include "core/metrics.h"
 #include "ctmc/absorption.h"
 #include "ctmc/lumping.h"
@@ -46,7 +49,10 @@ int usage() {
          "[--set NAME=VALUE ...]\n"
          "  rascal_cli lump   MODEL.rasc [--set NAME=VALUE ...]\n"
          "  rascal_cli dot    MODEL.rasc [--set NAME=VALUE ...]\n"
-         "  rascal_cli sens   MODEL.rasc [--set NAME=VALUE ...]\n";
+         "  rascal_cli sens   MODEL.rasc [--set NAME=VALUE ...]\n"
+         "  rascal_cli golden GOLDEN_DIR [--update-golden]\n"
+         "             (verify paper-golden files; --update-golden"
+         " regenerates them)\n";
   return 2;
 }
 
@@ -62,7 +68,28 @@ struct Arguments {
   std::string metric = "availability";
   std::string start_state;  // mttf: defaults to the first state
   std::size_t threads = 0;  // 0 = auto (RASCAL_THREADS, else all cores)
+  bool update_golden = false;
 };
+
+bool parse_double(const char* text, double& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stod(text, &used);
+    return used == std::string(text).size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parse_size(const char* text, std::size_t& out) {
+  try {
+    std::size_t used = 0;
+    out = static_cast<std::size_t>(std::stoul(text, &used));
+    return used == std::string(text).size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
 
 bool parse_set(const std::string& text, expr::ParameterSet& out) {
   const auto eq = text.find('=');
@@ -105,16 +132,18 @@ bool parse_arguments(int argc, char** argv, Arguments& args) {
       args.sweep_param = value;
     } else if (flag == "--from" || flag == "--to") {
       const char* value = next();
-      if (!value) return false;
-      (flag == "--from" ? args.from : args.to) = std::stod(value);
+      if (!value ||
+          !parse_double(value, flag == "--from" ? args.from : args.to)) {
+        return false;
+      }
     } else if (flag == "--points") {
       const char* value = next();
-      if (!value) return false;
-      args.points = static_cast<std::size_t>(std::stoul(value));
+      if (!value || !parse_size(value, args.points)) return false;
     } else if (flag == "--threads") {
       const char* value = next();
-      if (!value) return false;
-      args.threads = static_cast<std::size_t>(std::stoul(value));
+      if (!value || !parse_size(value, args.threads)) return false;
+    } else if (flag == "--update-golden") {
+      args.update_golden = true;
     } else if (flag == "--metric") {
       const char* value = next();
       if (!value) return false;
@@ -261,6 +290,37 @@ int run_sens(const Arguments& args) {
   return 0;
 }
 
+int run_golden(const Arguments& args) {
+  // args.model_path is the golden directory (e.g. tests/golden).
+  bool all_ok = true;
+  for (const std::string& group : check::paper_golden_groups()) {
+    const std::string path = args.model_path + "/" + group + ".json";
+    const check::GoldenRecord fresh = check::compute_paper_golden(group);
+    if (args.update_golden) {
+      check::write_golden(path, fresh);
+      std::printf("wrote %s (%zu metrics)\n", path.c_str(), fresh.size());
+      continue;
+    }
+    const check::GoldenRecord locked = check::load_golden(path);
+    const auto problems = check::compare_golden(locked, fresh);
+    if (problems.empty()) {
+      std::printf("%-12s OK (%zu metrics)\n", group.c_str(), locked.size());
+    } else {
+      all_ok = false;
+      std::printf("%-12s FAILED\n", group.c_str());
+      for (const std::string& p : problems) {
+        std::printf("  %s\n", p.c_str());
+      }
+    }
+  }
+  if (!all_ok) {
+    std::cerr << "golden mismatch; if the drift is intentional, rerun with "
+                 "--update-golden\n";
+    return 1;
+  }
+  return 0;
+}
+
 int run_dot(const Arguments& args) {
   const io::ModelFile file = io::load_model(args.model_path);
   io::DotOptions options;
@@ -282,6 +342,7 @@ int main(int argc, char** argv) {
     if (args.command == "lump") return run_lump(args);
     if (args.command == "dot") return run_dot(args);
     if (args.command == "sens") return run_sens(args);
+    if (args.command == "golden") return run_golden(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
