@@ -1,6 +1,7 @@
 #include "check/random_model.h"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -137,6 +138,93 @@ ctmc::Ctmc rescale_rates(const ctmc::Ctmc& chain, double factor) {
   std::vector<ctmc::Transition> transitions = chain.transitions();
   for (ctmc::Transition& t : transitions) t.rate *= factor;
   return ctmc::Ctmc(chain.states(), std::move(transitions));
+}
+
+RawModel raw_model(const ctmc::Ctmc& chain) {
+  return {chain.states(), chain.transitions()};
+}
+
+const std::vector<ModelFault>& all_model_faults() {
+  static const std::vector<ModelFault> faults = {
+      ModelFault::kNegativeRate,       ModelFault::kNonFiniteRate,
+      ModelFault::kSelfLoop,           ModelFault::kDuplicateTransition,
+      ModelFault::kDanglingEndpoint,   ModelFault::kNonFiniteReward,
+      ModelFault::kBadStateName,       ModelFault::kUnreachableState,
+      ModelFault::kAbsorbingState,     ModelFault::kDisconnectedClass,
+  };
+  return faults;
+}
+
+const char* expected_code(ModelFault fault) {
+  switch (fault) {
+    case ModelFault::kNegativeRate: return "R001";
+    case ModelFault::kNonFiniteRate: return "R002";
+    case ModelFault::kSelfLoop: return "R003";
+    case ModelFault::kDuplicateTransition: return "R004";
+    case ModelFault::kDanglingEndpoint: return "R005";
+    case ModelFault::kNonFiniteReward: return "R008";
+    case ModelFault::kBadStateName: return "R009";
+    case ModelFault::kUnreachableState: return "R011";
+    case ModelFault::kAbsorbingState: return "R012";
+    case ModelFault::kDisconnectedClass: return "R013";
+  }
+  return "R000";  // unreachable
+}
+
+RawModel inject_fault(const RawModel& model, ModelFault fault,
+                      stats::RandomEngine& rng) {
+  RawModel out = model;
+  if (out.states.empty() || out.transitions.empty()) {
+    throw std::invalid_argument("inject_fault: model must be non-trivial");
+  }
+  const std::size_t t = rng.uniform_index(out.transitions.size());
+  const std::size_t s = rng.uniform_index(out.states.size());
+  switch (fault) {
+    case ModelFault::kNegativeRate:
+      out.transitions[t].rate = -out.transitions[t].rate;
+      break;
+    case ModelFault::kNonFiniteRate:
+      out.transitions[t].rate = std::numeric_limits<double>::quiet_NaN();
+      break;
+    case ModelFault::kSelfLoop:
+      out.transitions[t].to = out.transitions[t].from;
+      break;
+    case ModelFault::kDuplicateTransition:
+      out.transitions.push_back(out.transitions[t]);
+      break;
+    case ModelFault::kDanglingEndpoint:
+      out.transitions[t].to = out.states.size();
+      break;
+    case ModelFault::kNonFiniteReward:
+      out.states[s].reward = std::numeric_limits<double>::infinity();
+      break;
+    case ModelFault::kBadStateName:
+      out.states[s].name =
+          out.states[(s + 1) % out.states.size()].name;
+      break;
+    case ModelFault::kUnreachableState:
+      // Orphan with an exit but no entrance: unreachable, and its
+      // transition can never fire.
+      out.transitions.push_back({out.states.size(), 0, 1.0});
+      out.states.push_back({"mutant_orphan", 1.0});
+      break;
+    case ModelFault::kAbsorbingState:
+      // Trap with an entrance but no exit.
+      out.transitions.push_back(
+          {out.transitions[t].from, out.states.size(), 1.0});
+      out.states.push_back({"mutant_trap", 0.0});
+      break;
+    case ModelFault::kDisconnectedClass:
+      // Two-state island, internally connected, cut off from the rest.
+      out.transitions.push_back(
+          {out.states.size(), out.states.size() + 1, 1.0});
+      out.transitions.push_back(
+          {out.states.size() + 1, out.states.size(), 1.0});
+      out.states.push_back({"mutant_island_a", 1.0});
+      out.states.push_back({"mutant_island_b", 0.0});
+      break;
+  }
+  return out;
 }
 
 }  // namespace rascal::check

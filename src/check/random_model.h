@@ -69,4 +69,49 @@ struct GeneratedModel {
 [[nodiscard]] ctmc::Ctmc rescale_rates(const ctmc::Ctmc& chain,
                                        double factor);
 
+// ---------------------------------------------------------------------------
+// Broken-model mutants for linter property testing.
+//
+// The linter's property contract: every generator above lints clean,
+// and injecting any single fault below never does.  Faults operate on
+// the *raw* state/transition lists because the Ctmc constructor
+// rejects several of them outright — exactly the defects
+// lint::lint_raw_model must report all at once instead.
+
+/// Raw (pre-construction) model: what the Ctmc constructor consumes.
+struct RawModel {
+  std::vector<ctmc::State> states;
+  std::vector<ctmc::Transition> transitions;
+};
+
+/// Snapshot of a constructed chain as a raw model, ready for mutation.
+[[nodiscard]] RawModel raw_model(const ctmc::Ctmc& chain);
+
+/// Single structural faults, each detected by a distinct diagnostic.
+enum class ModelFault {
+  kNegativeRate,         // R001: sign-flip one rate
+  kNonFiniteRate,        // R002: NaN rate
+  kSelfLoop,             // R003: bend a transition back onto its source
+  kDuplicateTransition,  // R004: copy-paste a transition
+  kDanglingEndpoint,     // R005: point a transition past the state list
+  kNonFiniteReward,      // R008: infinite reward
+  kBadStateName,         // R009: duplicate state name
+  kUnreachableState,     // R011 (+R010): orphan state, outgoing only
+  kAbsorbingState,       // R012 (+R010): trap state, incoming only
+  kDisconnectedClass,    // R013 (+R010): two-state island
+};
+
+/// Every fault, for table-driven tests.
+[[nodiscard]] const std::vector<ModelFault>& all_model_faults();
+
+/// The diagnostic code lint_raw_model is guaranteed to emit for the
+/// fault (secondary codes like R010 may accompany it).
+[[nodiscard]] const char* expected_code(ModelFault fault);
+
+/// Returns a copy of `model` with exactly one instance of `fault`
+/// injected at a seeded-random position.  The result never lints
+/// clean; whether it still constructs a Ctmc depends on the fault.
+[[nodiscard]] RawModel inject_fault(const RawModel& model, ModelFault fault,
+                                    stats::RandomEngine& rng);
+
 }  // namespace rascal::check

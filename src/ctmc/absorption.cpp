@@ -59,8 +59,12 @@ linalg::Matrix transient_generator(const Ctmc& chain, const Partition& part) {
 }  // namespace
 
 linalg::Vector mean_time_to_absorption(const Ctmc& chain,
-                                       const std::vector<StateId>& targets) {
+                                       const std::vector<StateId>& targets,
+                                       Validation validation) {
   const Partition part = partition_states(chain, targets);
+  if (validation == Validation::kOn) {
+    throw_if_errors(validate_for_absorption(chain, targets));
+  }
   const std::size_t m = part.transient.size();
   linalg::Vector times(chain.num_states(), 0.0);
   if (m == 0) return times;
@@ -75,23 +79,40 @@ linalg::Vector mean_time_to_absorption(const Ctmc& chain,
   try {
     tau = linalg::solve_linear_system(std::move(a), ones);
   } catch (const std::domain_error&) {
-    throw std::domain_error(
-        "mean_time_to_absorption: target set unreachable from some state");
+    // Singular Q_TT means some transient class never reaches the
+    // targets; the structural check names every such state.
+    throw lint::LintError(validate_for_absorption(chain, targets));
   }
+  // Numeric fallback for validation == kOff (or near-singular cases
+  // that slipped through the factorization): report every negative
+  // component, not just the first.
+  lint::LintReport negative;
   for (std::size_t i = 0; i < m; ++i) {
     if (tau[i] < 0.0) {
-      throw std::domain_error(
-          "mean_time_to_absorption: target set unreachable from state '" +
-          chain.state_name(part.transient[i]) + "'");
+      lint::Diagnostic d;
+      d.code = lint::codes::kTargetUnreachable;
+      d.severity = lint::Severity::kError;
+      d.message = "mean time to absorption from state '" +
+                  chain.state_name(part.transient[i]) +
+                  "' solved negative: the target set is unreachable "
+                  "from it";
+      d.location.state = chain.state_name(part.transient[i]);
+      negative.add(std::move(d));
+    } else {
+      times[part.transient[i]] = tau[i];
     }
-    times[part.transient[i]] = tau[i];
   }
+  if (!negative.empty()) throw lint::LintError(std::move(negative));
   return times;
 }
 
 linalg::Matrix absorption_probabilities(const Ctmc& chain,
-                                        const std::vector<StateId>& targets) {
+                                        const std::vector<StateId>& targets,
+                                        Validation validation) {
   const Partition part = partition_states(chain, targets);
+  if (validation == Validation::kOn) {
+    throw_if_errors(validate_for_absorption(chain, targets));
+  }
   const std::size_t m = part.transient.size();
   linalg::Matrix probs(chain.num_states(), targets.size());
   for (std::size_t j = 0; j < targets.size(); ++j) {

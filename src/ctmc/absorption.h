@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "ctmc/ctmc.h"
+#include "ctmc/validate.h"
 #include "linalg/matrix.h"
 
 namespace rascal::ctmc {
@@ -15,17 +16,23 @@ namespace rascal::ctmc {
 /// state (0 for the targets themselves).  Targets are treated as
 /// absorbing: their outgoing transitions are ignored.
 ///
-/// Throws std::invalid_argument when `targets` is empty or contains an
-/// out-of-range id, and std::domain_error when some state cannot reach
-/// the target set (infinite expectation).
+/// Throws std::invalid_argument when `targets` is empty or contains
+/// an out-of-range id, and lint::LintError (a std::domain_error,
+/// code R015, one diagnostic per offending state) when some states
+/// cannot reach the target set (infinite expectation).  The
+/// reachability pre-check is skipped with Validation::kOff; the
+/// numeric fallback then still reports every negative solution
+/// component through the same diagnostics type.
 [[nodiscard]] linalg::Vector mean_time_to_absorption(
-    const Ctmc& chain, const std::vector<StateId>& targets);
+    const Ctmc& chain, const std::vector<StateId>& targets,
+    Validation validation = Validation::kOn);
 
 /// Probability, for each (state, target) pair, that `target` is the
 /// first target-set state entered.  Row = source state, column =
 /// index into `targets`.  Rows for target states are the unit vector
 /// of that target.
 [[nodiscard]] linalg::Matrix absorption_probabilities(
-    const Ctmc& chain, const std::vector<StateId>& targets);
+    const Ctmc& chain, const std::vector<StateId>& targets,
+    Validation validation = Validation::kOn);
 
 }  // namespace rascal::ctmc

@@ -5,6 +5,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "lint/scc.h"
+
 namespace rascal::ctmc {
 
 Ctmc::Ctmc(std::vector<State> states, std::vector<Transition> transitions)
@@ -124,43 +126,15 @@ linalg::CsrMatrix Ctmc::sparse_generator() const {
   return linalg::CsrMatrix(states_.size(), states_.size(), triplets);
 }
 
-namespace {
-
-// Reachable set from `start` following `edges` (adjacency list).
-std::vector<bool> reachable(std::size_t n, std::size_t start,
-                            const std::vector<std::vector<StateId>>& edges) {
-  std::vector<bool> seen(n, false);
-  std::vector<StateId> stack{start};
-  seen[start] = true;
-  while (!stack.empty()) {
-    const StateId s = stack.back();
-    stack.pop_back();
-    for (StateId next : edges[s]) {
-      if (!seen[next]) {
-        seen[next] = true;
-        stack.push_back(next);
-      }
-    }
-  }
-  return seen;
-}
-
-}  // namespace
-
 bool Ctmc::is_irreducible() const {
-  const std::size_t n = states_.size();
-  std::vector<std::vector<StateId>> forward(n);
-  std::vector<std::vector<StateId>> backward(n);
+  // Tarjan SCC (lint/scc.h): irreducible iff one strongly connected
+  // component.  The same pass powers the structural linter, so the
+  // two can never disagree about reducibility.
+  lint::Adjacency edges(states_.size());
   for (const Transition& t : transitions_) {
-    forward[t.from].push_back(t.to);
-    backward[t.to].push_back(t.from);
+    edges[t.from].push_back(t.to);
   }
-  const std::vector<bool> fwd = reachable(n, 0, forward);
-  const std::vector<bool> bwd = reachable(n, 0, backward);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!fwd[i] || !bwd[i]) return false;
-  }
-  return true;
+  return lint::tarjan_scc(edges).num_components() == 1;
 }
 
 std::vector<StateId> Ctmc::states_with_reward_at_least(

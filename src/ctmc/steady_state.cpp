@@ -30,7 +30,11 @@ linalg::Vector solve_lu(const Ctmc& chain) {
 
 }  // namespace
 
-SteadyState solve_steady_state(const Ctmc& chain, SteadyStateMethod method) {
+SteadyState solve_steady_state(const Ctmc& chain, SteadyStateMethod method,
+                               Validation validation) {
+  if (validation == Validation::kOn) {
+    throw_if_errors(validate_for_steady_state(chain));
+  }
   SteadyState result;
   result.method = method;
   switch (method) {

@@ -2,6 +2,7 @@
 #pragma once
 
 #include "ctmc/ctmc.h"
+#include "ctmc/validate.h"
 #include "linalg/matrix.h"
 
 namespace rascal::ctmc {
@@ -24,10 +25,17 @@ struct SteadyState {
   }
 };
 
-/// Solves pi Q = 0, sum(pi) = 1.  The chain must be irreducible;
-/// reducible chains raise std::domain_error (direct methods) or fail
-/// to converge (iterative methods, reported via residual).
+/// Solves pi Q = 0, sum(pi) = 1.  The stationary distribution must
+/// be unique (exactly one closed communicating class; transient
+/// states are tolerated and get probability zero): by default a
+/// fail-fast structural check (validate.h, codes R010/R013) rejects
+/// ill-posed chains with a diagnostics-carrying lint::LintError
+/// (a std::domain_error) before any numerics run.  Pass
+/// Validation::kOff to skip the check — direct methods then raise a
+/// plain std::domain_error on singular systems and iterative methods
+/// fail to converge (reported via residual).
 [[nodiscard]] SteadyState solve_steady_state(
-    const Ctmc& chain, SteadyStateMethod method = SteadyStateMethod::kGth);
+    const Ctmc& chain, SteadyStateMethod method = SteadyStateMethod::kGth,
+    Validation validation = Validation::kOn);
 
 }  // namespace rascal::ctmc

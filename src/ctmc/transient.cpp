@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ctmc/validate.h"
+
 namespace rascal::ctmc {
 
 namespace {
@@ -52,6 +54,9 @@ TransientResult transient_distribution(const Ctmc& chain,
   check_initial(chain, initial);
   if (t < 0.0) {
     throw std::invalid_argument("transient: negative time");
+  }
+  if (options.validate) {
+    throw_if_errors(validate_for_transient(chain, t, options.max_terms));
   }
   TransientResult result;
   if (t == 0.0 || chain.max_exit_rate() == 0.0) {
@@ -106,6 +111,9 @@ IntervalRewardResult expected_interval_reward(
   check_initial(chain, initial);
   if (!(t > 0.0)) {
     throw std::invalid_argument("expected_interval_reward: requires t > 0");
+  }
+  if (options.validate) {
+    throw_if_errors(validate_for_transient(chain, t, options.max_terms));
   }
   IntervalRewardResult result;
   if (chain.max_exit_rate() == 0.0) {

@@ -13,6 +13,10 @@ namespace rascal::ctmc {
 struct TransientOptions {
   double precision = 1e-12;          // tail mass left untruncated
   std::size_t max_terms = 20000000;  // hard cap on summation length
+  // Fail fast with a diagnostics-carrying lint::LintError when the
+  // Poisson truncation point provably exceeds max_terms (see
+  // validate.h), instead of summing millions of terms first.
+  bool validate = true;
 };
 
 struct TransientResult {
@@ -22,8 +26,10 @@ struct TransientResult {
 
 /// Distribution at time t >= 0 starting from `initial` (must be a
 /// probability vector of matching size).  Throws std::invalid_argument
-/// on bad input and std::runtime_error when max_terms is exceeded
-/// (the chain is too stiff for the horizon; use steady state).
+/// on bad input; lint::LintError (code R032) up front when the
+/// horizon provably needs more than max_terms Poisson terms (disable
+/// via TransientOptions::validate); and std::runtime_error when the
+/// summation still overruns max_terms at run time.
 [[nodiscard]] TransientResult transient_distribution(
     const Ctmc& chain, const linalg::Vector& initial, double t,
     const TransientOptions& options = {});

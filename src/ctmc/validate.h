@@ -1,0 +1,50 @@
+// Fail-fast structural validation at the solvers' entry points.
+//
+// Each solver used to discover broken input deep inside a
+// factorization (a singular LU, a stalled iteration) or not at all
+// (GTH on a reducible chain quietly concentrates probability in one
+// recurrent class).  These checks run a cheap O(states + transitions)
+// structural analysis up front and throw lint::LintError — carrying
+// the full structured diagnostics — before any numerics start.
+//
+// Every solver takes an opt-out (Validation::kOff here, or
+// TransientOptions::validate) for callers that construct chains by
+// trusted machinery and solve in hot loops.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ctmc/ctmc.h"
+#include "lint/diagnostic.h"
+
+namespace rascal::ctmc {
+
+/// Opt-out switch for fail-fast validation.
+enum class Validation { kOn, kOff };
+
+/// Steady-state preconditions: the stationary distribution must be
+/// unique, i.e. exactly one closed communicating class.  Transient
+/// states are allowed (they get probability zero; the linter flags
+/// them as R011/R014 separately).  Returns R010 plus one R013 per
+/// closed class when two or more classes are closed.
+[[nodiscard]] lint::LintReport validate_for_steady_state(const Ctmc& chain);
+
+/// Absorption preconditions: every non-target state must be able to
+/// reach the target set.  Returns one R015 error per offending state
+/// (all of them, not just the first).
+[[nodiscard]] lint::LintReport validate_for_absorption(
+    const Ctmc& chain, const std::vector<StateId>& targets);
+
+/// Transient feasibility: the uniformization truncation point for
+/// horizon `t` is at least ceil(max_exit_rate * t); when that already
+/// exceeds `max_terms`, summation is guaranteed to abort.  Returns an
+/// R032 error in that case.
+[[nodiscard]] lint::LintReport validate_for_transient(
+    const Ctmc& chain, double t, std::size_t max_terms);
+
+/// Throws lint::LintError when `report` carries error diagnostics;
+/// otherwise discards it.
+void throw_if_errors(lint::LintReport report);
+
+}  // namespace rascal::ctmc

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <utility>
 
 #include "expr/expression.h"
 #include "expr/lexer.h"
@@ -11,25 +12,52 @@ namespace rascal::io {
 
 namespace {
 
-// Strips a trailing comment and surrounding whitespace.
-std::string clean_line(const std::string& raw) {
-  std::string line = raw;
-  const auto hash = line.find('#');
-  if (hash != std::string::npos) line.erase(hash);
-  const auto first = line.find_first_not_of(" \t\r");
-  if (first == std::string::npos) return "";
-  const auto last = line.find_last_not_of(" \t\r");
-  return line.substr(first, last - first + 1);
-}
+// Cursor over one comment-stripped line that remembers the 1-based
+// column of every token it hands out, so errors and the SourceMap can
+// point at the offending word rather than just the line.
+class LineScanner {
+ public:
+  explicit LineScanner(const std::string& raw) : line_(raw) {
+    const auto hash = line_.find('#');
+    if (hash != std::string::npos) line_.erase(hash);
+    const auto last = line_.find_last_not_of(" \t\r");
+    line_.erase(last == std::string::npos ? 0 : last + 1);
+    skip_spaces();
+  }
 
-// Splits off the first whitespace-delimited word.
-std::pair<std::string, std::string> split_word(const std::string& text) {
-  const auto end = text.find_first_of(" \t");
-  if (end == std::string::npos) return {text, ""};
-  const auto rest = text.find_first_not_of(" \t", end);
-  return {text.substr(0, end),
-          rest == std::string::npos ? "" : text.substr(rest)};
-}
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= line_.size(); }
+
+  /// Column the next token would start at (1-based).
+  [[nodiscard]] std::size_t column() const noexcept { return pos_ + 1; }
+
+  /// Next whitespace-delimited word ("" at end of line).
+  std::pair<std::string, std::size_t> word() {
+    const std::size_t column = pos_ + 1;
+    const auto end = line_.find_first_of(" \t", pos_);
+    std::string text =
+        line_.substr(pos_, end == std::string::npos ? end : end - pos_);
+    pos_ = end == std::string::npos ? line_.size() : end;
+    skip_spaces();
+    return {std::move(text), column};
+  }
+
+  /// Rest of the line verbatim (expressions keep internal spaces).
+  std::pair<std::string, std::size_t> rest() {
+    const std::size_t column = pos_ + 1;
+    std::string text = line_.substr(pos_);
+    pos_ = line_.size();
+    return {std::move(text), column};
+  }
+
+ private:
+  void skip_spaces() {
+    pos_ = line_.find_first_not_of(" \t", pos_);
+    if (pos_ == std::string::npos) pos_ = line_.size();
+  }
+
+  std::string line_;
+  std::size_t pos_ = 0;
+};
 
 }  // namespace
 
@@ -47,73 +75,92 @@ ModelFile parse_model(std::istream& in) {
 
   while (std::getline(in, raw)) {
     ++line_number;
-    const std::string line = clean_line(raw);
-    if (line.empty()) continue;
+    LineScanner scan(raw);
+    if (scan.at_end()) continue;
 
-    const auto [directive, rest] = split_word(line);
+    const auto [directive, directive_col] = scan.word();
     if (directive == "model") {
-      out.name = rest;
+      out.name = scan.rest().first;
     } else if (directive == "param") {
-      const auto [name, value_text] = split_word(rest);
+      const auto [name, name_col] = scan.word();
+      const auto [value_text, value_col] = scan.rest();
       if (name.empty() || value_text.empty()) {
-        throw ModelFileError("expected 'param NAME VALUE'", line_number);
+        throw ModelFileError("expected 'param NAME VALUE'", line_number,
+                             directive_col);
       }
       if (!param_names.insert(name).second) {
         throw ModelFileError("duplicate parameter '" + name + "'",
-                             line_number);
+                             line_number, name_col);
       }
       try {
         // Values may reference earlier parameters ("La_as/La").
-        out.parameters.set(
-            name,
-            expr::Expression::parse(value_text).evaluate(out.parameters));
+        const expr::Expression value = expr::Expression::parse(value_text);
+        for (const std::string& used : value.variables()) {
+          out.params_used_in_definitions.insert(used);
+        }
+        out.parameters.set(name, value.evaluate(out.parameters));
       } catch (const std::exception& e) {
         throw ModelFileError(
             "bad value for parameter '" + name + "': " + e.what(),
-            line_number);
+            line_number, value_col);
       }
+      out.source.parameters[name] = {line_number, name_col};
     } else if (directive == "state") {
-      const auto [name, reward_part] = split_word(rest);
-      const auto [reward_kw, reward_text] = split_word(reward_part);
+      const auto [name, name_col] = scan.word();
+      const auto [reward_kw, reward_kw_col] = scan.word();
+      const auto [reward_text, reward_col] = scan.rest();
       if (name.empty() || reward_kw != "reward" || reward_text.empty()) {
         throw ModelFileError("expected 'state NAME reward VALUE'",
-                             line_number);
+                             line_number,
+                             reward_kw == "reward" || reward_kw.empty()
+                                 ? directive_col
+                                 : reward_kw_col);
       }
       if (!state_names.insert(name).second) {
-        throw ModelFileError("duplicate state '" + name + "'", line_number);
+        throw ModelFileError("duplicate state '" + name + "'", line_number,
+                             name_col);
       }
       double reward = 0.0;
       try {
-        reward =
-            expr::Expression::parse(reward_text).evaluate(out.parameters);
+        const expr::Expression parsed = expr::Expression::parse(reward_text);
+        for (const std::string& used : parsed.variables()) {
+          out.params_used_in_definitions.insert(used);
+        }
+        reward = parsed.evaluate(out.parameters);
       } catch (const std::exception& e) {
         throw ModelFileError(
-            "bad reward for state '" + name + "': " + e.what(), line_number);
+            "bad reward for state '" + name + "': " + e.what(), line_number,
+            reward_col);
       }
       (void)out.model.state(name, reward);
+      out.source.states[name] = {line_number, name_col};
     } else if (directive == "rate") {
-      const auto [from, after_from] = split_word(rest);
-      const auto [to, expression] = split_word(after_from);
+      const auto [from, from_col] = scan.word();
+      const auto [to, to_col] = scan.word();
+      const auto [expression, expr_col] = scan.rest();
       if (from.empty() || to.empty() || expression.empty()) {
         throw ModelFileError("expected 'rate FROM TO EXPRESSION'",
-                             line_number);
+                             line_number, directive_col);
       }
       if (!state_names.count(from)) {
-        throw ModelFileError("unknown state '" + from + "'", line_number);
+        throw ModelFileError("unknown state '" + from + "'", line_number,
+                             from_col);
       }
       if (!state_names.count(to)) {
-        throw ModelFileError("unknown state '" + to + "'", line_number);
+        throw ModelFileError("unknown state '" + to + "'", line_number,
+                             to_col);
       }
       try {
         out.model.rate(from, to, expression);
       } catch (const std::exception& e) {
         throw ModelFileError(std::string("bad rate expression: ") + e.what(),
-                             line_number);
+                             line_number, expr_col);
       }
+      out.source.transitions.push_back({line_number, from_col});
       has_rate = true;
     } else {
       throw ModelFileError("unknown directive '" + directive + "'",
-                           line_number);
+                           line_number, directive_col);
     }
   }
 
@@ -131,12 +178,42 @@ ModelFile parse_model_text(const std::string& text) {
   return parse_model(in);
 }
 
-ModelFile load_model(const std::string& path) {
+lint::LintReport lint_model_file(const ModelFile& file,
+                                 const expr::ParameterSet& overrides,
+                                 const lint::LintOptions& options) {
+  lint::LintOptions file_options = options;
+  file_options.warn_unused_parameters = true;
+  const lint::LintReport report =
+      lint::lint_model(file.model, file.parameters.with(overrides),
+                       file_options, &file.source);
+  // A parameter consumed by another param's value (or a state reward)
+  // was used, even though the eager evaluation hides that use from the
+  // symbolic model; drop the R021 false positives.
+  lint::LintReport filtered;
+  for (const lint::Diagnostic& d : report) {
+    if (d.code == lint::codes::kUnusedParameter &&
+        file.params_used_in_definitions.count(d.location.parameter) > 0) {
+      continue;
+    }
+    filtered.add(d);
+  }
+  return filtered;
+}
+
+ModelFile load_model(const std::string& path, LintOnLoad lint) {
   std::ifstream in(path);
   if (!in) {
     throw std::runtime_error("cannot open model file: " + path);
   }
-  return parse_model(in);
+  ModelFile file = parse_model(in);
+  file.source.file = path;
+  if (lint == LintOnLoad::kOn) {
+    lint::LintReport report = lint_model_file(file);
+    if (report.has_errors()) {
+      throw lint::LintError(std::move(report));
+    }
+  }
+  return file;
 }
 
 }  // namespace rascal::io

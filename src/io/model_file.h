@@ -16,30 +16,56 @@
 #pragma once
 
 #include <iosfwd>
+#include <set>
 #include <stdexcept>
 #include <string>
 
 #include "ctmc/builder.h"
 #include "expr/parameter_set.h"
+#include "lint/lint.h"
 
 namespace rascal::io {
 
-/// Parse failure with 1-based line number.
+/// Parse failure with 1-based line number and (when known) 1-based
+/// column of the offending token; column 0 means "whole line".
 class ModelFileError : public std::runtime_error {
  public:
-  ModelFileError(const std::string& message, std::size_t line)
-      : std::runtime_error("line " + std::to_string(line) + ": " + message),
-        line_(line) {}
+  ModelFileError(const std::string& message, std::size_t line,
+                 std::size_t column = 0)
+      : std::runtime_error(
+            "line " + std::to_string(line) +
+            (column > 0 ? ", column " + std::to_string(column) : "") + ": " +
+            message),
+        line_(line),
+        column_(column),
+        message_(message) {}
   [[nodiscard]] std::size_t line() const noexcept { return line_; }
+  [[nodiscard]] std::size_t column() const noexcept { return column_; }
+  /// The bare message, without the "line L, column C: " prefix that
+  /// what() carries (diagnostics render the position separately).
+  [[nodiscard]] const std::string& message() const noexcept {
+    return message_;
+  }
 
  private:
   std::size_t line_;
+  std::size_t column_;
+  std::string message_;
 };
 
 struct ModelFile {
   std::string name;
   expr::ParameterSet parameters;  // defaults declared in the file
   ctmc::SymbolicCtmc model;
+  // Where each param/state/rate was declared; lets the linter report
+  // file:line:column locations.  `source.file` is filled by
+  // load_model (streams have no path).
+  lint::SourceMap source;
+  // Parameters referenced by other param values or state rewards
+  // ("param La La_as+La_os").  Those expressions are evaluated eagerly
+  // at parse time, so the symbolic model never sees them; without this
+  // record the unused-parameter check (R021) would false-positive.
+  std::set<std::string> params_used_in_definitions;
 
   /// Binds the symbolic model against the file's defaults overridden
   /// by `overrides`.
@@ -49,14 +75,31 @@ struct ModelFile {
 
 /// Parses a model from a stream.  Throws ModelFileError on syntax
 /// problems (unknown directive, bad state reference, duplicate
-/// parameter, missing reward, unparsable expression).
+/// parameter, missing reward, unparsable expression).  Parse only —
+/// no lint; use lint_model_file or load_model for analysis.
 [[nodiscard]] ModelFile parse_model(std::istream& in);
 
 /// Parses a model from a string.
 [[nodiscard]] ModelFile parse_model_text(const std::string& text);
 
+/// Runs the full static analysis (lint::lint_model) over a parsed
+/// file, with diagnostics located at file:line:column via the file's
+/// SourceMap.  Unused-parameter warnings (R021) are on: file-local
+/// params have no other consumer.  `overrides` participate so linting
+/// matches what bind() would solve.
+[[nodiscard]] lint::LintReport lint_model_file(
+    const ModelFile& file, const expr::ParameterSet& overrides = {},
+    const lint::LintOptions& options = {});
+
+/// Opt-out switch for lint-on-load.
+enum class LintOnLoad { kOn, kOff };
+
 /// Loads a model from a file path.  Throws std::runtime_error when
-/// the file cannot be opened, ModelFileError on parse problems.
-[[nodiscard]] ModelFile load_model(const std::string& path);
+/// the file cannot be opened, ModelFileError on parse problems, and —
+/// with lint on (the default) — lint::LintError when the model has
+/// error-severity diagnostics.  Warnings do not throw; use
+/// lint_model_file directly to see them.
+[[nodiscard]] ModelFile load_model(const std::string& path,
+                                   LintOnLoad lint = LintOnLoad::kOn);
 
 }  // namespace rascal::io

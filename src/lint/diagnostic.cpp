@@ -1,0 +1,92 @@
+#include "lint/diagnostic.h"
+
+#include <utility>
+
+namespace rascal::lint {
+
+const char* severity_name(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Location::to_string() const {
+  std::string out;
+  if (!file.empty()) {
+    out = file;
+    if (line > 0) {
+      out += ':' + std::to_string(line);
+      if (column > 0) out += ':' + std::to_string(column);
+    }
+  } else if (line > 0) {
+    out = "line " + std::to_string(line);
+    if (column > 0) out += ':' + std::to_string(column);
+  }
+  const auto append = [&out](const std::string& what) {
+    if (!out.empty()) out += ": ";
+    out += what;
+  };
+  if (!from.empty() || !to.empty()) {
+    append("transition '" + from + " -> " + to + "'");
+  } else if (!state.empty()) {
+    append("state '" + state + "'");
+  }
+  if (!parameter.empty()) append("parameter '" + parameter + "'");
+  return out;
+}
+
+void LintReport::add(Diagnostic diagnostic) {
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+void LintReport::merge(const LintReport& other) {
+  diagnostics_.insert(diagnostics_.end(), other.diagnostics_.begin(),
+                      other.diagnostics_.end());
+}
+
+std::size_t LintReport::count(Severity severity) const noexcept {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+bool LintReport::has_code(const std::string& code) const noexcept {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+namespace {
+
+// Exception message: the first error plus a tally, so uncaught
+// LintErrors are still actionable from the terminal.
+std::string summarize(const LintReport& report) {
+  std::string head = "model failed lint";
+  for (const Diagnostic& d : report) {
+    if (d.severity != Severity::kError) continue;
+    head = "[" + d.code + "] " + d.message;
+    const std::string where = d.location.to_string();
+    if (!where.empty()) head += " (" + where + ")";
+    break;
+  }
+  return head + " — " + std::to_string(report.count(Severity::kError)) +
+         " error(s), " + std::to_string(report.count(Severity::kWarning)) +
+         " warning(s)";
+}
+
+}  // namespace
+
+LintError::LintError(LintReport report)
+    : std::domain_error(summarize(report)),
+      report_(std::make_shared<const LintReport>(std::move(report))) {}
+
+}  // namespace rascal::lint

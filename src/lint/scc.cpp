@@ -1,0 +1,109 @@
+#include "lint/scc.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace rascal::lint {
+
+namespace {
+
+constexpr std::size_t kUnvisited = std::numeric_limits<std::size_t>::max();
+
+}  // namespace
+
+SccResult tarjan_scc(const Adjacency& edges) {
+  const std::size_t n = edges.size();
+  SccResult result;
+  result.component_of.assign(n, kUnvisited);
+
+  std::vector<std::size_t> index(n, kUnvisited);
+  std::vector<std::size_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;  // Tarjan's component stack
+  std::size_t next_index = 0;
+
+  // Explicit DFS frame: vertex + position in its edge list, so deep
+  // graphs cannot overflow the call stack.
+  struct Frame {
+    std::size_t vertex;
+    std::size_t edge;
+  };
+  std::vector<Frame> dfs;
+
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back({root, 0});
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      const std::size_t v = frame.vertex;
+      if (frame.edge == 0) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      bool descended = false;
+      while (frame.edge < edges[v].size()) {
+        const std::size_t w = edges[v][frame.edge++];
+        if (index[w] == kUnvisited) {
+          dfs.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+      if (descended) continue;
+      if (lowlink[v] == index[v]) {
+        std::vector<std::size_t> component;
+        std::size_t w = 0;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          result.component_of[w] = result.components.size();
+          component.push_back(w);
+        } while (w != v);
+        std::sort(component.begin(), component.end());
+        result.components.push_back(std::move(component));
+      }
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        const std::size_t parent = dfs.back().vertex;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<bool> closed_components(const Adjacency& edges,
+                                    const SccResult& scc) {
+  std::vector<bool> closed(scc.num_components(), true);
+  for (std::size_t v = 0; v < edges.size(); ++v) {
+    for (const std::size_t w : edges[v]) {
+      if (scc.component_of[v] != scc.component_of[w]) {
+        closed[scc.component_of[v]] = false;
+      }
+    }
+  }
+  return closed;
+}
+
+std::vector<bool> reachable_from(const Adjacency& edges, std::size_t root) {
+  std::vector<bool> seen(edges.size(), false);
+  if (root >= edges.size()) return seen;
+  std::vector<std::size_t> stack{root};
+  seen[root] = true;
+  while (!stack.empty()) {
+    const std::size_t v = stack.back();
+    stack.pop_back();
+    for (const std::size_t w : edges[v]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace rascal::lint

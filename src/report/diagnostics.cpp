@@ -1,0 +1,115 @@
+#include "report/diagnostics.h"
+
+#include <cstdio>
+
+namespace rascal::report {
+
+namespace {
+
+std::string plural(std::size_t n, const char* word) {
+  return std::to_string(n) + " " + word + (n == 1 ? "" : "s");
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_field(std::string& out, const char* key,
+                  const std::string& value, bool& first) {
+  if (value.empty()) return;
+  if (!first) out += ", ";
+  first = false;
+  out += '"';
+  out += key;
+  out += "\": \"" + json_escape(value) + '"';
+}
+
+}  // namespace
+
+std::string render_diagnostics_text(const lint::LintReport& report) {
+  std::string out;
+  for (const lint::Diagnostic& d : report) {
+    const std::string where = d.location.to_string();
+    if (!where.empty()) out += where + ": ";
+    out += std::string(lint::severity_name(d.severity)) + " [" + d.code +
+           "] " + d.message + "\n";
+    if (!d.fix_hint.empty()) out += "  hint: " + d.fix_hint + "\n";
+  }
+  out += plural(report.count(lint::Severity::kError), "error") + ", " +
+         plural(report.count(lint::Severity::kWarning), "warning") + ", " +
+         plural(report.count(lint::Severity::kNote), "note") + "\n";
+  return out;
+}
+
+std::string render_diagnostics_json(const lint::LintReport& report) {
+  std::string out = "{\"diagnostics\": [";
+  bool first_diag = true;
+  for (const lint::Diagnostic& d : report) {
+    if (!first_diag) out += ", ";
+    first_diag = false;
+    out += "{\"code\": \"" + json_escape(d.code) + "\", \"severity\": \"";
+    out += lint::severity_name(d.severity);
+    out += "\", \"message\": \"" + json_escape(d.message) + '"';
+    if (!d.fix_hint.empty()) {
+      out += ", \"fix_hint\": \"" + json_escape(d.fix_hint) + '"';
+    }
+    if (!d.location.empty()) {
+      out += ", \"location\": {";
+      bool first_field = true;
+      append_field(out, "state", d.location.state, first_field);
+      append_field(out, "from", d.location.from, first_field);
+      append_field(out, "to", d.location.to, first_field);
+      append_field(out, "parameter", d.location.parameter, first_field);
+      append_field(out, "file", d.location.file, first_field);
+      if (d.location.line > 0) {
+        if (!first_field) out += ", ";
+        first_field = false;
+        out += "\"line\": " + std::to_string(d.location.line);
+        if (d.location.column > 0) {
+          out += ", \"column\": " + std::to_string(d.location.column);
+        }
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "], \"errors\": " +
+         std::to_string(report.count(lint::Severity::kError)) +
+         ", \"warnings\": " +
+         std::to_string(report.count(lint::Severity::kWarning)) +
+         ", \"notes\": " +
+         std::to_string(report.count(lint::Severity::kNote)) + "}\n";
+  return out;
+}
+
+}  // namespace rascal::report

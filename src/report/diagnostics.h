@@ -1,0 +1,30 @@
+// Rendering for lint diagnostics (lint/diagnostic.h): a compiler-style
+// text form for terminals and a machine-readable JSON form for CI.
+#pragma once
+
+#include <string>
+
+#include "lint/diagnostic.h"
+
+namespace rascal::report {
+
+/// Compiler-style text, one diagnostic per line plus an indented fix
+/// hint, followed by a severity tally:
+///
+///   model.rasc:12:8: error [R025] rate of 'Ok -> 2_Down' evaluates
+///   to -0.5 under the supplied parameters
+///     hint: rates must be >= 0; check for a sign flip in '...'
+///   2 errors, 1 warning, 0 notes
+[[nodiscard]] std::string render_diagnostics_text(
+    const lint::LintReport& report);
+
+/// Deterministic JSON (diagnostics in report order, keys in fixed
+/// order, strings escaped):
+///
+///   {"diagnostics": [{"code": "R025", "severity": "error",
+///    "message": "...", "fix_hint": "...", "location": {...}}, ...],
+///    "errors": 2, "warnings": 1, "notes": 0}
+[[nodiscard]] std::string render_diagnostics_json(
+    const lint::LintReport& report);
+
+}  // namespace rascal::report

@@ -1,0 +1,100 @@
+// Property tests for the model linter, driven by the seeded random
+// model generators in src/check:
+//
+//   1. Every generated model lints clean — the generators' structural
+//      guarantees (Hamiltonian cycle, birth-death skeleton) satisfy
+//      every linter invariant, so a diagnostic on generator output is
+//      a linter false positive.
+//   2. Injecting any single fault from all_model_faults() never lints
+//      clean, and the report carries the fault's expected code — no
+//      false negatives, and the code-to-defect mapping is stable.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/random_model.h"
+#include "lint/lint.h"
+#include "report/diagnostics.h"
+#include "stats/rng.h"
+
+namespace rascal::check {
+namespace {
+
+constexpr int kTrials = 40;
+
+lint::LintOptions lenient_numerics() {
+  // Random rates span [0.1, 10]; keep default thresholds but make the
+  // intent explicit: these options must never flag generator output.
+  return lint::LintOptions{};
+}
+
+TEST(PropertyLint, ErgodicGeneratorAlwaysLintsClean) {
+  stats::RandomEngine root(0x11A7C1EA);
+  for (int i = 0; i < kTrials; ++i) {
+    stats::RandomEngine rng = root.split(i);
+    const GeneratedModel model = random_ergodic_ctmc(rng);
+    const lint::LintReport report =
+        lint::lint_ctmc(model.chain, lenient_numerics());
+    EXPECT_TRUE(report.empty())
+        << model.description << " (trial " << i << "):\n"
+        << report::render_diagnostics_text(report);
+  }
+}
+
+TEST(PropertyLint, BirthDeathGeneratorAlwaysLintsClean) {
+  stats::RandomEngine root(0xB1D7C1EA);
+  for (int i = 0; i < kTrials; ++i) {
+    stats::RandomEngine rng = root.split(i);
+    const GeneratedModel model = random_birth_death(rng);
+    const lint::LintReport report =
+        lint::lint_ctmc(model.chain, lenient_numerics());
+    EXPECT_TRUE(report.empty())
+        << model.description << " (trial " << i << "):\n"
+        << report::render_diagnostics_text(report);
+  }
+}
+
+TEST(PropertyLint, SingleFaultMutantsNeverLintClean) {
+  stats::RandomEngine root(0x0BADC0DE);
+  int trial = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    stats::RandomEngine model_rng = root.split(trial++);
+    const GeneratedModel model = random_ergodic_ctmc(model_rng);
+    const RawModel healthy = raw_model(model.chain);
+    // The healthy raw model is the control: it must lint clean, or
+    // the mutant assertions below would be vacuous.
+    ASSERT_TRUE(
+        lint::lint_raw_model(healthy.states, healthy.transitions).empty())
+        << model.description;
+    for (ModelFault fault : all_model_faults()) {
+      stats::RandomEngine fault_rng = root.split(trial++);
+      const RawModel mutant = inject_fault(healthy, fault, fault_rng);
+      const lint::LintReport report =
+          lint::lint_raw_model(mutant.states, mutant.transitions);
+      // kDuplicateTransition only warrants a warning, so the property
+      // is "report is non-empty", not "report has errors".
+      EXPECT_FALSE(report.empty())
+          << model.description << ", fault " << expected_code(fault);
+      EXPECT_TRUE(report.has_code(expected_code(fault)))
+          << model.description << ", fault " << expected_code(fault)
+          << " missing from:\n"
+          << report::render_diagnostics_text(report);
+    }
+  }
+}
+
+TEST(PropertyLint, MutantCodesAreDistinctPerFault) {
+  std::vector<std::string> seen;
+  for (ModelFault fault : all_model_faults()) {
+    const std::string code = expected_code(fault);
+    for (const std::string& other : seen) {
+      EXPECT_NE(code, other);
+    }
+    seen.push_back(code);
+  }
+  EXPECT_EQ(seen.size(), all_model_faults().size());
+}
+
+}  // namespace
+}  // namespace rascal::check

@@ -6,6 +6,7 @@
 
 #include "ctmc/builder.h"
 #include "ctmc/steady_state.h"
+#include "lint/diagnostic.h"
 
 namespace rascal::ctmc {
 namespace {
@@ -96,6 +97,11 @@ TEST(Transient, MaxTermsGuardsStiffChains) {
   const Ctmc chain = two_state(1e6, 1e6);
   TransientOptions options;
   options.max_terms = 10;
+  // With validation on the infeasible horizon is rejected up front
+  // (R032); with it off the summation loop itself trips the cap.
+  EXPECT_THROW((void)transient_distribution(chain, 0, 1000.0, options),
+               rascal::lint::LintError);
+  options.validate = false;
   EXPECT_THROW((void)transient_distribution(chain, 0, 1000.0, options),
                std::runtime_error);
 }

@@ -1,6 +1,7 @@
 // rascal_cli — solve availability models from .rasc files.
 //
 //   rascal_cli solve MODEL.rasc [--set NAME=VALUE ...] [--method M]
+//   rascal_cli lint  MODEL.rasc [--set NAME=VALUE ...] [--json] [--werror]
 //   rascal_cli states MODEL.rasc [--set NAME=VALUE ...]
 //   rascal_cli sweep MODEL.rasc --param NAME --from A --to B
 //              [--points N] [--metric availability|downtime|mtbf]
@@ -27,7 +28,9 @@
 #include "ctmc/steady_state.h"
 #include "io/dot_export.h"
 #include "io/model_file.h"
+#include "lint/lint.h"
 #include "report/ascii_plot.h"
+#include "report/diagnostics.h"
 #include "report/table.h"
 
 namespace {
@@ -39,6 +42,10 @@ int usage() {
       << "usage:\n"
          "  rascal_cli solve  MODEL.rasc [--set NAME=VALUE ...] "
          "[--method gth|lu|power|gauss-seidel]\n"
+         "  rascal_cli lint   MODEL.rasc [--set NAME=VALUE ...] [--json]"
+         " [--werror]\n"
+         "             (static analysis; exit 1 on errors, or on"
+         " warnings with --werror)\n"
          "  rascal_cli states MODEL.rasc [--set NAME=VALUE ...]\n"
          "  rascal_cli sweep  MODEL.rasc --param NAME --from A --to B\n"
          "             [--points N] [--metric availability|downtime|mtbf]"
@@ -69,6 +76,8 @@ struct Arguments {
   std::string start_state;  // mttf: defaults to the first state
   std::size_t threads = 0;  // 0 = auto (RASCAL_THREADS, else all cores)
   bool update_golden = false;
+  bool json = false;    // lint: machine-readable output
+  bool werror = false;  // lint: warnings fail the run
 };
 
 bool parse_double(const char* text, double& out) {
@@ -144,6 +153,10 @@ bool parse_arguments(int argc, char** argv, Arguments& args) {
       if (!value || !parse_size(value, args.threads)) return false;
     } else if (flag == "--update-golden") {
       args.update_golden = true;
+    } else if (flag == "--json") {
+      args.json = true;
+    } else if (flag == "--werror") {
+      args.werror = true;
     } else if (flag == "--metric") {
       const char* value = next();
       if (!value) return false;
@@ -177,6 +190,31 @@ int run_solve(const Arguments& args) {
   const ctmc::Ctmc chain = file.bind(args.overrides);
   const auto steady = ctmc::solve_steady_state(chain, args.method);
   print_metrics(core::availability_metrics(chain, steady));
+  return 0;
+}
+
+int run_lint(const Arguments& args) {
+  lint::LintReport report;
+  try {
+    const io::ModelFile file =
+        io::load_model(args.model_path, io::LintOnLoad::kOff);
+    report = io::lint_model_file(file, args.overrides);
+  } catch (const io::ModelFileError& e) {
+    // The file did not even parse; surface that as an R000 diagnostic
+    // so text and JSON consumers see one uniform shape.
+    lint::Diagnostic d;
+    d.code = lint::codes::kParseError;
+    d.severity = lint::Severity::kError;
+    d.message = e.message();
+    d.location.file = args.model_path;
+    d.location.line = e.line();
+    d.location.column = e.column();
+    report.add(std::move(d));
+  }
+  std::cout << (args.json ? report::render_diagnostics_json(report)
+                          : report::render_diagnostics_text(report));
+  if (report.has_errors()) return 1;
+  if (args.werror && report.count(lint::Severity::kWarning) > 0) return 1;
   return 0;
 }
 
@@ -336,6 +374,7 @@ int main(int argc, char** argv) {
   if (!parse_arguments(argc, argv, args)) return usage();
   try {
     if (args.command == "solve") return run_solve(args);
+    if (args.command == "lint") return run_lint(args);
     if (args.command == "states") return run_states(args);
     if (args.command == "sweep") return run_sweep(args);
     if (args.command == "mttf") return run_mttf(args);
