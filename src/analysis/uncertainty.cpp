@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "core/thread_pool.h"
+#include "obs/obs.h"
+#include "obs/progress.h"
 #include "stats/rng.h"
 
 namespace rascal::analysis {
@@ -26,6 +28,7 @@ UncertaintyResult uncertainty_analysis(
     const ModelFunction& model, const expr::ParameterSet& base,
     const std::vector<stats::ParameterRange>& ranges,
     const UncertaintyOptions& options) {
+  const obs::Span span("analysis.uncertainty");
   if (options.samples == 0) {
     throw std::invalid_argument("uncertainty_analysis: zero samples");
   }
@@ -39,11 +42,21 @@ UncertaintyResult uncertainty_analysis(
   // depends only on its own draw, and every reduction below runs over
   // the index-ordered metrics — so the thread count cannot change any
   // output bit.
+  // Telemetry (spans, progress ticks) only reads clocks and atomics,
+  // never the RNG, so instrumented runs stay on the same draw stream.
+  obs::Progress progress("uncertainty", draws.size());
   const std::vector<double> metrics = core::parallel_map(
       draws.size(), core::resolve_threads(options.threads),
       [&](std::size_t i) {
-        return model(sample_parameters(base, ranges, draws[i]));
+        const obs::Span sample_span("analysis.uncertainty.sample");
+        const double metric = model(sample_parameters(base, ranges, draws[i]));
+        progress.tick();
+        return metric;
       });
+  progress.finish();
+  if (obs::enabled()) {
+    obs::counter("analysis.uncertainty.samples").add(draws.size());
+  }
 
   UncertaintyResult result;
   result.samples.reserve(draws.size());

@@ -1,9 +1,12 @@
 #include "core/thread_pool.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <string>
+
+#include "obs/obs.h"
 
 namespace rascal::core {
 
@@ -16,6 +19,20 @@ std::size_t env_threads() {
   const unsigned long value = std::strtoul(text, &end, 10);
   if (end == text || *end != '\0') return 0;
   return static_cast<std::size_t>(value);
+}
+
+// Flushes one worker's locally accumulated tally into the registry
+// (once, when the worker retires — never per task).
+void record_worker_telemetry(std::size_t worker, std::uint64_t tasks,
+                             std::uint64_t busy_ns) {
+  if (tasks == 0 || !obs::enabled()) return;
+  obs::counter("core.pool.tasks").add(tasks);
+  obs::counter("core.pool.busy_us").add(busy_ns / 1000);
+  char name[64];
+  std::snprintf(name, sizeof(name), "core.pool.worker.%zu.tasks", worker);
+  obs::counter(name).add(tasks);
+  std::snprintf(name, sizeof(name), "core.pool.worker.%zu.busy_us", worker);
+  obs::counter(name).add(busy_ns / 1000);
 }
 
 }  // namespace
@@ -32,7 +49,11 @@ ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t count = std::max<std::size_t>(1, threads);
   workers_.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+  if (obs::enabled()) {
+    static obs::Counter& pools = obs::counter("core.pool.instances");
+    pools.add(1);
   }
 }
 
@@ -59,17 +80,30 @@ void ThreadPool::wait() {
   done_cv_.wait(lock, [this] { return pending_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker) {
+  // Task and busy-time tallies stay thread-local until the worker
+  // retires, so instrumentation adds no per-task synchronization.
+  std::uint64_t tasks_run = 0;
+  std::uint64_t busy_ns = 0;
   for (;;) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and no work left
+      if (queue_.empty()) {
+        record_worker_telemetry(worker, tasks_run, busy_ns);
+        return;  // stop_ set and no work left
+      }
       task = std::move(queue_.front());
       queue_.pop();
     }
+    const bool timed = obs::enabled();
+    const std::uint64_t start_ns = timed ? obs::wall_now_ns() : 0;
     task();
+    if (timed) {
+      ++tasks_run;
+      busy_ns += obs::wall_now_ns() - start_ns;
+    }
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       --pending_;
@@ -88,11 +122,19 @@ void parallel_for(
     return;
   }
 
+  const obs::Span span("core.parallel_for");
+
   // Oversubscribe chunks 4x so uneven per-index costs still balance;
   // chunk boundaries never affect the result, only the schedule.
   const std::size_t chunks =
       std::min(count, std::max<std::size_t>(workers * 4, 1));
   const std::size_t chunk_size = (count + chunks - 1) / chunks;
+  if (obs::enabled()) {
+    static obs::Counter& calls = obs::counter("core.parallel_for.calls");
+    static obs::Counter& chunk_count = obs::counter("core.parallel_for.chunks");
+    calls.add(1);
+    chunk_count.add((count + chunk_size - 1) / chunk_size);
+  }
 
   ThreadPool pool(workers);
   std::mutex error_mutex;

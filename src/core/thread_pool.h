@@ -55,7 +55,9 @@ class ThreadPool {
   void wait();
 
  private:
-  void worker_loop();
+  // `worker` is the dense worker index, used to key the per-worker
+  // utilization counters (core.pool.worker.N.*).
+  void worker_loop(std::size_t worker);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;

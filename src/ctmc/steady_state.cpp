@@ -1,14 +1,51 @@
 #include "ctmc/steady_state.h"
 
 #include <stdexcept>
+#include <string>
 
 #include "linalg/gth.h"
 #include "linalg/iterative.h"
 #include "linalg/lu.h"
+#include "obs/obs.h"
 
 namespace rascal::ctmc {
 
 namespace {
+
+const char* method_slug(SteadyStateMethod method) {
+  switch (method) {
+    case SteadyStateMethod::kGth: return "gth";
+    case SteadyStateMethod::kLu: return "lu";
+    case SteadyStateMethod::kPower: return "power";
+    case SteadyStateMethod::kGaussSeidel: return "gauss_seidel";
+  }
+  return "unknown";
+}
+
+// Per-method solve/iteration/residual telemetry (counters are keyed
+// by method slug; the residual gauges track the worst and the most
+// recent solve of the run).
+void record_solve_telemetry(SteadyStateMethod method,
+                            const SteadyState& result) {
+  if (!obs::enabled()) return;
+  const std::string slug = method_slug(method);
+  obs::counter("ctmc.solver.solves").add(1);
+  obs::counter("ctmc.solver.solves." + slug).add(1);
+  if (result.iterations > 0) {
+    obs::counter("ctmc.solver.iterations." + slug).add(result.iterations);
+  }
+  obs::gauge("ctmc.solver.residual.last").set(result.residual);
+  obs::gauge("ctmc.solver.residual.max").record_max(result.residual);
+}
+
+// An iterative method exhausted its budget; the caller is about to
+// throw, but the failure still shows up in the run's counters.
+void record_nonconvergence(SteadyStateMethod method, std::size_t iterations) {
+  if (!obs::enabled()) return;
+  const std::string slug = method_slug(method);
+  obs::counter("ctmc.solver.nonconverged").add(1);
+  obs::counter("ctmc.solver.iterations." + slug).add(iterations);
+}
 
 linalg::Vector solve_lu(const Ctmc& chain) {
   // pi Q = 0  <=>  Q^T pi^T = 0.  Replace the last balance equation
@@ -32,6 +69,7 @@ linalg::Vector solve_lu(const Ctmc& chain) {
 
 SteadyState solve_steady_state(const Ctmc& chain, SteadyStateMethod method,
                                Validation validation) {
+  const obs::Span span("ctmc.solve_steady_state");
   if (validation == Validation::kOn) {
     throw_if_errors(validate_for_steady_state(chain));
   }
@@ -47,6 +85,7 @@ SteadyState solve_steady_state(const Ctmc& chain, SteadyStateMethod method,
     case SteadyStateMethod::kPower: {
       auto it = linalg::power_stationary(chain.sparse_generator());
       if (!it.converged) {
+        record_nonconvergence(method, it.iterations);
         throw std::runtime_error(
             "solve_steady_state: power iteration did not converge");
       }
@@ -57,6 +96,7 @@ SteadyState solve_steady_state(const Ctmc& chain, SteadyStateMethod method,
     case SteadyStateMethod::kGaussSeidel: {
       auto it = linalg::gauss_seidel_stationary(chain.sparse_generator());
       if (!it.converged) {
+        record_nonconvergence(method, it.iterations);
         throw std::runtime_error(
             "solve_steady_state: Gauss-Seidel did not converge");
       }
@@ -68,6 +108,7 @@ SteadyState solve_steady_state(const Ctmc& chain, SteadyStateMethod method,
   result.residual =
       linalg::norm_inf(chain.sparse_generator().left_multiply(
           result.probabilities));
+  record_solve_telemetry(method, result);
   return result;
 }
 

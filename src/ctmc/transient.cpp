@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "ctmc/validate.h"
+#include "obs/obs.h"
 
 namespace rascal::ctmc {
 
@@ -51,6 +52,7 @@ TransientResult transient_distribution(const Ctmc& chain,
                                        const linalg::Vector& initial,
                                        double t,
                                        const TransientOptions& options) {
+  const obs::Span span("ctmc.transient");
   check_initial(chain, initial);
   if (t < 0.0) {
     throw std::invalid_argument("transient: negative time");
@@ -91,6 +93,10 @@ TransientResult transient_distribution(const Ctmc& chain,
   linalg::normalize_to_sum_one(acc);
   result.probabilities = std::move(acc);
   result.terms = k;
+  if (obs::enabled()) {
+    obs::counter("ctmc.transient.solves").add(1);
+    obs::counter("ctmc.transient.terms").add(result.terms);
+  }
   return result;
 }
 
@@ -108,6 +114,7 @@ TransientResult transient_distribution(const Ctmc& chain,
 IntervalRewardResult expected_interval_reward(
     const Ctmc& chain, const linalg::Vector& initial, double t,
     const TransientOptions& options) {
+  const obs::Span span("ctmc.interval_reward");
   check_initial(chain, initial);
   if (!(t > 0.0)) {
     throw std::invalid_argument("expected_interval_reward: requires t > 0");
@@ -156,6 +163,10 @@ IntervalRewardResult expected_interval_reward(
   result.accumulated_reward = integral / lambda;
   result.time_averaged = result.accumulated_reward / t;
   result.terms = k;
+  if (obs::enabled()) {
+    obs::counter("ctmc.transient.solves").add(1);
+    obs::counter("ctmc.transient.terms").add(result.terms);
+  }
   return result;
 }
 

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "core/thread_pool.h"
+#include "obs/obs.h"
+#include "obs/progress.h"
 #include "stats/estimators.h"
 
 namespace rascal::faultinj {
@@ -196,6 +198,7 @@ InjectionRecord run_trial(std::size_t trial, Testbed& bed,
 }  // namespace
 
 CampaignResult run_campaign(const CampaignOptions& options) {
+  const obs::Span span("faultinj.campaign");
   if (options.trials == 0) {
     throw std::invalid_argument("run_campaign: zero trials");
   }
@@ -210,16 +213,22 @@ CampaignResult run_campaign(const CampaignOptions& options) {
   // record slot; every worker faults a private copy of the testbed.
   CampaignResult result;
   result.records.resize(options.trials);
+  // Spans and progress ticks read clocks/atomics only, never the RNG:
+  // every trial still consumes exactly its own substream.
+  obs::Progress progress("campaign", options.trials);
   core::parallel_for(
       options.trials, core::resolve_threads(options.threads),
       [&](std::size_t begin, std::size_t end) {
         Testbed bed = prototype;
         for (std::size_t trial = begin; trial < end; ++trial) {
+          const obs::Span trial_span("faultinj.trial");
           result.records[trial] =
               run_trial(trial, bed, hadb_hosts, as_hosts, options.recovery,
                         root.split(trial));
+          progress.tick();
         }
       });
+  progress.finish();
 
   // Order-sensitive aggregation happens serially, in trial order, so
   // the summaries are bit-identical for every thread count.
@@ -245,6 +254,10 @@ CampaignResult run_campaign(const CampaignOptions& options) {
       default:
         break;
     }
+  }
+  if (obs::enabled()) {
+    obs::counter("faultinj.trials").add(result.trials);
+    obs::counter("faultinj.successes").add(result.successes);
   }
   return result;
 }

@@ -1,0 +1,193 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <chrono>
+#include <ctime>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace rascal::obs {
+
+namespace {
+
+struct SpanAccum {
+  std::uint64_t count = 0;
+  std::uint64_t wall_ns = 0;
+  std::uint64_t cpu_ns = 0;
+};
+
+// Single process-wide registry.  Entries are only ever added, never
+// removed, so Counter/Gauge references handed out stay valid; the
+// mutex guards map growth, span aggregation, and the event buffer —
+// the hot counter/gauge mutations themselves are lock-free atomics.
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, SpanAccum> spans;
+  bool record_events = false;
+  std::size_t max_events = 0;
+  std::uint64_t dropped_events = 0;
+  std::uint64_t recording_start_ns = 0;
+  std::vector<TraceEvent> events;
+  std::map<std::thread::id, int> thread_numbers;
+};
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+// Per-thread stack of open span names; a span's aggregation key is
+// the '/'-joined path of this stack at destruction time.
+thread_local std::vector<std::string> open_spans;
+
+std::uint64_t thread_cpu_now_ns() noexcept {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ULL +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+  }
+#endif
+  return 0;
+}
+
+}  // namespace
+
+std::uint64_t wall_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void set_enabled(bool on) noexcept {
+  detail::collection_enabled.store(on, std::memory_order_relaxed);
+}
+
+Counter& counter(std::string_view name) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.counters.find(name);
+  if (it == reg.counters.end()) {
+    it = reg.counters.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& gauge(std::string_view name) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.gauges.find(name);
+  if (it == reg.gauges.end()) {
+    it = reg.gauges.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  }
+  return *it->second;
+}
+
+Span::Span(std::string_view name) {
+  if (!enabled()) return;
+  active_ = true;
+  open_spans.emplace_back(name);
+  start_wall_ns_ = wall_now_ns();
+  start_cpu_ns_ = thread_cpu_now_ns();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const std::uint64_t wall_end = wall_now_ns();
+  const std::uint64_t cpu_end = thread_cpu_now_ns();
+  std::string path;
+  for (const std::string& part : open_spans) {
+    if (!path.empty()) path += '/';
+    path += part;
+  }
+  open_spans.pop_back();
+
+  const std::uint64_t wall_ns =
+      wall_end > start_wall_ns_ ? wall_end - start_wall_ns_ : 0;
+  const std::uint64_t cpu_ns =
+      cpu_end > start_cpu_ns_ ? cpu_end - start_cpu_ns_ : 0;
+
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  SpanAccum& accum = reg.spans[path];
+  ++accum.count;
+  accum.wall_ns += wall_ns;
+  accum.cpu_ns += cpu_ns;
+  if (reg.record_events) {
+    if (reg.events.size() >= reg.max_events) {
+      ++reg.dropped_events;
+    } else {
+      const auto thread_it =
+          reg.thread_numbers
+              .emplace(std::this_thread::get_id(),
+                       static_cast<int>(reg.thread_numbers.size()))
+              .first;
+      TraceEvent event;
+      event.path = std::move(path);
+      event.tid = thread_it->second;
+      event.ts_us = static_cast<double>(start_wall_ns_ -
+                                        std::min(start_wall_ns_,
+                                                 reg.recording_start_ns)) /
+                    1000.0;
+      event.dur_us = static_cast<double>(wall_ns) / 1000.0;
+      reg.events.push_back(std::move(event));
+    }
+  }
+}
+
+Snapshot snapshot() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  Snapshot snap;
+  snap.spans.reserve(reg.spans.size());
+  for (const auto& [path, accum] : reg.spans) {
+    snap.spans.push_back({path, accum.count,
+                          static_cast<double>(accum.wall_ns) / 1e6,
+                          static_cast<double>(accum.cpu_ns) / 1e6});
+  }
+  snap.counters.reserve(reg.counters.size());
+  for (const auto& [name, value] : reg.counters) {
+    snap.counters.push_back({name, value->value()});
+  }
+  snap.gauges.reserve(reg.gauges.size());
+  for (const auto& [name, value] : reg.gauges) {
+    snap.gauges.push_back({name, value->value()});
+  }
+  snap.events = reg.events;
+  std::stable_sort(snap.events.begin(), snap.events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  snap.dropped_events = reg.dropped_events;
+  return snap;
+}
+
+void reset() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (auto& [name, value] : reg.counters) value->reset();
+  for (auto& [name, value] : reg.gauges) value->reset();
+  reg.spans.clear();
+  reg.events.clear();
+  reg.thread_numbers.clear();
+  reg.dropped_events = 0;
+  reg.recording_start_ns = wall_now_ns();
+}
+
+void set_event_recording(bool on, std::size_t max_events) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.record_events = on;
+  reg.max_events = max_events;
+  if (on) reg.recording_start_ns = wall_now_ns();
+}
+
+}  // namespace rascal::obs

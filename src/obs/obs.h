@@ -1,0 +1,164 @@
+// Runtime observability: named counters and gauges, scoped spans with
+// wall/CPU timings, and an optional in-memory trace-event buffer.
+//
+// Design contract (relied on by the deterministic sampling engine):
+//   * Zero overhead when disabled.  Every instrumentation point
+//     guards itself on `enabled()` (one relaxed atomic load); spans
+//     constructed while disabled record nothing.
+//   * Telemetry lives entirely outside the RNG stream.  Recording a
+//     counter, gauge, span, or trace event never draws randomness and
+//     never changes a numerical result — tracing-on and tracing-off
+//     runs are bit-identical (asserted by tests and a CLI ctest).
+//   * Thread safe.  Counters and gauges are relaxed atomics; the
+//     registry only ever adds entries, so references returned by
+//     counter()/gauge() stay valid for the process lifetime.
+//
+// Typical hot-path usage:
+//
+//   if (obs::enabled()) {
+//     static obs::Counter& events = obs::counter("sim.jsas.events");
+//     events.add(n);
+//   }
+//
+// and for timings:
+//
+//   obs::Span span("faultinj.campaign");   // no-op unless enabled
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rascal::obs {
+
+namespace detail {
+inline std::atomic<bool> collection_enabled{false};
+}  // namespace detail
+
+/// True when telemetry collection is on (one relaxed atomic load —
+/// cheap enough for per-event hot paths).
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::collection_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns collection on or off.  Prefer TraceSession (obs/trace.h),
+/// which also resets state and restores the flag on destruction.
+void set_enabled(bool on) noexcept;
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value / high-water-mark gauge (e.g. final solver residual,
+/// event-queue depth).  Starts at 0.
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  /// Keeps the maximum of all recorded values.
+  void record_max(double value) noexcept {
+    double current = value_.load(std::memory_order_relaxed);
+    while (value > current &&
+           !value_.compare_exchange_weak(current, value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Returns the counter/gauge registered under `name`, creating it on
+/// first use.  References stay valid forever; reset() zeroes values
+/// without invalidating them.
+[[nodiscard]] Counter& counter(std::string_view name);
+[[nodiscard]] Gauge& gauge(std::string_view name);
+
+/// RAII scoped span.  When collection is enabled at construction,
+/// records wall and per-thread CPU time between construction and
+/// destruction, aggregated under a '/'-joined path of the enclosing
+/// spans on the same thread ("campaign/trial").  When event recording
+/// is on (see TraceSession) each completed span also appends one
+/// Chrome-trace "X" event.
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  bool active_ = false;
+  std::uint64_t start_wall_ns_ = 0;
+  std::uint64_t start_cpu_ns_ = 0;
+};
+
+struct CounterValue {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeValue {
+  std::string name;
+  double value = 0.0;
+};
+
+/// Aggregated statistics for one span path.
+struct SpanStat {
+  std::string path;
+  std::uint64_t count = 0;
+  double wall_ms = 0.0;
+  double cpu_ms = 0.0;
+};
+
+/// One completed span occurrence (Chrome-trace "X" event).
+struct TraceEvent {
+  std::string path;
+  int tid = 0;        // small dense thread number, not the OS id
+  double ts_us = 0.0;   // start, microseconds since recording began
+  double dur_us = 0.0;  // wall duration, microseconds
+};
+
+/// Point-in-time copy of everything collected so far.  All vectors
+/// are sorted by name/path (events by timestamp) so output is stable.
+struct Snapshot {
+  std::vector<SpanStat> spans;
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped_events = 0;
+};
+
+[[nodiscard]] Snapshot snapshot();
+
+/// Zeroes every counter/gauge, clears span statistics and the event
+/// buffer.  Registered Counter/Gauge references remain valid.
+void reset();
+
+/// Turns per-span trace-event recording on/off.  `max_events` bounds
+/// the buffer; completions past the cap are counted as dropped.
+void set_event_recording(bool on, std::size_t max_events = 1u << 20);
+
+/// Monotonic wall clock in nanoseconds (steady_clock), exposed for
+/// the progress meter and tests.
+[[nodiscard]] std::uint64_t wall_now_ns() noexcept;
+
+}  // namespace rascal::obs

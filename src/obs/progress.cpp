@@ -1,0 +1,67 @@
+#include "obs/progress.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace rascal::obs {
+
+namespace {
+constexpr std::uint64_t kReportIntervalNs = 1000000000ULL;  // 1 s
+}  // namespace
+
+Progress::Progress(std::string label, std::uint64_t total)
+    : label_(std::move(label)), total_(total), active_(enabled()) {
+  if (!active_) return;
+  start_ns_ = wall_now_ns();
+  next_report_ns_.store(start_ns_ + kReportIntervalNs,
+                        std::memory_order_relaxed);
+}
+
+Progress::~Progress() { finish(); }
+
+void Progress::tick(std::uint64_t delta) noexcept {
+  const std::uint64_t done =
+      done_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  if (!active_) return;
+  std::uint64_t due = next_report_ns_.load(std::memory_order_relaxed);
+  const std::uint64_t now = wall_now_ns();
+  if (now < due) return;
+  // One thread wins the slot; everyone else skips this report.
+  if (!next_report_ns_.compare_exchange_strong(due, now + kReportIntervalNs,
+                                               std::memory_order_relaxed)) {
+    return;
+  }
+  report(done, /*final_line=*/false);
+}
+
+void Progress::finish() noexcept {
+  if (!active_ || finished_) return;
+  finished_ = true;
+  report(done_.load(std::memory_order_relaxed), /*final_line=*/true);
+}
+
+void Progress::report(std::uint64_t done, bool final_line) const noexcept {
+  const double elapsed_s =
+      static_cast<double>(wall_now_ns() - start_ns_) / 1e9;
+  const double pct =
+      total_ > 0 ? 100.0 * static_cast<double>(done) /
+                       static_cast<double>(total_)
+                 : 0.0;
+  if (final_line) {
+    std::fprintf(stderr, "%s: %" PRIu64 "/%" PRIu64 " done in %.1fs\n",
+                 label_.c_str(), done, total_, elapsed_s);
+    return;
+  }
+  const double eta_s =
+      done > 0 ? elapsed_s * static_cast<double>(total_ - done) /
+                     static_cast<double>(done)
+               : 0.0;
+  std::fprintf(stderr,
+               "%s: %" PRIu64 "/%" PRIu64 " (%.1f%%) elapsed %.1fs eta %.1fs\n",
+               label_.c_str(), done, total_, pct, elapsed_s, eta_s);
+}
+
+}  // namespace rascal::obs

@@ -1,0 +1,42 @@
+// Periodic progress reporting for long campaigns and Monte-Carlo
+// sweeps.  Active only while obs collection is enabled; ticks are
+// relaxed atomics so worker threads can report without coordination,
+// and the meter never touches the RNG stream or any result.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace rascal::obs {
+
+/// Prints "<label>: done/total (pct) elapsed .. eta .." to stderr at
+/// most once per second, plus a final line from finish().  Inactive
+/// (fully silent, near-zero cost) when obs collection is disabled at
+/// construction time.
+class Progress {
+ public:
+  Progress(std::string label, std::uint64_t total);
+  ~Progress();
+  Progress(const Progress&) = delete;
+  Progress& operator=(const Progress&) = delete;
+
+  /// Thread-safe; callable from pool workers.
+  void tick(std::uint64_t delta = 1) noexcept;
+
+  /// Prints the final summary line (once).
+  void finish() noexcept;
+
+ private:
+  void report(std::uint64_t done, bool final_line) const noexcept;
+
+  std::string label_;
+  std::uint64_t total_ = 0;
+  std::uint64_t start_ns_ = 0;
+  std::atomic<std::uint64_t> done_{0};
+  std::atomic<std::uint64_t> next_report_ns_{0};
+  bool active_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace rascal::obs

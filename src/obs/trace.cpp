@@ -1,0 +1,179 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace rascal::obs {
+
+namespace {
+
+// JSON string escaping for span paths and counter names (which are
+// plain identifiers today, but the writer must stay valid JSON for
+// any input).
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+TraceSession::TraceSession(const TraceSessionOptions& options) {
+  reset();
+  set_event_recording(options.collect_events, options.max_events);
+  set_enabled(true);
+}
+
+TraceSession::~TraceSession() {
+  if (!stopped_) (void)stop();
+}
+
+Snapshot TraceSession::stop() {
+  if (!stopped_) {
+    set_enabled(false);
+    set_event_recording(false);
+    final_ = snapshot();
+    stopped_ = true;
+  }
+  return final_;
+}
+
+std::string chrome_trace_json(const Snapshot& snap) {
+  std::string out;
+  out += "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  out +=
+      "    {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+      "\"args\": {\"name\": \"rascal\"}}";
+  for (const TraceEvent& event : snap.events) {
+    out += ",\n    {\"name\": \"" + json_escape(event.path) +
+           "\", \"cat\": \"rascal\", \"ph\": \"X\", \"pid\": 1, \"tid\": ";
+    char buffer[96];
+    std::snprintf(buffer, sizeof(buffer), "%d, \"ts\": %.3f, \"dur\": %.3f}",
+                  event.tid, event.ts_us, event.dur_us);
+    out += buffer;
+  }
+  out += "\n  ],\n  \"otherData\": {\n    \"counters\": {";
+  bool first = true;
+  for (const CounterValue& c : snap.counters) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%" PRIu64, c.value);
+    out += first ? "\n" : ",\n";
+    out += "      \"" + json_escape(c.name) + "\": " + buffer;
+    first = false;
+  }
+  out += "\n    },\n    \"gauges\": {";
+  first = true;
+  for (const GaugeValue& g : snap.gauges) {
+    out += first ? "\n" : ",\n";
+    out += "      \"" + json_escape(g.name) + "\": " + format_double(g.value);
+    first = false;
+  }
+  out += "\n    },\n    \"spans\": {";
+  first = true;
+  for (const SpanStat& s : snap.spans) {
+    char buffer[128];
+    std::snprintf(buffer, sizeof(buffer),
+                  "{\"count\": %" PRIu64
+                  ", \"wall_ms\": %.3f, \"cpu_ms\": %.3f}",
+                  s.count, s.wall_ms, s.cpu_ms);
+    out += first ? "\n" : ",\n";
+    out += "      \"" + json_escape(s.path) + "\": " + buffer;
+    first = false;
+  }
+  out += "\n    },\n    \"dropped_events\": ";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, snap.dropped_events);
+  out += buffer;
+  out += "\n  }\n}\n";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path, const Snapshot& snap) {
+  std::ofstream file(path);
+  if (!file) {
+    throw std::runtime_error("write_chrome_trace: cannot open " + path);
+  }
+  file << chrome_trace_json(snap);
+  if (!file.good()) {
+    throw std::runtime_error("write_chrome_trace: write failed for " + path);
+  }
+}
+
+std::string render_summary(const Snapshot& snap) {
+  std::string out;
+  std::size_t width = 24;
+  for (const SpanStat& s : snap.spans) width = std::max(width, s.path.size());
+  for (const CounterValue& c : snap.counters) {
+    width = std::max(width, c.name.size());
+  }
+  for (const GaugeValue& g : snap.gauges) {
+    width = std::max(width, g.name.size());
+  }
+
+  char line[512];
+  out += "== telemetry ==\n";
+  if (!snap.spans.empty()) {
+    std::snprintf(line, sizeof(line), "spans:\n  %-*s %10s %12s %12s\n",
+                  static_cast<int>(width), "path", "count", "wall(ms)",
+                  "cpu(ms)");
+    out += line;
+    for (const SpanStat& s : snap.spans) {
+      std::snprintf(line, sizeof(line),
+                    "  %-*s %10" PRIu64 " %12.3f %12.3f\n",
+                    static_cast<int>(width), s.path.c_str(), s.count,
+                    s.wall_ms, s.cpu_ms);
+      out += line;
+    }
+  }
+  if (!snap.counters.empty()) {
+    out += "counters:\n";
+    for (const CounterValue& c : snap.counters) {
+      std::snprintf(line, sizeof(line), "  %-*s %20" PRIu64 "\n",
+                    static_cast<int>(width), c.name.c_str(), c.value);
+      out += line;
+    }
+  }
+  if (!snap.gauges.empty()) {
+    out += "gauges:\n";
+    for (const GaugeValue& g : snap.gauges) {
+      std::snprintf(line, sizeof(line), "  %-*s %20.6g\n",
+                    static_cast<int>(width), g.name.c_str(), g.value);
+      out += line;
+    }
+  }
+  if (snap.dropped_events > 0) {
+    std::snprintf(line, sizeof(line),
+                  "dropped trace events: %" PRIu64 "\n", snap.dropped_events);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace rascal::obs

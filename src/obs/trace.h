@@ -1,0 +1,56 @@
+// Trace sessions and exporters on top of the obs registry:
+//
+//   * TraceSession — RAII control of one observed run: resets the
+//     registry, enables collection (and, by default, per-span trace
+//     events), and restores the previous state on destruction.
+//   * chrome_trace_json / write_chrome_trace — Chrome trace-event
+//     JSON ("X" duration events plus final counter/gauge values),
+//     loadable in chrome://tracing or https://ui.perfetto.dev.
+//   * render_summary — human-readable span tree + counter/gauge
+//     table for `rascal_cli --stats`.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace rascal::obs {
+
+struct TraceSessionOptions {
+  bool collect_events = true;        // record per-span trace events
+  std::size_t max_events = 1u << 20; // buffer cap; excess is counted
+};
+
+/// One observed run.  Only one session should be active at a time
+/// (collection is a process-wide flag).
+class TraceSession {
+ public:
+  explicit TraceSession(const TraceSessionOptions& options = {});
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Stops collection and returns the final snapshot.  Idempotent:
+  /// later calls return the snapshot taken by the first.
+  Snapshot stop();
+
+ private:
+  bool stopped_ = false;
+  Snapshot final_;
+};
+
+/// Chrome trace-event JSON for a snapshot.  Deterministically ordered
+/// (events by timestamp, counters/gauges by name); timing *values*
+/// naturally vary between runs.
+[[nodiscard]] std::string chrome_trace_json(const Snapshot& snap);
+
+/// Writes chrome_trace_json(snap) to `path`.  Throws
+/// std::runtime_error when the file cannot be written.
+void write_chrome_trace(const std::string& path, const Snapshot& snap);
+
+/// Fixed-width text report: spans (count, wall ms, CPU ms), then
+/// counters, then gauges.
+[[nodiscard]] std::string render_summary(const Snapshot& snap);
+
+}  // namespace rascal::obs

@@ -5,12 +5,14 @@
 #include <vector>
 
 #include "core/units.h"
+#include "obs/obs.h"
 
 namespace rascal::sim {
 
 CtmcSimResult simulate_ctmc(const ctmc::Ctmc& chain,
                             const CtmcSimOptions& options,
                             double up_threshold) {
+  const obs::Span span("sim.ctmc.simulate");
   if (options.replications == 0 || !(options.duration > 0.0)) {
     throw std::invalid_argument("simulate_ctmc: bad options");
   }
@@ -66,6 +68,11 @@ CtmcSimResult simulate_ctmc(const ctmc::Ctmc& chain,
     const double observed = up_time / options.duration;
     result.per_replication_availability.add(observed);
     result.replication_availabilities.push_back(observed);
+  }
+
+  if (obs::enabled()) {
+    obs::counter("sim.ctmc.replications").add(options.replications);
+    obs::counter("sim.ctmc.transitions").add(result.total_transitions);
   }
 
   result.availability = result.per_replication_availability.mean();

@@ -7,6 +7,7 @@
 
 #include "core/thread_pool.h"
 #include "core/units.h"
+#include "obs/obs.h"
 #include "stats/rng.h"
 
 namespace rascal::sim {
@@ -83,6 +84,7 @@ struct ReplicationOutcome {
   std::uint64_t imperfect_recoveries = 0;
   std::uint64_t as_instance_failures = 0;
   std::uint64_t hadb_node_failures = 0;
+  std::uint64_t events = 0;  // dispatched events in this replication
 };
 
 class Replication {
@@ -107,6 +109,7 @@ class Replication {
       now = at;
       if (event.time > options_.duration) break;
       dispatch(event, now);
+      ++totals_.events;
       note_system_transition();
     }
     return 1.0 - down_time_ / options_.duration;
@@ -383,6 +386,7 @@ JsasSimResult simulate_jsas(const models::JsasConfig& config,
   const std::vector<ReplicationOutcome> outcomes = core::parallel_map(
       options.replications, core::resolve_threads(options.threads),
       [&](std::size_t rep) {
+        const obs::Span span("sim.jsas.replication");
         ReplicationOutcome outcome;
         Replication replication(config, sim_params, options,
                                 root.split(rep), outcome);
@@ -405,6 +409,13 @@ JsasSimResult simulate_jsas(const models::JsasConfig& config,
     result.imperfect_recoveries += outcome.imperfect_recoveries;
     result.as_instance_failures += outcome.as_instance_failures;
     result.hadb_node_failures += outcome.hadb_node_failures;
+    result.events_simulated += outcome.events;
+  }
+  // Counters are fed from the ordered merge, not from inside the
+  // parallel region, so the tallies are identical for any thread count.
+  if (obs::enabled()) {
+    obs::counter("sim.jsas.replications").add(options.replications);
+    obs::counter("sim.jsas.events").add(result.events_simulated);
   }
 
   const double total_time =

@@ -47,6 +47,7 @@ struct JsasSimResult {
   std::uint64_t imperfect_recoveries = 0;  // subset of pair failures
   std::uint64_t as_instance_failures = 0;  // component-level events
   std::uint64_t hadb_node_failures = 0;
+  std::uint64_t events_simulated = 0;  // dispatched events, all replications
   stats::Summary per_replication_availability;
 };
 

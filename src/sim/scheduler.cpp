@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace rascal::sim {
 
 EventId Scheduler::schedule_at(double at, EventAction action) {
@@ -10,6 +12,13 @@ EventId Scheduler::schedule_at(double at, EventAction action) {
   }
   const EventId id = next_id_++;
   queue_.push({at, id, std::move(action)});
+  pending_ids_.insert(id);
+  if (obs::enabled()) {
+    static obs::Counter& scheduled = obs::counter("sim.scheduler.scheduled");
+    static obs::Gauge& hwm = obs::gauge("sim.scheduler.queue_hwm");
+    scheduled.add(1);
+    hwm.record_max(static_cast<double>(queue_.size()));
+  }
   return id;
 }
 
@@ -21,8 +30,17 @@ EventId Scheduler::schedule_after(double delay, EventAction action) {
 }
 
 bool Scheduler::cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return false;
-  return cancelled_.insert(id).second;
+  // Only ids still waiting in the calendar are cancellable; fired,
+  // already-cancelled, unissued, and the never-issued id 0 all fall
+  // out of pending_ids_ naturally (next_id_ starts at 1, so 0 is
+  // never inserted).
+  if (pending_ids_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  if (obs::enabled()) {
+    static obs::Counter& cancelled = obs::counter("sim.scheduler.cancelled");
+    cancelled.add(1);
+  }
+  return true;
 }
 
 bool Scheduler::step() {
@@ -30,8 +48,13 @@ bool Scheduler::step() {
     Entry entry = queue_.top();
     queue_.pop();
     if (cancelled_.erase(entry.id) > 0) continue;
+    pending_ids_.erase(entry.id);
     now_ = entry.time;
     entry.action();
+    if (obs::enabled()) {
+      static obs::Counter& fired = obs::counter("sim.scheduler.fired");
+      fired.add(1);
+    }
     return true;
   }
   return false;

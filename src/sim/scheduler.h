@@ -23,8 +23,10 @@ class Scheduler {
   /// Schedules `action` after `delay` (>= 0).
   EventId schedule_after(double delay, EventAction action);
 
-  /// Cancels a pending event; cancelling an already-fired or unknown
-  /// id is a no-op (returns false).
+  /// Cancels a pending event.  Returns false — and records nothing —
+  /// for ids that already fired, were already cancelled, or were
+  /// never issued, so long campaigns cannot accumulate stale
+  /// cancellation state.
   bool cancel(EventId id);
 
   /// Runs events in time order until the calendar is empty or the
@@ -46,6 +48,9 @@ class Scheduler {
     EventId id = 0;
     EventAction action;
   };
+  // Min-heap on (time, id): equal-time events pop in ascending id,
+  // i.e. insertion order — the deterministic tie-break the campaign
+  // RNG scheme depends on (pinned by Scheduler unit tests).
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const noexcept {
       return a.time != b.time ? a.time > b.time : a.id > b.id;
@@ -53,6 +58,10 @@ class Scheduler {
   };
 
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  // Ids scheduled but not yet fired or cancelled.  Membership is the
+  // cancellation authority: ids leave on pop or cancel, so both sets
+  // stay bounded by the calendar size over arbitrarily long runs.
+  std::unordered_set<EventId> pending_ids_;
   std::unordered_set<EventId> cancelled_;
   double now_ = 0.0;
   EventId next_id_ = 1;

@@ -24,8 +24,11 @@ double coverage_lower_bound(std::uint64_t trials, std::uint64_t successes,
     throw std::invalid_argument("coverage_lower_bound: successes > trials");
   }
   if (successes == 0) {
-    throw std::invalid_argument(
-        "coverage_lower_bound: needs at least one success");
+    // Degenerate all-failures outcome: the one-sided Clopper-Pearson
+    // lower bound is exactly 0 (and the FIR upper bound is 1), so a
+    // campaign where every injection failed recovery still reports a
+    // valid — vacuous — bound instead of aborting.
+    return 0.0;
   }
   const double n = static_cast<double>(trials);
   const double s = static_cast<double>(successes);

@@ -21,9 +21,10 @@ namespace rascal::stats {
 ///
 ///   C_low = s / (s + (n - s + 1) * F_{1-alpha}(2(n-s)+2, 2s))
 ///
-/// `trials` = n, `successes` = s (s >= 1), confidence = 1 - alpha.
-/// Throws std::invalid_argument for s > n, s == 0, or confidence
-/// outside (0, 1).
+/// `trials` = n, `successes` = s, confidence = 1 - alpha.  s == 0
+/// yields the degenerate-but-correct bound 0 (and the companion FIR
+/// upper bound 1), matching the Clopper-Pearson convention.  Throws
+/// std::invalid_argument for s > n or confidence outside (0, 1).
 [[nodiscard]] double coverage_lower_bound(std::uint64_t trials,
                                           std::uint64_t successes,
                                           double confidence);

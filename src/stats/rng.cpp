@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace rascal::stats {
 
 namespace {
@@ -15,6 +17,16 @@ std::uint64_t splitmix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+// Tallies primitive variate draws (one per public sampling call, not
+// per underlying engine step).  The counter reference is resolved
+// once; with collection disabled the cost is a single relaxed load.
+void count_draw() {
+  if (obs::enabled()) {
+    static obs::Counter& draws = obs::counter("stats.rng.draws");
+    draws.add(1);
+  }
+}
+
 }  // namespace
 
 RandomEngine RandomEngine::split(std::uint64_t stream_id) const {
@@ -22,6 +34,7 @@ RandomEngine RandomEngine::split(std::uint64_t stream_id) const {
 }
 
 double RandomEngine::uniform01() {
+  count_draw();
   // 53-bit mantissa resolution in [0, 1).
   return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
 }
@@ -42,6 +55,7 @@ double RandomEngine::exponential(double rate) {
 }
 
 double RandomEngine::normal01() {
+  count_draw();
   return std::normal_distribution<double>{}(engine_);
 }
 
@@ -56,6 +70,7 @@ std::uint64_t RandomEngine::uniform_index(std::uint64_t bound) {
   if (bound == 0) {
     throw std::invalid_argument("RandomEngine::uniform_index: bound == 0");
   }
+  count_draw();
   return std::uniform_int_distribution<std::uint64_t>{0, bound - 1}(engine_);
 }
 

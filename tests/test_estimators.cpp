@@ -45,10 +45,22 @@ TEST(CoverageBound, HandlesObservedFailures) {
 TEST(CoverageBound, InputValidation) {
   EXPECT_THROW((void)coverage_lower_bound(10, 11, 0.95),
                std::invalid_argument);
-  EXPECT_THROW((void)coverage_lower_bound(10, 0, 0.95),
-               std::invalid_argument);
   EXPECT_THROW((void)coverage_lower_bound(10, 10, 1.0),
                std::invalid_argument);
+  EXPECT_THROW((void)coverage_lower_bound(10, 10, 0.0),
+               std::invalid_argument);
+}
+
+// Regression: an all-failures campaign used to throw here, killing
+// the report path for any run with zero successes.  The degenerate
+// Clopper-Pearson bounds are 0 (coverage) and 1 (FIR).
+TEST(CoverageBound, ZeroSuccessesGivesDegenerateBounds) {
+  EXPECT_DOUBLE_EQ(coverage_lower_bound(10, 0, 0.95), 0.0);
+  EXPECT_DOUBLE_EQ(coverage_lower_bound(3287, 0, 0.995), 0.0);
+  EXPECT_DOUBLE_EQ(imperfect_recovery_upper_bound(10, 0, 0.95), 1.0);
+  // Zero trials is the extreme no-information case: still bounded.
+  EXPECT_DOUBLE_EQ(coverage_lower_bound(0, 0, 0.95), 0.0);
+  EXPECT_DOUBLE_EQ(imperfect_recovery_upper_bound(0, 0, 0.95), 1.0);
 }
 
 TEST(ClopperPearson, MatchesFDistributionForm) {
@@ -65,6 +77,13 @@ TEST(ClopperPearson, ZeroSuccessesGivesZeroLower) {
   EXPECT_DOUBLE_EQ(interval.lower, 0.0);
   EXPECT_GT(interval.upper, 0.0);
   EXPECT_LT(interval.upper, 0.12);
+}
+
+TEST(ClopperPearson, AllSuccessesGivesUnitUpper) {
+  const auto interval = clopper_pearson(50, 50, 0.95);
+  EXPECT_DOUBLE_EQ(interval.upper, 1.0);
+  EXPECT_GT(interval.lower, 0.9);
+  EXPECT_LT(interval.lower, 1.0);
 }
 
 // --- Equation (2): the paper's failure-rate bound -----------------------

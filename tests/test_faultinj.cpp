@@ -132,6 +132,20 @@ TEST(Campaign, ImperfectRecoveryIsDetected) {
   EXPECT_GT(result.fir_upper_bound(0.95), 0.05 - 0.015);
 }
 
+// Regression: a campaign where every recovery fails used to crash
+// the report path (the zero-success coverage bound threw).  It must
+// instead produce the vacuous-but-valid bound FIR <= 1.
+TEST(Campaign, AllFailuresCampaignStillReportsBounds) {
+  CampaignOptions options;
+  options.trials = 50;
+  options.recovery.true_imperfect_recovery = 1.0;
+  const CampaignResult result = run_campaign(options);
+  EXPECT_EQ(result.successes, 0u);
+  double bound = 0.0;
+  EXPECT_NO_THROW(bound = result.fir_upper_bound(0.95));
+  EXPECT_DOUBLE_EQ(bound, 1.0);
+}
+
 TEST(Campaign, DeterministicGivenSeed) {
   CampaignOptions options;
   options.trials = 500;

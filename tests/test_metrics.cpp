@@ -129,6 +129,22 @@ TEST(TwoStateEquivalent, AllUpChainYieldsZeroLambda) {
   EXPECT_DOUBLE_EQ(eq.availability(), 1.0);
 }
 
+TEST(TwoStateEquivalent, NoReachableDownStateGivesInfiniteRepairRate) {
+  // A down state exists but no transition reaches it: P(down) = 0, so
+  // the conditional repair rate is undefined; the abstraction must
+  // still collapse to a chain with availability exactly 1, not NaN.
+  ctmc::CtmcBuilder b;
+  b.state("Up", 1.0);
+  b.state("Spare", 1.0);
+  b.state("Down", 0.0);
+  b.rate(0, 1, 2.0).rate(1, 0, 3.0).rate(2, 0, 1.0);
+  const ctmc::Ctmc chain = b.build();
+  const auto eq = two_state_equivalent(chain, ctmc::solve_steady_state(chain));
+  EXPECT_TRUE(std::isinf(eq.mu_eq));
+  EXPECT_FALSE(std::isnan(eq.lambda_eq));
+  EXPECT_DOUBLE_EQ(eq.availability(), 1.0);
+}
+
 TEST(DowntimeByState, AttributionSumsToTotal) {
   ctmc::CtmcBuilder b;
   b.state("Up", 1.0);

@@ -14,6 +14,7 @@
 #include "faultinj/injector.h"
 #include "models/jsas_system.h"
 #include "models/params.h"
+#include "obs/trace.h"
 #include "sim/jsas_simulator.h"
 #include "stats/rng.h"
 
@@ -110,6 +111,49 @@ TEST(ParallelDeterminism, CampaignIsThreadCountInvariant) {
     EXPECT_EQ(parallel.recovery_by_workload[level].mean(),
               serial.recovery_by_workload[level].mean());
   }
+}
+
+// Telemetry lives outside the RNG stream: running the exact same
+// campaign inside an active TraceSession (spans, counters, progress
+// all live) must not move a single bit of the numerical output.
+TEST(ParallelDeterminism, TracingDoesNotPerturbCampaignResults) {
+  faultinj::CampaignOptions options;
+  options.trials = 500;
+  options.seed = 1973;
+  options.threads = 4;
+  const auto plain = faultinj::run_campaign(options);
+
+  faultinj::CampaignResult traced;
+  obs::Snapshot snapshot;
+  {
+    obs::TraceSession session;
+    traced = faultinj::run_campaign(options);
+    snapshot = session.stop();
+  }
+
+  EXPECT_EQ(traced.successes, plain.successes);
+  ASSERT_EQ(traced.records.size(), plain.records.size());
+  for (std::size_t i = 0; i < plain.records.size(); ++i) {
+    EXPECT_EQ(traced.records[i].recovery_time_hours,
+              plain.records[i].recovery_time_hours)
+        << i;
+    EXPECT_EQ(traced.records[i].workload, plain.records[i].workload) << i;
+  }
+  EXPECT_EQ(traced.hadb_restart_times.mean(), plain.hadb_restart_times.mean());
+
+  // ... and the session actually observed the run.
+  std::uint64_t trials_counted = 0;
+  for (const obs::CounterValue& c : snapshot.counters) {
+    if (c.name == "faultinj.trials") trials_counted = c.value;
+  }
+  EXPECT_EQ(trials_counted, options.trials);
+  bool saw_trial_span = false;
+  for (const obs::SpanStat& span : snapshot.spans) {
+    if (span.path.find("faultinj.trial") != std::string::npos) {
+      saw_trial_span = true;
+    }
+  }
+  EXPECT_TRUE(saw_trial_span);
 }
 
 TEST(ParallelDeterminism, SimulatorReplicationsAreThreadCountInvariant) {

@@ -72,6 +72,65 @@ TEST(Scheduler, CancelFromWithinEvent) {
   EXPECT_EQ(fired, 0);
 }
 
+// Regression: cancelling an id that already fired used to return
+// true and park the id in the cancelled set forever.
+TEST(Scheduler, CancelOfFiredEventReturnsFalse) {
+  Scheduler s;
+  int fired = 0;
+  const EventId id = s.schedule_at(1.0, [&] { ++fired; });
+  s.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Scheduler, DoubleCancelReturnsFalse) {
+  Scheduler s;
+  const EventId id = s.schedule_at(1.0, [] {});
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Scheduler, CancelOfUnissuedIdsReturnsFalse) {
+  Scheduler s;
+  EXPECT_FALSE(s.cancel(0));  // id 0 is never issued
+  const EventId id = s.schedule_at(1.0, [] {});
+  EXPECT_FALSE(s.cancel(id + 1));  // not issued yet
+}
+
+// Regression: stale cancellations must not accumulate.  If cancel()
+// recorded fired ids, cancelled_ would outgrow the queue and pending()
+// (queue size minus cancellations) would wrap around.
+TEST(Scheduler, CancelStateStaysBounded) {
+  Scheduler s;
+  for (int i = 0; i < 100; ++i) {
+    const EventId id = s.schedule_after(1.0, [] {});
+    s.run_until(s.now() + 2.0);
+    EXPECT_FALSE(s.cancel(id));
+    EXPECT_EQ(s.pending(), 0u);
+  }
+  s.schedule_after(1.0, [] {});
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+// Pin the tie-break contract: equal-time events fire in the order
+// they were scheduled, regardless of how many and of interleaved
+// cancellations.  The deterministic simulators rely on this.
+TEST(Scheduler, ManySameTimestampEventsFireInInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 20; ++i) {
+    ids.push_back(s.schedule_at(1.0, [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 20; i += 3) s.cancel(ids[static_cast<size_t>(i)]);
+  s.run_until(2.0);
+  std::vector<int> expected;
+  for (int i = 0; i < 20; ++i) {
+    if (i % 3 != 0) expected.push_back(i);
+  }
+  EXPECT_EQ(order, expected);
+}
+
 TEST(Scheduler, RejectsPastScheduling) {
   Scheduler s;
   s.schedule_at(2.0, [] {});

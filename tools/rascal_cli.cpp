@@ -11,24 +11,38 @@
 //   rascal_cli dot   MODEL.rasc [--set NAME=VALUE ...]   (Graphviz)
 //   rascal_cli sens  MODEL.rasc [--set NAME=VALUE ...]   (exact d/dtheta)
 //   rascal_cli golden GOLDEN_DIR [--update-golden]       (paper regression)
+//   rascal_cli uncertainty MODEL.rasc --range NAME=LO:HI ...
+//              [--samples N] [--seed S] [--lhs] [--threads N]
+//              [--metric availability|downtime|mtbf] [--set NAME=VALUE ...]
+//   rascal_cli campaign [--trials N] [--seed S] [--threads N] [--fir P]
+//
+// Every subcommand additionally accepts --trace FILE (write a Chrome
+// trace-event JSON viewable in Perfetto / chrome://tracing) and
+// --stats (print the span/counter summary to stderr).  Telemetry
+// never touches the RNG stream, so traced runs produce bit-identical
+// numerical output on stdout.
 //
 // Methods: gth (default), lu, power, gauss-seidel.
 #include <cstdio>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "analysis/exact_sensitivity.h"
 #include "analysis/parametric.h"
+#include "analysis/uncertainty.h"
 #include "check/golden.h"
 #include "check/paper_golden.h"
 #include "core/metrics.h"
 #include "ctmc/absorption.h"
 #include "ctmc/lumping.h"
 #include "ctmc/steady_state.h"
+#include "faultinj/injector.h"
 #include "io/dot_export.h"
 #include "io/model_file.h"
 #include "lint/lint.h"
+#include "obs/trace.h"
 #include "report/ascii_plot.h"
 #include "report/diagnostics.h"
 #include "report/table.h"
@@ -59,7 +73,20 @@ int usage() {
          "  rascal_cli sens   MODEL.rasc [--set NAME=VALUE ...]\n"
          "  rascal_cli golden GOLDEN_DIR [--update-golden]\n"
          "             (verify paper-golden files; --update-golden"
-         " regenerates them)\n";
+         " regenerates them)\n"
+         "  rascal_cli uncertainty MODEL.rasc --range NAME=LO:HI ...\n"
+         "             [--samples N] [--seed S] [--lhs] [--threads N]\n"
+         "             [--metric availability|downtime|mtbf]"
+         " [--set NAME=VALUE ...]\n"
+         "  rascal_cli campaign [--trials N] [--seed S] [--threads N]"
+         " [--fir P]\n"
+         "             (fault-injection campaign on the simulated"
+         " testbed)\n"
+         "\n"
+         "  global flags (any subcommand):\n"
+         "    --trace FILE   write a Chrome trace-event JSON"
+         " (chrome://tracing, Perfetto)\n"
+         "    --stats        print the telemetry summary to stderr\n";
   return 2;
 }
 
@@ -78,6 +105,22 @@ struct Arguments {
   bool update_golden = false;
   bool json = false;    // lint: machine-readable output
   bool werror = false;  // lint: warnings fail the run
+
+  // uncertainty
+  std::vector<stats::ParameterRange> ranges;
+  std::size_t samples = 1000;
+  bool latin_hypercube = false;
+
+  // campaign
+  std::size_t trials = 3287;  // the paper's campaign size
+  double true_fir = 0.0;
+
+  std::uint64_t seed = 2004;
+  bool seed_set = false;  // campaign defaults to 1973 unless --seed given
+
+  // global observability flags
+  std::string trace_path;  // empty = no trace file
+  bool stats = false;      // print telemetry summary to stderr
 };
 
 bool parse_double(const char* text, double& out) {
@@ -111,6 +154,29 @@ bool parse_set(const std::string& text, expr::ParameterSet& out) {
   return true;
 }
 
+// NAME=LO:HI, e.g. FIR=0:0.001.
+bool parse_range(const std::string& text, stats::ParameterRange& out) {
+  const auto eq = text.find('=');
+  const auto colon = text.find(':', eq == std::string::npos ? 0 : eq);
+  if (eq == std::string::npos || eq == 0 || colon == std::string::npos ||
+      colon < eq + 2 || colon + 1 >= text.size()) {
+    return false;
+  }
+  out.name = text.substr(0, eq);
+  return parse_double(text.substr(eq + 1, colon - eq - 1).c_str(), out.lo) &&
+         parse_double(text.substr(colon + 1).c_str(), out.hi);
+}
+
+bool parse_uint64(const char* text, std::uint64_t& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stoull(text, &used);
+    return used == std::string(text).size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
 bool parse_method(const std::string& name, ctmc::SteadyStateMethod& out) {
   if (name == "gth") out = ctmc::SteadyStateMethod::kGth;
   else if (name == "lu") out = ctmc::SteadyStateMethod::kLu;
@@ -121,10 +187,18 @@ bool parse_method(const std::string& name, ctmc::SteadyStateMethod& out) {
 }
 
 bool parse_arguments(int argc, char** argv, Arguments& args) {
-  if (argc < 3) return false;
+  if (argc < 2) return false;
   args.command = argv[1];
-  args.model_path = argv[2];
-  for (int i = 3; i < argc; ++i) {
+  // `campaign` drives the built-in simulated testbed and takes no
+  // model file; every other subcommand requires one (or a directory,
+  // for `golden`) as its first positional argument.
+  int first_flag = 2;
+  if (args.command != "campaign") {
+    if (argc < 3) return false;
+    args.model_path = argv[2];
+    first_flag = 3;
+  }
+  for (int i = first_flag; i < argc; ++i) {
     const std::string flag = argv[i];
     const auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
@@ -151,6 +225,32 @@ bool parse_arguments(int argc, char** argv, Arguments& args) {
     } else if (flag == "--threads") {
       const char* value = next();
       if (!value || !parse_size(value, args.threads)) return false;
+    } else if (flag == "--range") {
+      const char* value = next();
+      stats::ParameterRange range;
+      if (!value || !parse_range(value, range)) return false;
+      args.ranges.push_back(std::move(range));
+    } else if (flag == "--samples") {
+      const char* value = next();
+      if (!value || !parse_size(value, args.samples)) return false;
+    } else if (flag == "--trials") {
+      const char* value = next();
+      if (!value || !parse_size(value, args.trials)) return false;
+    } else if (flag == "--seed") {
+      const char* value = next();
+      if (!value || !parse_uint64(value, args.seed)) return false;
+      args.seed_set = true;
+    } else if (flag == "--fir") {
+      const char* value = next();
+      if (!value || !parse_double(value, args.true_fir)) return false;
+    } else if (flag == "--lhs") {
+      args.latin_hypercube = true;
+    } else if (flag == "--trace") {
+      const char* value = next();
+      if (!value) return false;
+      args.trace_path = value;
+    } else if (flag == "--stats") {
+      args.stats = true;
     } else if (flag == "--update-golden") {
       args.update_golden = true;
     } else if (flag == "--json") {
@@ -359,6 +459,86 @@ int run_golden(const Arguments& args) {
   return 0;
 }
 
+int run_uncertainty(const Arguments& args) {
+  if (args.ranges.empty()) {
+    std::cerr << "uncertainty: at least one --range NAME=LO:HI required\n";
+    return usage();
+  }
+  const io::ModelFile file = io::load_model(args.model_path);
+  const analysis::ModelFunction metric_fn =
+      [&](const expr::ParameterSet& params) {
+        const auto m = core::availability_metrics(
+            file.model.bind(params),
+            ctmc::solve_steady_state(file.model.bind(params), args.method));
+        if (args.metric == "downtime") return m.downtime_minutes_per_year;
+        if (args.metric == "mtbf") return m.mtbf_hours;
+        return m.availability;
+      };
+  analysis::UncertaintyOptions options;
+  options.samples = args.samples;
+  options.seed = args.seed;
+  options.latin_hypercube = args.latin_hypercube;
+  options.threads = args.threads;
+  const auto result = analysis::uncertainty_analysis(
+      metric_fn, file.parameters.with(args.overrides), args.ranges, options);
+
+  if (!file.name.empty()) std::printf("model: %s\n", file.name.c_str());
+  std::printf("metric: %s over %zu %s samples\n\n", args.metric.c_str(),
+              args.samples, args.latin_hypercube ? "Latin-hypercube"
+                                                 : "Monte Carlo");
+  report::TextTable ranges_table({"Parameter", "Low", "High"});
+  for (const stats::ParameterRange& range : args.ranges) {
+    ranges_table.add_row({range.name, report::format_general(range.lo, 6),
+                          report::format_general(range.hi, 6)});
+  }
+  std::cout << ranges_table.to_string() << "\n";
+  std::printf("mean        : %.9g\n", result.mean);
+  std::printf("stddev      : %.9g\n", result.summary.stddev());
+  std::printf("min .. max  : %.9g .. %.9g\n", result.summary.min(),
+              result.summary.max());
+  std::printf("80%% interval: [%.9g, %.9g]\n", result.interval80.lower,
+              result.interval80.upper);
+  std::printf("90%% interval: [%.9g, %.9g]\n", result.interval90.lower,
+              result.interval90.upper);
+  if (args.metric == "downtime") {
+    // Five-9s = 5.25 downtime minutes per year (paper Section 7).
+    std::printf("P(five-9s)  : %.4f\n", result.fraction_below(5.26));
+  }
+  return 0;
+}
+
+int run_campaign_cmd(const Arguments& args) {
+  faultinj::CampaignOptions options;
+  options.trials = args.trials;
+  if (args.seed_set) options.seed = args.seed;
+  options.threads = args.threads;
+  options.recovery.true_imperfect_recovery = args.true_fir;
+  const faultinj::CampaignResult result = faultinj::run_campaign(options);
+
+  std::printf("trials              : %llu\n",
+              static_cast<unsigned long long>(result.trials));
+  std::printf("successes           : %llu\n",
+              static_cast<unsigned long long>(result.successes));
+  std::printf("FIR upper bound 95%% : %.6g\n", result.fir_upper_bound(0.95));
+  std::printf("FIR upper bound 99%% : %.6g\n", result.fir_upper_bound(0.99));
+  report::TextTable table({"Recovery class", "Count", "Mean (s)", "Max (s)"});
+  const auto add_summary = [&](const char* label,
+                               const stats::Summary& summary) {
+    if (summary.count() == 0) return;
+    table.add_row({label, std::to_string(summary.count()),
+                   report::format_fixed(summary.mean() * 3600.0, 1),
+                   report::format_fixed(summary.max() * 3600.0, 1)});
+  };
+  add_summary("HADB restart", result.hadb_restart_times);
+  add_summary("HADB rebuild", result.hadb_rebuild_times);
+  add_summary("AS restart", result.as_restart_times);
+  add_summary("idle workload", result.recovery_by_workload[0]);
+  add_summary("moderate workload", result.recovery_by_workload[1]);
+  add_summary("full workload", result.recovery_by_workload[2]);
+  std::cout << table.to_string();
+  return 0;
+}
+
 int run_dot(const Arguments& args) {
   const io::ModelFile file = io::load_model(args.model_path);
   io::DotOptions options;
@@ -367,24 +547,59 @@ int run_dot(const Arguments& args) {
   return 0;
 }
 
+int dispatch(const Arguments& args) {
+  if (args.command == "solve") return run_solve(args);
+  if (args.command == "lint") return run_lint(args);
+  if (args.command == "states") return run_states(args);
+  if (args.command == "sweep") return run_sweep(args);
+  if (args.command == "mttf") return run_mttf(args);
+  if (args.command == "lump") return run_lump(args);
+  if (args.command == "dot") return run_dot(args);
+  if (args.command == "sens") return run_sens(args);
+  if (args.command == "golden") return run_golden(args);
+  if (args.command == "uncertainty") return run_uncertainty(args);
+  if (args.command == "campaign") return run_campaign_cmd(args);
+  return usage();
+}
+
+// Writes the trace file and/or the stderr summary once the command is
+// done.  Runs even when the command threw, so a failed solve still
+// leaves its telemetry behind for diagnosis.
+void finalize_telemetry(const Arguments& args, obs::TraceSession& session) {
+  const obs::Snapshot snapshot = session.stop();
+  if (!args.trace_path.empty()) {
+    try {
+      obs::write_chrome_trace(args.trace_path, snapshot);
+      std::cerr << "trace written to " << args.trace_path << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+    }
+  }
+  if (args.stats) std::cerr << obs::render_summary(snapshot);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Arguments args;
   if (!parse_arguments(argc, argv, args)) return usage();
+  // Telemetry is opt-in: without these flags collection stays disabled
+  // and the instrumentation in the libraries reduces to one relaxed
+  // atomic load per site.  Event recording (per-span trace entries) is
+  // only needed when a trace file was requested.
+  std::optional<obs::TraceSession> session;
+  if (!args.trace_path.empty() || args.stats) {
+    obs::TraceSessionOptions options;
+    options.collect_events = !args.trace_path.empty();
+    session.emplace(options);
+  }
   try {
-    if (args.command == "solve") return run_solve(args);
-    if (args.command == "lint") return run_lint(args);
-    if (args.command == "states") return run_states(args);
-    if (args.command == "sweep") return run_sweep(args);
-    if (args.command == "mttf") return run_mttf(args);
-    if (args.command == "lump") return run_lump(args);
-    if (args.command == "dot") return run_dot(args);
-    if (args.command == "sens") return run_sens(args);
-    if (args.command == "golden") return run_golden(args);
-    return usage();
+    const int code = dispatch(args);
+    if (session) finalize_telemetry(args, *session);
+    return code;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
+    if (session) finalize_telemetry(args, *session);
     return 1;
   }
 }
