@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "analysis/parametric.h"
+#include "resil/resil.h"
 #include "stats/sampling.h"
 #include "stats/summary.h"
 
@@ -26,6 +28,10 @@ struct UncertaintyOptions {
   // every thread count returns bit-identical results.  threads != 1
   // requires `model` to be safe to call concurrently.
   std::size_t threads = 1;
+  // Resilience: cancellation, checkpoint/resume, skip-failed-samples.
+  // Excluded from the checkpoint digest (resume may legally change
+  // thread count or control settings).
+  resil::ExecutionControl control;
 };
 
 struct UncertaintySample {
@@ -33,13 +39,27 @@ struct UncertaintySample {
   double metric = 0.0;
 };
 
+/// A sample whose model solve threw (recorded under
+/// ExecutionControl::skip_failures instead of aborting the run).
+struct SampleFailure {
+  std::size_t index = 0;
+  stats::Sample parameters;  // the draw that failed, for reproduction
+  std::string error;
+};
+
 struct UncertaintyResult {
-  std::vector<UncertaintySample> samples;
+  std::vector<UncertaintySample> samples;  // successful solves only
   std::vector<double> metrics;  // convenience copy, in draw order
   double mean = 0.0;
   stats::Interval interval80;
   stats::Interval interval90;
   stats::Summary summary;
+
+  std::vector<SampleFailure> failures;  // dropped samples, in draw order
+  std::size_t requested = 0;            // draws asked for
+  std::size_t completed = 0;            // == samples.size()
+  bool interrupted = false;             // cancelled with work pending
+  std::string interrupt_reason;         // cancel token's describe()
 
   /// Fraction of sampled systems whose metric is below `threshold`
   /// (e.g. yearly downtime under 5.25 min = five-9s availability).
@@ -53,6 +73,14 @@ struct UncertaintyResult {
     const expr::ParameterSet& base,
     const std::vector<stats::ParameterRange>& ranges,
     const stats::Sample& draw);
+
+/// Fingerprint of everything that determines the draw stream and
+/// result bits (seed, sample count, sampler, ranges, and the RNG
+/// substream-derivation scheme — NOT the thread count).  Used as the
+/// checkpoint digest so a resume under different settings is rejected.
+[[nodiscard]] std::uint64_t uncertainty_checkpoint_digest(
+    const UncertaintyOptions& options,
+    const std::vector<stats::ParameterRange>& ranges);
 
 /// Runs the analysis: each draw overrides `base` with sampled values
 /// for every range, then evaluates `model`.

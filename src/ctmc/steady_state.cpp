@@ -47,6 +47,22 @@ void record_nonconvergence(SteadyStateMethod method, std::size_t iterations) {
   obs::counter("ctmc.solver.iterations." + slug).add(iterations);
 }
 
+// Escalation bookkeeping: the requested method's result was rejected
+// (nonconvergence or a near-singular direct solve) and GTH is being
+// used instead.
+void record_escalation(SteadyStateMethod from) {
+  if (!obs::enabled()) return;
+  obs::counter("ctmc.solver.escalated").add(1);
+  obs::counter(std::string("ctmc.solver.escalated.") + method_slug(from) +
+               "_to_gth")
+      .add(1);
+}
+
+// A direct LU solve of an availability model can silently produce a
+// poor pi when the generator is near-singular; residuals above this
+// mean the solve is untrustworthy and (under escalation) GTH is used.
+constexpr double kDirectResidualLimit = 1e-8;
+
 linalg::Vector solve_lu(const Ctmc& chain) {
   // pi Q = 0  <=>  Q^T pi^T = 0.  Replace the last balance equation
   // with the normalization sum(pi) = 1 to obtain a nonsingular system.
@@ -68,46 +84,81 @@ linalg::Vector solve_lu(const Ctmc& chain) {
 }  // namespace
 
 SteadyState solve_steady_state(const Ctmc& chain, SteadyStateMethod method,
-                               Validation validation) {
+                               Validation validation,
+                               const SolveControl& control) {
   const obs::Span span("ctmc.solve_steady_state");
   if (validation == Validation::kOn) {
     throw_if_errors(validate_for_steady_state(chain));
   }
+
+  linalg::IterativeOptions iterative;
+  if (control.max_iterations > 0) {
+    iterative.max_iterations = control.max_iterations;
+  }
+  iterative.cancel = control.cancel;
+
+  const auto residual_of = [&chain](const linalg::Vector& pi) {
+    return linalg::norm_inf(chain.sparse_generator().left_multiply(pi));
+  };
+  const auto escalate_to_gth = [&](SteadyState& result) {
+    record_escalation(method);
+    result.probabilities = linalg::gth_stationary(chain.generator());
+    result.escalated = true;
+  };
+
   SteadyState result;
   result.method = method;
   switch (method) {
     case SteadyStateMethod::kGth:
       result.probabilities = linalg::gth_stationary(chain.generator());
       break;
-    case SteadyStateMethod::kLu:
-      result.probabilities = solve_lu(chain);
-      break;
-    case SteadyStateMethod::kPower: {
-      auto it = linalg::power_stationary(chain.sparse_generator());
-      if (!it.converged) {
-        record_nonconvergence(method, it.iterations);
-        throw std::runtime_error(
-            "solve_steady_state: power iteration did not converge");
+    case SteadyStateMethod::kLu: {
+      bool solved = false;
+      if (control.escalate) {
+        try {
+          result.probabilities = solve_lu(chain);
+          solved = residual_of(result.probabilities) <= kDirectResidualLimit;
+        } catch (const std::exception&) {
+          solved = false;  // singular system: fall through to GTH
+        }
+        if (!solved) escalate_to_gth(result);
+      } else {
+        result.probabilities = solve_lu(chain);
       }
-      result.probabilities = std::move(it.pi);
-      result.iterations = it.iterations;
       break;
     }
+    case SteadyStateMethod::kPower:
     case SteadyStateMethod::kGaussSeidel: {
-      auto it = linalg::gauss_seidel_stationary(chain.sparse_generator());
+      auto it = method == SteadyStateMethod::kPower
+                    ? linalg::power_stationary(chain.sparse_generator(),
+                                               iterative)
+                    : linalg::gauss_seidel_stationary(chain.sparse_generator(),
+                                                      iterative);
+      if (it.cancelled) {
+        // Never escalate a cancelled solve: the caller asked to stop.
+        throw resil::CancelledError(
+            std::string("solve_steady_state: ") + method_slug(method) +
+            " solve cancelled after " + std::to_string(it.iterations) +
+            " iterations");
+      }
       if (!it.converged) {
         record_nonconvergence(method, it.iterations);
-        throw std::runtime_error(
-            "solve_steady_state: Gauss-Seidel did not converge");
+        if (control.escalate) {
+          escalate_to_gth(result);
+        } else {
+          throw NonConvergenceError(
+              std::string("solve_steady_state: ") + method_slug(method) +
+              " did not converge within " + std::to_string(it.iterations) +
+              " iterations (residual " + std::to_string(it.residual) + ")");
+        }
+      } else {
+        result.probabilities = std::move(it.pi);
+        result.iterations = it.iterations;
       }
-      result.probabilities = std::move(it.pi);
-      result.iterations = it.iterations;
       break;
     }
   }
-  result.residual =
-      linalg::norm_inf(chain.sparse_generator().left_multiply(
-          result.probabilities));
+  result.residual = residual_of(result.probabilities);
   record_solve_telemetry(method, result);
   return result;
 }

@@ -1,9 +1,12 @@
 // Steady-state solution of an irreducible CTMC.
 #pragma once
 
+#include <stdexcept>
+
 #include "ctmc/ctmc.h"
 #include "ctmc/validate.h"
 #include "linalg/matrix.h"
+#include "resil/cancel.h"
 
 namespace rascal::ctmc {
 
@@ -14,11 +17,37 @@ enum class SteadyStateMethod {
   kGaussSeidel,  // Gauss-Seidel sweeps on the balance equations
 };
 
+/// An iterative method exhausted its iteration budget without meeting
+/// tolerance (and escalation was disabled or also failed).
+class NonConvergenceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Per-solve resource budget and escalation policy.
+struct SolveControl {
+  /// Caps the iteration count of iterative methods (0 = library
+  /// default).  Replaces unbounded loops for batch runs.
+  std::size_t max_iterations = 0;
+
+  /// Cooperative cancellation: an in-flight iterative solve polls the
+  /// token and raises resil::CancelledError when it fires.
+  const resil::CancellationToken* cancel = nullptr;
+
+  /// Fallback cascade: LU escalates to GTH when the direct solve is
+  /// near-singular (throws or leaves a large residual); power /
+  /// Gauss-Seidel escalate to GTH on nonconvergence instead of
+  /// throwing.  The result records `escalated = true` and keeps the
+  /// originally requested method for reporting.
+  bool escalate = false;
+};
+
 struct SteadyState {
   linalg::Vector probabilities;
   SteadyStateMethod method = SteadyStateMethod::kGth;
   std::size_t iterations = 0;  // 0 for direct methods
   double residual = 0.0;       // ||pi Q||_inf
+  bool escalated = false;      // fell back to GTH (see SolveControl)
 
   [[nodiscard]] double probability(StateId id) const {
     return probabilities.at(id);
@@ -34,8 +63,12 @@ struct SteadyState {
 /// Validation::kOff to skip the check — direct methods then raise a
 /// plain std::domain_error on singular systems and iterative methods
 /// fail to converge (reported via residual).
+/// Iterative nonconvergence raises NonConvergenceError (or escalates
+/// to GTH when control.escalate is set); a cancelled solve raises
+/// resil::CancelledError and never escalates.
 [[nodiscard]] SteadyState solve_steady_state(
     const Ctmc& chain, SteadyStateMethod method = SteadyStateMethod::kGth,
-    Validation validation = Validation::kOn);
+    Validation validation = Validation::kOn,
+    const SolveControl& control = {});
 
 }  // namespace rascal::ctmc

@@ -34,6 +34,18 @@ void check_initial(const Ctmc& chain, const linalg::Vector& initial) {
   }
 }
 
+// Polled at every ~128th Poisson term: stiff horizons sum millions of
+// terms, so a deadline must be able to interrupt the summation itself.
+void check_cancel(const TransientOptions& options, std::size_t term,
+                  const char* where) {
+  if (options.cancel != nullptr && term % 128 == 0 &&
+      options.cancel->cancelled()) {
+    throw resil::CancelledError(std::string(where) +
+                                ": cancelled during uniformization after " +
+                                std::to_string(term) + " terms");
+  }
+}
+
 // One DTMC step of the uniformized chain: next = v (I + Q/Lambda).
 linalg::Vector uniformized_step(const linalg::CsrMatrix& q,
                                 const linalg::Vector& v, double lambda) {
@@ -75,6 +87,7 @@ TransientResult transient_distribution(const Ctmc& chain,
   double accumulated_weight = 0.0;
   std::size_t k = 0;
   while (accumulated_weight < 1.0 - options.precision) {
+    check_cancel(options, k, "transient_distribution");
     if (static_cast<double>(k) > lt && log_w < kLogNegligible) break;
     if (k > options.max_terms) {
       throw std::runtime_error(
@@ -145,6 +158,7 @@ IntervalRewardResult expected_interval_reward(
   double integral = 0.0;  // sum over states of reward * integral of pi
   std::size_t k = 0;
   while (1.0 - cdf > options.precision) {
+    check_cancel(options, k, "expected_interval_reward");
     if (static_cast<double>(k) > lt && log_w < kLogNegligible) break;
     if (k > options.max_terms) {
       throw std::runtime_error(

@@ -7,6 +7,7 @@
 
 #include "ctmc/ctmc.h"
 #include "linalg/matrix.h"
+#include "resil/cancel.h"
 
 namespace rascal::ctmc {
 
@@ -17,6 +18,9 @@ struct TransientOptions {
   // Poisson truncation point provably exceeds max_terms (see
   // validate.h), instead of summing millions of terms first.
   bool validate = true;
+  // Optional cooperative cancellation; polled every ~128 Poisson terms
+  // and raises resil::CancelledError when it fires mid-summation.
+  const resil::CancellationToken* cancel = nullptr;
 };
 
 struct TransientResult {

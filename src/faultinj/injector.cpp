@@ -6,6 +6,7 @@
 #include "core/thread_pool.h"
 #include "obs/obs.h"
 #include "obs/progress.h"
+#include "resil/chaos.h"
 #include "stats/estimators.h"
 
 namespace rascal::faultinj {
@@ -133,6 +134,37 @@ double recovery_time(FaultClass fault, const RecoveryModel& model,
   return 0.0;
 }
 
+// Checkpoint payload for one trial: the full InjectionRecord, exactly
+// (times as IEEE-754 bit patterns), so a resumed campaign aggregates
+// the same bits an uninterrupted one would.
+std::vector<std::uint64_t> encode_record(const InjectionRecord& record) {
+  return {static_cast<std::uint64_t>(record.fault),
+          static_cast<std::uint64_t>(record.target),
+          static_cast<std::uint64_t>(record.workload),
+          static_cast<std::uint64_t>(record.mode),
+          record.service_stayed_available ? 1ULL : 0ULL,
+          record.target_recovered ? 1ULL : 0ULL,
+          resil::f64_bits(record.recovery_time_hours)};
+}
+
+InjectionRecord decode_record(const std::vector<std::uint64_t>& words) {
+  if (words.size() != 7 || words[0] >= std::size(kAllFaults) ||
+      words[2] >= 3 || words[3] >= 3 || words[4] > 1 || words[5] > 1) {
+    throw resil::CheckpointError(
+        "run_campaign: checkpoint entry does not decode to a valid "
+        "injection record");
+  }
+  InjectionRecord record;
+  record.fault = static_cast<FaultClass>(words[0]);
+  record.target = static_cast<HostId>(words[1]);
+  record.workload = static_cast<WorkloadLevel>(words[2]);
+  record.mode = static_cast<SystemMode>(words[3]);
+  record.service_stayed_available = words[4] == 1;
+  record.target_recovered = words[5] == 1;
+  record.recovery_time_hours = resil::bits_f64(words[6]);
+  return record;
+}
+
 // One injection: fault the target, observe availability, drive
 // recovery, restore the testbed.  All randomness comes from the
 // trial's own substream, so trials are independent of each other and
@@ -197,6 +229,29 @@ InjectionRecord run_trial(std::size_t trial, Testbed& bed,
 
 }  // namespace
 
+std::uint64_t campaign_checkpoint_digest(const CampaignOptions& options) {
+  const RecoveryModel& recovery = options.recovery;
+  resil::DigestBuilder digest;
+  digest.add_str("campaign")
+      .add_u64(options.seed)
+      .add_u64(options.trials)
+      // Probe the substream-derivation scheme (see uncertainty digest).
+      .add_u64(stats::RandomEngine(options.seed).substream_seed(0))
+      .add_f64(recovery.true_imperfect_recovery)
+      .add_f64(recovery.hadb_restart_mean)
+      .add_f64(recovery.hadb_reboot_mean)
+      .add_f64(recovery.hadb_rebuild_mean)
+      .add_f64(recovery.as_restart_mean)
+      .add_f64(recovery.as_reboot_mean)
+      .add_f64(recovery.as_replace_mean)
+      .add_f64(recovery.lognormal_sigma)
+      .add_f64(recovery.idle_factor)
+      .add_f64(recovery.full_load_factor)
+      .add_f64(recovery.repair_mode_factor)
+      .add_f64(recovery.reorg_mode_factor);
+  return digest.value();
+}
+
 CampaignResult run_campaign(const CampaignOptions& options) {
   const obs::Span span("faultinj.campaign");
   if (options.trials == 0) {
@@ -209,10 +264,36 @@ CampaignResult run_campaign(const CampaignOptions& options) {
   const std::vector<HostId> as_hosts =
       prototype.hosts_with_role(HostRole::kAppServer);
 
+  const resil::CancellationToken* cancel = options.control.cancel;
+  resil::Checkpointer* checkpoint = options.control.checkpoint;
+  const bool skip_failures = options.control.skip_failures;
+
+  // Per-trial completion state: 0 = pending, 1 = done, 2 = failed.
+  // Checkpointed trials are replayed into their slots up front and
+  // skipped by the workers; pending trials recompute identically from
+  // root.split(trial), so resumed == uninterrupted bit-for-bit.
+  std::vector<InjectionRecord> records(options.trials);
+  std::vector<unsigned char> status(options.trials, 0);
+  std::vector<std::string> errors(options.trials);
+  if (checkpoint != nullptr) {
+    if (checkpoint->total() != options.trials) {
+      throw resil::CheckpointError(
+          "run_campaign: checkpoint total does not match the trial count");
+    }
+    for (const resil::CheckpointEntry& entry : checkpoint->entries()) {
+      const std::size_t trial = static_cast<std::size_t>(entry.index);
+      if (entry.status == resil::EntryStatus::kOk) {
+        records[trial] = decode_record(entry.words);
+        status[trial] = 1;
+      } else {
+        status[trial] = 2;
+        errors[trial] = entry.note;
+      }
+    }
+  }
+
   // Each trial draws from its own substream and writes only its own
   // record slot; every worker faults a private copy of the testbed.
-  CampaignResult result;
-  result.records.resize(options.trials);
   // Spans and progress ticks read clocks/atomics only, never the RNG:
   // every trial still consumes exactly its own substream.
   obs::Progress progress("campaign", options.trials);
@@ -221,18 +302,55 @@ CampaignResult run_campaign(const CampaignOptions& options) {
       [&](std::size_t begin, std::size_t end) {
         Testbed bed = prototype;
         for (std::size_t trial = begin; trial < end; ++trial) {
-          const obs::Span trial_span("faultinj.trial");
-          result.records[trial] =
-              run_trial(trial, bed, hadb_hosts, as_hosts, options.recovery,
-                        root.split(trial));
+          if (status[trial] != 0) continue;  // restored from checkpoint
+          if (cancel != nullptr && cancel->cancelled()) return;  // drain
+          try {
+            resil::chaos::worker_hook(trial);
+            const obs::Span trial_span("faultinj.trial");
+            records[trial] =
+                run_trial(trial, bed, hadb_hosts, as_hosts, options.recovery,
+                          root.split(trial));
+            status[trial] = 1;
+            if (checkpoint != nullptr) {
+              checkpoint->record({trial, resil::EntryStatus::kOk,
+                                  encode_record(records[trial]), {}});
+            }
+          } catch (const resil::CancelledError&) {
+            return;  // interrupted mid-trial: leave it pending
+          } catch (const std::exception& failure) {
+            if (!skip_failures) throw;
+            status[trial] = 2;
+            errors[trial] = failure.what();
+            if (checkpoint != nullptr) {
+              checkpoint->record({trial, resil::EntryStatus::kFailed, {},
+                                  failure.what()});
+            }
+            if (obs::enabled()) {
+              obs::counter("faultinj.trials_failed").add(1);
+            }
+            // The trial may have left the shared-prototype copy dirty;
+            // start the next one from a pristine testbed.
+            bed = prototype;
+          }
           progress.tick();
         }
       });
   progress.finish();
+  if (checkpoint != nullptr) checkpoint->flush();
 
   // Order-sensitive aggregation happens serially, in trial order, so
   // the summaries are bit-identical for every thread count.
-  for (const InjectionRecord& record : result.records) {
+  CampaignResult result;
+  result.requested = options.trials;
+  result.records.reserve(options.trials);
+  for (std::size_t trial = 0; trial < options.trials; ++trial) {
+    if (status[trial] == 2) {
+      result.failures.push_back({trial, errors[trial]});
+      continue;
+    }
+    if (status[trial] != 1) continue;  // pending (interrupted)
+    const InjectionRecord& record = records[trial];
+    result.records.push_back(record);
     ++result.trials;
     if (record.service_stayed_available && record.target_recovered) {
       ++result.successes;
@@ -255,6 +373,10 @@ CampaignResult run_campaign(const CampaignOptions& options) {
         break;
     }
   }
+  result.interrupted =
+      cancel != nullptr && cancel->cancelled() &&
+      result.trials + result.failures.size() < options.trials;
+  if (result.interrupted) result.interrupt_reason = cancel->describe();
   if (obs::enabled()) {
     obs::counter("faultinj.trials").add(result.trials);
     obs::counter("faultinj.successes").add(result.successes);

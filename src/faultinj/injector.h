@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "faultinj/testbed.h"
+#include "resil/resil.h"
 #include "stats/rng.h"
 #include "stats/summary.h"
 
@@ -89,10 +90,21 @@ struct CampaignOptions {
   // region, so any thread count produces bit-identical results.
   std::size_t threads = 0;
   RecoveryModel recovery;
+  // Resilience: cancellation, checkpoint/resume, skip-failed-trials.
+  // Excluded from the checkpoint digest (resume may legally change
+  // thread count or control settings).
+  resil::ExecutionControl control;
+};
+
+/// A trial whose execution threw (recorded under
+/// ExecutionControl::skip_failures instead of aborting the campaign).
+struct TrialFailure {
+  std::size_t trial = 0;
+  std::string error;
 };
 
 struct CampaignResult {
-  std::vector<InjectionRecord> records;
+  std::vector<InjectionRecord> records;  // completed trials, trial order
   std::uint64_t trials = 0;
   std::uint64_t successes = 0;  // recovered with service available
   stats::Summary hadb_restart_times;
@@ -101,9 +113,20 @@ struct CampaignResult {
   // Recovery-time summaries per workload level (indexed by the enum).
   stats::Summary recovery_by_workload[3];
 
+  std::vector<TrialFailure> failures;  // dropped trials, in trial order
+  std::uint64_t requested = 0;         // trials asked for
+  bool interrupted = false;            // cancelled with work pending
+  std::string interrupt_reason;        // cancel token's describe()
+
   /// Equation-1 upper bound on FIR at the given confidence.
   [[nodiscard]] double fir_upper_bound(double confidence) const;
 };
+
+/// Fingerprint of everything that determines a campaign's result bits
+/// (seed, trial count, recovery model, and the RNG substream
+/// derivation — NOT the thread count); the checkpoint digest.
+[[nodiscard]] std::uint64_t campaign_checkpoint_digest(
+    const CampaignOptions& options);
 
 /// Runs `options.trials` injections against a fresh jsas_lab testbed,
 /// cycling through the fault classes and alternating targets.

@@ -203,7 +203,7 @@ lint::LintReport lint_model_file(const ModelFile& file,
 ModelFile load_model(const std::string& path, LintOnLoad lint) {
   std::ifstream in(path);
   if (!in) {
-    throw std::runtime_error("cannot open model file: " + path);
+    throw ModelFileError("cannot open model file: " + path, 0);
   }
   ModelFile file = parse_model(in);
   file.source.file = path;

@@ -28,14 +28,18 @@ namespace rascal::io {
 
 /// Parse failure with 1-based line number and (when known) 1-based
 /// column of the offending token; column 0 means "whole line".
+/// Line 0 marks a file-level failure (e.g. the file cannot be
+/// opened), where no position prefix makes sense.
 class ModelFileError : public std::runtime_error {
  public:
   ModelFileError(const std::string& message, std::size_t line,
                  std::size_t column = 0)
       : std::runtime_error(
-            "line " + std::to_string(line) +
-            (column > 0 ? ", column " + std::to_string(column) : "") + ": " +
-            message),
+            line == 0
+                ? message
+                : "line " + std::to_string(line) +
+                      (column > 0 ? ", column " + std::to_string(column) : "") +
+                      ": " + message),
         line_(line),
         column_(column),
         message_(message) {}

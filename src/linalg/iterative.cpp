@@ -1,11 +1,28 @@
 #include "linalg/iterative.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "resil/chaos.h"
 
 namespace rascal::linalg {
 
 namespace {
+
+// Cancellation poll cadence: steady_clock reads are cheap but not
+// free, and availability-model sweeps are short.
+constexpr std::size_t kCancelCheckStride = 64;
+
+// Chaos hook `solver-nonconverge@K`: force the K-th iterative solve to
+// give up almost immediately so the escalation cascade can be tested
+// without constructing a genuinely pathological chain.
+std::size_t chaos_capped_iterations(std::size_t max_iterations) {
+  if (resil::chaos::enabled() && resil::chaos::tick("solver-nonconverge")) {
+    return std::min<std::size_t>(max_iterations, 8);
+  }
+  return max_iterations;
+}
 
 // Transpose a CSR matrix by re-assembling from triplets; O(nnz log nnz).
 CsrMatrix transpose(const CsrMatrix& a) {
@@ -42,8 +59,15 @@ IterativeResult power_stationary(const CsrMatrix& q,
   const double lambda = max_exit_rate(q) * 1.05 + 1e-12;
 
   IterativeResult result;
+  const std::size_t max_iterations =
+      chaos_capped_iterations(options.max_iterations);
   Vector pi(n, 1.0 / static_cast<double>(n));
-  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    if (options.cancel != nullptr && it % kCancelCheckStride == 0 &&
+        options.cancel->cancelled()) {
+      result.cancelled = true;
+      break;
+    }
     // next = pi (I + Q/lambda) = pi + (pi Q)/lambda
     Vector piq = q.left_multiply(pi);
     Vector next(n);
@@ -79,8 +103,15 @@ IterativeResult gauss_seidel_stationary(const CsrMatrix& q,
   }
 
   IterativeResult result;
+  const std::size_t max_iterations =
+      chaos_capped_iterations(options.max_iterations);
   Vector pi(n, 1.0 / static_cast<double>(n));
-  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    if (options.cancel != nullptr && it % kCancelCheckStride == 0 &&
+        options.cancel->cancelled()) {
+      result.cancelled = true;
+      break;
+    }
     double delta = 0.0;
     for (std::size_t j = 0; j < n; ++j) {
       if (exit[j] <= 0.0) {

@@ -5,12 +5,17 @@
 #include <optional>
 
 #include "linalg/sparse.h"
+#include "resil/cancel.h"
 
 namespace rascal::linalg {
 
 struct IterativeOptions {
   std::size_t max_iterations = 200000;
   double tolerance = 1e-13;  // infinity-norm change per sweep
+  /// Optional cooperative-cancellation token, polled every few dozen
+  /// sweeps.  When it fires the solver stops early with
+  /// `cancelled = true` (and `converged = false`).
+  const resil::CancellationToken* cancel = nullptr;
 };
 
 struct IterativeResult {
@@ -18,6 +23,7 @@ struct IterativeResult {
   std::size_t iterations = 0;
   double residual = 0.0;
   bool converged = false;
+  bool cancelled = false;  // stopped by options.cancel, not tolerance
 };
 
 /// Power iteration on the uniformized DTMC P = I + Q/Lambda, where

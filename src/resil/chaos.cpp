@@ -1,0 +1,119 @@
+#include "resil/chaos.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rascal::resil::chaos {
+
+namespace {
+
+struct Site {
+  std::string name;
+  std::uint64_t key = 0;
+};
+
+struct State {
+  std::mutex mutex;
+  std::vector<Site> sites;
+  std::map<std::string, std::uint64_t> tick_counts;
+};
+
+std::atomic<bool> g_enabled{false};
+
+State& state() {
+  static State instance;
+  return instance;
+}
+
+std::vector<Site> parse_spec(std::string_view spec) {
+  std::vector<Site> sites;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view token = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) continue;
+    const std::size_t at = token.find('@');
+    if (at == std::string_view::npos || at == 0 || at + 1 >= token.size()) {
+      continue;  // malformed tokens are ignored, chaos is best-effort
+    }
+    Site site;
+    site.name = std::string(token.substr(0, at));
+    std::uint64_t key = 0;
+    bool ok = true;
+    for (const char c : token.substr(at + 1)) {
+      if (c < '0' || c > '9') { ok = false; break; }
+      key = key * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    if (!ok) continue;
+    site.key = key;
+    sites.push_back(std::move(site));
+  }
+  return sites;
+}
+
+void init_from_env_once() {
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    const char* spec = std::getenv("RASCAL_CHAOS");
+    if (spec != nullptr && *spec != '\0') configure(spec);
+  });
+}
+
+}  // namespace
+
+void configure(std::string_view spec) {
+  State& st = state();
+  const std::lock_guard<std::mutex> lock(st.mutex);
+  st.sites = parse_spec(spec);
+  st.tick_counts.clear();
+  g_enabled.store(!st.sites.empty(), std::memory_order_relaxed);
+}
+
+bool enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+bool fires_at(std::string_view site, std::uint64_t index) {
+  init_from_env_once();
+  if (!enabled()) return false;
+  State& st = state();
+  const std::lock_guard<std::mutex> lock(st.mutex);
+  for (const Site& armed : st.sites) {
+    if (armed.name == site && armed.key == index) return true;
+  }
+  return false;
+}
+
+bool tick(std::string_view site) {
+  init_from_env_once();
+  if (!enabled()) return false;
+  State& st = state();
+  const std::lock_guard<std::mutex> lock(st.mutex);
+  const std::uint64_t occurrence = st.tick_counts[std::string(site)]++;
+  for (const Site& armed : st.sites) {
+    if (armed.name == site && armed.key == occurrence) return true;
+  }
+  return false;
+}
+
+void worker_hook(std::uint64_t index) {
+  init_from_env_once();
+  if (!enabled()) return;
+  if (fires_at("sigterm", index)) {
+    std::raise(SIGTERM);
+    return;  // cooperative handler installed: keep draining
+  }
+  if (fires_at("worker-throw", index)) {
+    throw ChaosError("chaos: injected worker fault at index " +
+                     std::to_string(index));
+  }
+}
+
+}  // namespace rascal::resil::chaos

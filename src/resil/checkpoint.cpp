@@ -1,0 +1,399 @@
+#include "resil/checkpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+
+#include "obs/obs.h"
+
+namespace rascal::resil {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+constexpr char kFormatTag[] = "rascal-checkpoint-v1";
+
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char c : text) {
+    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::string hex16(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+// JSON string escaping for failure notes: arbitrary what() text must
+// round-trip so a resumed run reports byte-identical failure records.
+void append_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+// Strict sequential scanner over the exact format serialize() emits.
+// Anything unexpected raises CheckpointError: a checkpoint is either
+// bit-exactly loadable or rejected, never half-parsed.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  void expect(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      throw CheckpointError("checkpoint: malformed file (expected '" +
+                            std::string(literal) + "' at byte " +
+                            std::to_string(pos_) + ")");
+    }
+    pos_ += literal.size();
+  }
+
+  [[nodiscard]] bool consume(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  std::uint64_t parse_u64() {
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      throw CheckpointError("checkpoint: malformed file (expected digit at "
+                            "byte " + std::to_string(pos_) + ")");
+    }
+    std::uint64_t value = 0;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      value = value * 10 + static_cast<std::uint64_t>(text_[pos_] - '0');
+      ++pos_;
+    }
+    return value;
+  }
+
+  std::string parse_string() {
+    expect("\"");
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              throw CheckpointError("checkpoint: truncated \\u escape");
+            }
+            unsigned code = 0;
+            for (int k = 0; k < 4; ++k) {
+              const char h = text_[pos_++];
+              code <<= 4U;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else {
+                throw CheckpointError("checkpoint: bad \\u escape");
+              }
+            }
+            out += static_cast<char>(code);
+            break;
+          }
+          default:
+            throw CheckpointError("checkpoint: unknown escape in string");
+        }
+      } else {
+        out += c;
+      }
+    }
+    expect("\"");
+    return out;
+  }
+
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= text_.size(); }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::uint64_t parse_hex16(const std::string& text, const char* what) {
+  if (text.size() != 16) {
+    throw CheckpointError(std::string("checkpoint: bad ") + what);
+  }
+  std::uint64_t value = 0;
+  for (const char h : text) {
+    value <<= 4U;
+    if (h >= '0' && h <= '9') value |= static_cast<std::uint64_t>(h - '0');
+    else if (h >= 'a' && h <= 'f') {
+      value |= static_cast<std::uint64_t>(h - 'a' + 10);
+    } else {
+      throw CheckpointError(std::string("checkpoint: bad ") + what);
+    }
+  }
+  return value;
+}
+
+std::size_t flush_cadence_from_env() {
+  const char* text = std::getenv("RASCAL_CHECKPOINT_EVERY");
+  if (text == nullptr || *text == '\0') return 32;
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(text, &end, 10);
+  if (end == text || *end != '\0' || value == 0) return 32;
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
+DigestBuilder& DigestBuilder::add_u64(std::uint64_t value) {
+  for (int k = 0; k < 8; ++k) {
+    hash_ ^= (value >> (8 * k)) & 0xffULL;
+    hash_ *= kFnvPrime;
+  }
+  return *this;
+}
+
+DigestBuilder& DigestBuilder::add_f64(double value) {
+  return add_u64(f64_bits(value));
+}
+
+DigestBuilder& DigestBuilder::add_str(std::string_view text) {
+  add_u64(text.size());
+  for (const char c : text) {
+    hash_ ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    hash_ *= kFnvPrime;
+  }
+  return *this;
+}
+
+Checkpointer::Checkpointer(std::string path, std::string kind,
+                           std::uint64_t digest, std::uint64_t total)
+    : path_(std::move(path)),
+      kind_(std::move(kind)),
+      digest_(digest),
+      total_(total),
+      flush_every_(flush_cadence_from_env()) {}
+
+void Checkpointer::set_flush_every(std::size_t every) noexcept {
+  flush_every_ = every > 0 ? every : 1;
+}
+
+std::size_t Checkpointer::resume_from_disk() {
+  if (!checkpoint_file_exists(path_)) return 0;
+  CheckpointFile file = load_checkpoint_file(path_);
+  if (file.kind != kind_) {
+    throw CheckpointError("checkpoint: kind mismatch (file is '" + file.kind +
+                          "', this run is '" + kind_ + "')");
+  }
+  if (file.digest != digest_) {
+    throw CheckpointError(
+        "checkpoint: run-configuration digest mismatch — the checkpoint was "
+        "written by a run with different seed/count/range settings");
+  }
+  if (file.total != total_) {
+    throw CheckpointError("checkpoint: total mismatch (file has " +
+                          std::to_string(file.total) + ", this run expects " +
+                          std::to_string(total_) + ")");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (CheckpointEntry& entry : file.entries) {
+    if (entry.index >= total_) {
+      throw CheckpointError("checkpoint: entry index out of range");
+    }
+    entries_[entry.index] = std::move(entry);
+  }
+  if (obs::enabled()) {
+    obs::counter("resil.checkpoint.restored").add(entries_.size());
+  }
+  return entries_.size();
+}
+
+void Checkpointer::record(CheckpointEntry entry) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_[entry.index] = std::move(entry);
+  ++unflushed_;
+  if (unflushed_ >= flush_every_) flush_locked();
+}
+
+void Checkpointer::flush() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  flush_locked();
+}
+
+std::vector<CheckpointEntry> Checkpointer::entries() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CheckpointEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [index, entry] : entries_) out.push_back(entry);
+  return out;
+}
+
+std::size_t Checkpointer::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::string Checkpointer::serialize_locked() const {
+  std::string body = "{\"format\":\"";
+  body += kFormatTag;
+  body += "\",\"kind\":\"";
+  append_escaped(body, kind_);
+  body += "\",\"digest\":\"" + hex16(digest_) + "\",\"total\":" +
+          std::to_string(total_) + ",\"entries\":[";
+  bool first = true;
+  for (const auto& [index, entry] : entries_) {
+    if (!first) body += ',';
+    first = false;
+    body += "{\"i\":" + std::to_string(index) +
+            ",\"s\":" + std::to_string(static_cast<unsigned>(entry.status)) +
+            ",\"w\":[";
+    for (std::size_t k = 0; k < entry.words.size(); ++k) {
+      if (k > 0) body += ',';
+      body += std::to_string(entry.words[k]);
+    }
+    body += ']';
+    if (!entry.note.empty()) {
+      body += ",\"note\":\"";
+      append_escaped(body, entry.note);
+      body += '"';
+    }
+    body += '}';
+  }
+  body += "]}";
+  // The checksum covers every byte of the body; it is spliced in
+  // before the closing brace so the file stays valid JSON.
+  const std::string checksum = hex16(fnv1a(body));
+  body.pop_back();  // drop '}'
+  body += ",\"checksum\":\"" + checksum + "\"}\n";
+  return body;
+}
+
+void Checkpointer::flush_locked() {
+  const std::string text = serialize_locked();
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw CheckpointError("checkpoint: cannot open '" + tmp +
+                            "' for writing");
+    }
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    out.flush();
+    if (!out) {
+      throw CheckpointError("checkpoint: write to '" + tmp + "' failed");
+    }
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    throw CheckpointError("checkpoint: rename to '" + path_ + "' failed");
+  }
+  unflushed_ = 0;
+  if (obs::enabled()) {
+    obs::counter("resil.checkpoint.flushes").add(1);
+    obs::gauge("resil.checkpoint.entries")
+        .set(static_cast<double>(entries_.size()));
+  }
+}
+
+bool checkpoint_file_exists(const std::string& path) {
+  struct stat info {};
+  return ::stat(path.c_str(), &info) == 0 && S_ISREG(info.st_mode);
+}
+
+CheckpointFile load_checkpoint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw CheckpointError("checkpoint: cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+    text.pop_back();
+  }
+
+  // Split off and verify the checksum before believing any field.
+  const std::string marker = ",\"checksum\":\"";
+  const std::size_t at = text.rfind(marker);
+  if (at == std::string::npos || !text.ends_with("\"}")) {
+    throw CheckpointError("checkpoint: '" + path +
+                          "' is truncated or not a rascal checkpoint");
+  }
+  const std::string stored_hex =
+      text.substr(at + marker.size(),
+                  text.size() - at - marker.size() - 2);
+  const std::uint64_t stored = parse_hex16(stored_hex, "checksum");
+  const std::string body = text.substr(0, at) + "}";
+  if (fnv1a(body) != stored) {
+    throw CheckpointError("checkpoint: '" + path +
+                          "' failed its checksum — the file is corrupt "
+                          "(truncated or modified); delete it to start over");
+  }
+
+  Scanner scan(body);
+  CheckpointFile file;
+  scan.expect("{\"format\":\"");
+  scan.expect(kFormatTag);
+  scan.expect("\",\"kind\":");
+  file.kind = scan.parse_string();
+  scan.expect(",\"digest\":");
+  file.digest = parse_hex16(scan.parse_string(), "digest");
+  scan.expect(",\"total\":");
+  file.total = scan.parse_u64();
+  scan.expect(",\"entries\":[");
+  if (!scan.consume("]")) {
+    for (;;) {
+      CheckpointEntry entry;
+      scan.expect("{\"i\":");
+      entry.index = scan.parse_u64();
+      scan.expect(",\"s\":");
+      const std::uint64_t status = scan.parse_u64();
+      if (status != static_cast<std::uint64_t>(EntryStatus::kOk) &&
+          status != static_cast<std::uint64_t>(EntryStatus::kFailed)) {
+        throw CheckpointError("checkpoint: unknown entry status");
+      }
+      entry.status = static_cast<EntryStatus>(status);
+      scan.expect(",\"w\":[");
+      if (!scan.consume("]")) {
+        for (;;) {
+          entry.words.push_back(scan.parse_u64());
+          if (scan.consume("]")) break;
+          scan.expect(",");
+        }
+      }
+      if (scan.consume(",\"note\":")) entry.note = scan.parse_string();
+      scan.expect("}");
+      file.entries.push_back(std::move(entry));
+      if (scan.consume("]")) break;
+      scan.expect(",");
+    }
+  }
+  scan.expect("}");
+  if (!scan.at_end()) {
+    throw CheckpointError("checkpoint: trailing bytes after JSON body");
+  }
+  return file;
+}
+
+}  // namespace rascal::resil

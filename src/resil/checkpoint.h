@@ -1,0 +1,137 @@
+// Atomic, checksummed JSON checkpoints for long sampling campaigns.
+//
+// A checkpoint records which sample/trial/replication indices have
+// finished and the exact bits they produced, so a run that is killed
+// (SIGINT/SIGTERM, OOM, deadline) can resume and still emit output
+// byte-identical to an uninterrupted run at any RASCAL_THREADS: the
+// deterministic engine re-derives every pending index's substream
+// from the root seed, and completed indices are replayed from disk.
+//
+// File format (single line of JSON; doubles stored as IEEE-754 bit
+// patterns so replay is exact):
+//
+//   {"format":"rascal-checkpoint-v1","kind":"campaign",
+//    "digest":"<16 hex>","total":64,
+//    "entries":[{"i":0,"s":1,"w":[123,...]},
+//               {"i":3,"s":2,"w":[],"note":"solver diverged"}],
+//    "checksum":"<16 hex>"}
+//
+// `digest` fingerprints the run configuration (seed, counts, ranges,
+// substream derivation) — resuming under a different configuration is
+// rejected.  `checksum` is FNV-1a over every byte before it, so a
+// truncated or garbled file is detected and reported, never
+// half-loaded.  Writes go to `<path>.tmp` and are renamed into place,
+// so the file on disk is always a complete, verified checkpoint.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rascal::resil {
+
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Completion status of one checkpointed index.
+enum class EntryStatus : std::uint32_t {
+  kOk = 1,      // words hold the result bits
+  kFailed = 2,  // structurally recorded failure; note holds the error
+};
+
+struct CheckpointEntry {
+  std::uint64_t index = 0;
+  EntryStatus status = EntryStatus::kOk;
+  std::vector<std::uint64_t> words;  // domain-encoded result payload
+  std::string note;                  // failure message (kFailed only)
+};
+
+/// Exact double <-> u64 round-tripping for checkpoint words.
+[[nodiscard]] inline std::uint64_t f64_bits(double value) noexcept {
+  return std::bit_cast<std::uint64_t>(value);
+}
+[[nodiscard]] inline double bits_f64(std::uint64_t word) noexcept {
+  return std::bit_cast<double>(word);
+}
+
+/// Incremental FNV-1a fingerprint used both for the file checksum and
+/// for run-configuration digests.
+class DigestBuilder {
+ public:
+  DigestBuilder& add_u64(std::uint64_t value);
+  DigestBuilder& add_f64(double value);  // exact bit pattern
+  DigestBuilder& add_str(std::string_view text);
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 14695981039346656037ULL;
+};
+
+/// Thread-safe checkpoint sink.  Workers `record()` each finished
+/// index; every `flush_every` new entries (RASCAL_CHECKPOINT_EVERY
+/// env, default 32) — and on the final explicit `flush()` — the full
+/// entry set is atomically rewritten to `path`.
+class Checkpointer {
+ public:
+  /// Does not touch the filesystem; call resume_from_disk() to load.
+  Checkpointer(std::string path, std::string kind, std::uint64_t digest,
+               std::uint64_t total);
+
+  /// Loads `path` if it exists and merges its entries.  Returns the
+  /// number of entries restored (0 when the file does not exist).
+  /// Throws CheckpointError when the file is corrupt (bad checksum,
+  /// truncation, malformed JSON) or belongs to a different run
+  /// (kind/digest/total mismatch).
+  std::size_t resume_from_disk();
+
+  /// Records a finished index and flushes when the cadence is due.
+  void record(CheckpointEntry entry);
+
+  /// Unconditionally writes the current entry set (atomic rename).
+  void flush();
+
+  [[nodiscard]] std::vector<CheckpointEntry> entries() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Test hook: overrides the flush cadence.
+  void set_flush_every(std::size_t every) noexcept;
+
+ private:
+  void flush_locked();
+  [[nodiscard]] std::string serialize_locked() const;
+
+  std::string path_;
+  std::string kind_;
+  std::uint64_t digest_ = 0;
+  std::uint64_t total_ = 0;
+  std::size_t flush_every_ = 32;
+
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, CheckpointEntry> entries_;
+  std::size_t unflushed_ = 0;
+};
+
+/// Parses and verifies a checkpoint file into its raw parts.  Used by
+/// Checkpointer::resume_from_disk and directly by tests.
+struct CheckpointFile {
+  std::string kind;
+  std::uint64_t digest = 0;
+  std::uint64_t total = 0;
+  std::vector<CheckpointEntry> entries;
+};
+
+[[nodiscard]] CheckpointFile load_checkpoint_file(const std::string& path);
+
+/// True when a regular file exists at `path`.
+[[nodiscard]] bool checkpoint_file_exists(const std::string& path);
+
+}  // namespace rascal::resil

@@ -8,6 +8,7 @@
 #include "core/thread_pool.h"
 #include "core/units.h"
 #include "obs/obs.h"
+#include "resil/chaos.h"
 #include "stats/rng.h"
 
 namespace rascal::sim {
@@ -101,8 +102,18 @@ class Replication {
 
   /// Runs one replication; returns the availability observed.
   double run() {
+    const resil::CancellationToken* cancel = options_.control.cancel;
     double now = 0.0;
     while (now < options_.duration) {
+      // Replications simulate centuries of cluster time; a deadline or
+      // signal must be able to interrupt the event loop itself.  The
+      // abandoned replication stays unrecorded, so a resume recomputes
+      // it from its substream with identical bits.
+      if ((totals_.events & 0xFFFULL) == 0 && cancel != nullptr &&
+          cancel->cancelled()) {
+        throw resil::CancelledError(
+            "simulate_jsas: replication cancelled mid-run");
+      }
       const Event event = next_event(now);
       const double at = std::min(event.time, options_.duration);
       accrue(now, at);
@@ -365,7 +376,68 @@ class Replication {
   }
 };
 
+// Checkpoint payload for one replication: the full outcome, exactly
+// (times as IEEE-754 bit patterns).
+std::vector<std::uint64_t> encode_outcome(const ReplicationOutcome& o) {
+  return {resil::f64_bits(o.availability),
+          resil::f64_bits(o.as_down_time),
+          resil::f64_bits(o.hadb_down_time),
+          o.system_failures,
+          o.as_cluster_failures,
+          o.hadb_pair_failures,
+          o.imperfect_recoveries,
+          o.as_instance_failures,
+          o.hadb_node_failures,
+          o.events};
+}
+
+ReplicationOutcome decode_outcome(const std::vector<std::uint64_t>& words) {
+  if (words.size() != 10) {
+    throw resil::CheckpointError(
+        "simulate_jsas: checkpoint entry does not decode to a replication "
+        "outcome");
+  }
+  ReplicationOutcome o;
+  o.availability = resil::bits_f64(words[0]);
+  o.as_down_time = resil::bits_f64(words[1]);
+  o.hadb_down_time = resil::bits_f64(words[2]);
+  o.system_failures = words[3];
+  o.as_cluster_failures = words[4];
+  o.hadb_pair_failures = words[5];
+  o.imperfect_recoveries = words[6];
+  o.as_instance_failures = words[7];
+  o.hadb_node_failures = words[8];
+  o.events = words[9];
+  return o;
+}
+
 }  // namespace
+
+std::uint64_t jsas_sim_checkpoint_digest(const models::JsasConfig& config,
+                                         const expr::ParameterSet& params,
+                                         const JsasSimOptions& options) {
+  const SimParams p(params);
+  resil::DigestBuilder digest;
+  digest.add_str("simulate")
+      .add_u64(config.as_instances)
+      .add_u64(config.hadb_pairs)
+      .add_f64(options.duration)
+      .add_u64(options.replications)
+      .add_u64(options.seed)
+      .add_u64(options.exponential_recoveries ? 1 : 0)
+      // Probe the substream-derivation scheme (see uncertainty digest).
+      .add_u64(stats::RandomEngine(options.seed).substream_seed(0))
+      .add_f64(p.as_la_as).add_f64(p.as_la_os).add_f64(p.as_la_hw)
+      .add_f64(p.as_fss).add_f64(p.as_trecovery)
+      .add_f64(p.as_tstart_short).add_f64(p.as_tstart_long)
+      .add_f64(p.as_tstart_all)
+      .add_f64(p.hadb_la_hadb).add_f64(p.hadb_la_os).add_f64(p.hadb_la_hw)
+      .add_f64(p.hadb_la_mnt)
+      .add_f64(p.hadb_tstart_short).add_f64(p.hadb_tstart_long)
+      .add_f64(p.hadb_trepair).add_f64(p.hadb_tmnt).add_f64(p.hadb_trestore)
+      .add_f64(p.fir).add_f64(p.acc);
+  return digest.value();
+}
 
 JsasSimResult simulate_jsas(const models::JsasConfig& config,
                             const expr::ParameterSet& params,
@@ -379,27 +451,76 @@ JsasSimResult simulate_jsas(const models::JsasConfig& config,
   }
   const SimParams sim_params(params);
 
+  const resil::CancellationToken* cancel = options.control.cancel;
+  resil::Checkpointer* checkpoint = options.control.checkpoint;
+
+  // Per-replication completion state: 0 = pending, 1 = done.
+  // Checkpointed replications are replayed into their slots up front
+  // and skipped by the workers; pending ones recompute identically
+  // from root.split(rep), so resumed == uninterrupted bit-for-bit.
+  std::vector<ReplicationOutcome> outcomes(options.replications);
+  std::vector<unsigned char> status(options.replications, 0);
+  if (checkpoint != nullptr) {
+    if (checkpoint->total() != options.replications) {
+      throw resil::CheckpointError(
+          "simulate_jsas: checkpoint total does not match the replication "
+          "count");
+    }
+    for (const resil::CheckpointEntry& entry : checkpoint->entries()) {
+      if (entry.status != resil::EntryStatus::kOk) continue;
+      outcomes[entry.index] = decode_outcome(entry.words);
+      status[entry.index] = 1;
+    }
+  }
+
   // Replications were already seeded from per-index substreams; run
   // them on workers, each filling its own outcome slot, then merge in
   // replication order so every thread count is bit-identical.
   const stats::RandomEngine root(options.seed);
-  const std::vector<ReplicationOutcome> outcomes = core::parallel_map(
+  core::parallel_for(
       options.replications, core::resolve_threads(options.threads),
-      [&](std::size_t rep) {
-        const obs::Span span("sim.jsas.replication");
-        ReplicationOutcome outcome;
-        Replication replication(config, sim_params, options,
-                                root.split(rep), outcome);
-        outcome.availability = replication.run();
-        outcome.as_down_time = replication.as_down_time();
-        outcome.hadb_down_time = replication.hadb_down_time();
-        return outcome;
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t rep = begin; rep < end; ++rep) {
+          if (status[rep] != 0) continue;  // restored from checkpoint
+          if (cancel != nullptr && cancel->cancelled()) return;  // drain
+          try {
+            resil::chaos::worker_hook(rep);
+            const obs::Span span("sim.jsas.replication");
+            ReplicationOutcome outcome;
+            Replication replication(config, sim_params, options,
+                                    root.split(rep), outcome);
+            outcome.availability = replication.run();
+            outcome.as_down_time = replication.as_down_time();
+            outcome.hadb_down_time = replication.hadb_down_time();
+            outcomes[rep] = outcome;
+            status[rep] = 1;
+            if (checkpoint != nullptr) {
+              checkpoint->record({rep, resil::EntryStatus::kOk,
+                                  encode_outcome(outcome), {}});
+            }
+          } catch (const resil::CancelledError&) {
+            return;  // interrupted mid-replication: leave it pending
+          } catch (const std::exception& failure) {
+            if (!options.control.skip_failures) throw;
+            status[rep] = 2;
+            if (checkpoint != nullptr) {
+              checkpoint->record({rep, resil::EntryStatus::kFailed, {},
+                                  failure.what()});
+            }
+          }
+        }
       });
+  if (checkpoint != nullptr) checkpoint->flush();
 
   JsasSimResult result;
   double as_down_total = 0.0;
   double hadb_down_total = 0.0;
-  for (const ReplicationOutcome& outcome : outcomes) {
+  std::size_t failed = 0;
+  for (std::size_t rep = 0; rep < options.replications; ++rep) {
+    if (status[rep] == 2) ++failed;
+    if (status[rep] != 1) continue;
+    const ReplicationOutcome& outcome = outcomes[rep];
+    ++result.completed_replications;
     result.per_replication_availability.add(outcome.availability);
     as_down_total += outcome.as_down_time;
     hadb_down_total += outcome.hadb_down_time;
@@ -411,15 +532,20 @@ JsasSimResult simulate_jsas(const models::JsasConfig& config,
     result.hadb_node_failures += outcome.hadb_node_failures;
     result.events_simulated += outcome.events;
   }
+  result.interrupted =
+      cancel != nullptr && cancel->cancelled() &&
+      result.completed_replications + failed < options.replications;
+  if (result.interrupted) result.interrupt_reason = cancel->describe();
   // Counters are fed from the ordered merge, not from inside the
   // parallel region, so the tallies are identical for any thread count.
   if (obs::enabled()) {
-    obs::counter("sim.jsas.replications").add(options.replications);
+    obs::counter("sim.jsas.replications").add(result.completed_replications);
     obs::counter("sim.jsas.events").add(result.events_simulated);
   }
+  if (result.completed_replications == 0) return result;
 
   const double total_time =
-      options.duration * static_cast<double>(options.replications);
+      options.duration * static_cast<double>(result.completed_replications);
   result.availability = result.per_replication_availability.mean();
   result.availability_ci95 = stats::mean_confidence_interval(
       result.per_replication_availability, 0.95);

@@ -14,9 +14,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "expr/parameter_set.h"
 #include "models/jsas_system.h"
+#include "resil/resil.h"
 #include "stats/summary.h"
 
 namespace rascal::sim {
@@ -32,6 +34,10 @@ struct JsasSimOptions {
   // are merged in replication order after the parallel region, so any
   // thread count produces bit-identical results.
   std::size_t threads = 0;
+  // Resilience: cancellation (polled inside the event loop every few
+  // thousand events), replication-granular checkpoint/resume, and
+  // skip-failed-replications.  Excluded from the checkpoint digest.
+  resil::ExecutionControl control;
 };
 
 struct JsasSimResult {
@@ -49,7 +55,19 @@ struct JsasSimResult {
   std::uint64_t hadb_node_failures = 0;
   std::uint64_t events_simulated = 0;  // dispatched events, all replications
   stats::Summary per_replication_availability;
+
+  std::size_t completed_replications = 0;  // merged into the result
+  bool interrupted = false;                // cancelled with work pending
+  std::string interrupt_reason;            // cancel token's describe()
 };
+
+/// Fingerprint of everything that determines the simulation's result
+/// bits (config, parameters, duration, replication count, seed,
+/// recovery regime, and the RNG substream derivation — NOT the thread
+/// count); the checkpoint digest.
+[[nodiscard]] std::uint64_t jsas_sim_checkpoint_digest(
+    const models::JsasConfig& config, const expr::ParameterSet& params,
+    const JsasSimOptions& options);
 
 /// Simulates `config` under `params` (same parameter names as the
 /// analytic models).  Throws std::invalid_argument for configurations

@@ -30,7 +30,11 @@ void count_draw() {
 }  // namespace
 
 RandomEngine RandomEngine::split(std::uint64_t stream_id) const {
-  return RandomEngine(splitmix64(seed_ ^ splitmix64(stream_id)));
+  return RandomEngine(substream_seed(stream_id));
+}
+
+std::uint64_t RandomEngine::substream_seed(std::uint64_t stream_id) const {
+  return splitmix64(seed_ ^ splitmix64(stream_id));
 }
 
 double RandomEngine::uniform01() {

@@ -22,6 +22,12 @@ class RandomEngine {
   /// seed derivation).
   [[nodiscard]] RandomEngine split(std::uint64_t stream_id) const;
 
+  /// Seed that split(stream_id) would use.  Exposed so checkpoint
+  /// digests can fingerprint the substream-derivation scheme: a
+  /// checkpointed run and its resume agree on every pending index's
+  /// stream iff they agree on this value for a probe id.
+  [[nodiscard]] std::uint64_t substream_seed(std::uint64_t stream_id) const;
+
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
 
   /// Uniform double in [0, 1).

@@ -1,6 +1,7 @@
 #include "stats/sampling.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <stdexcept>
 
@@ -10,9 +11,16 @@ namespace {
 
 void validate(const std::vector<ParameterRange>& ranges) {
   for (const ParameterRange& r : ranges) {
+    if (!std::isfinite(r.lo) || !std::isfinite(r.hi)) {
+      throw std::invalid_argument(
+          "sampling: range '" + r.name +
+          "' has a non-finite bound (NaN or infinity); every bound must "
+          "be a finite number");
+    }
     if (r.lo > r.hi) {
-      throw std::invalid_argument("sampling: range '" + r.name +
-                                  "' has lo > hi");
+      throw std::invalid_argument(
+          "sampling: range '" + r.name + "' is inverted (lo " +
+          std::to_string(r.lo) + " > hi " + std::to_string(r.hi) + ")");
     }
   }
 }

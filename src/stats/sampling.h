@@ -24,7 +24,8 @@ struct ParameterRange {
 using Sample = std::vector<double>;
 
 /// Independent uniform sampling: `count` draws over the ranges.
-/// Throws std::invalid_argument when a range has lo > hi.
+/// Throws std::invalid_argument when a range has lo > hi or a
+/// non-finite (NaN/infinite) bound.
 [[nodiscard]] std::vector<Sample> monte_carlo_samples(
     const std::vector<ParameterRange>& ranges, std::size_t count,
     RandomEngine& rng);

@@ -1,0 +1,385 @@
+// End-to-end guarantees of the resilient execution engine:
+//
+//   * a run interrupted mid-flight (cancel request, injected worker
+//     fault, in-process SIGTERM) and resumed from its checkpoint
+//     produces results bit-identical to an uninterrupted run, at any
+//     thread count;
+//   * a sample whose solve fails under chaos is recorded with its
+//     parameter draw and skipped, never fatal;
+//   * the solver escalation cascade rescues forced nonconvergence via
+//     GTH, and refuses to mask cancellation as nonconvergence.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/uncertainty.h"
+#include "ctmc/builder.h"
+#include "ctmc/steady_state.h"
+#include "faultinj/injector.h"
+#include "models/jsas_system.h"
+#include "models/params.h"
+#include "resil/chaos.h"
+#include "resil/resil.h"
+#include "sim/jsas_simulator.h"
+
+namespace rascal {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "rascal_resilexec_" + name;
+}
+
+// Clears the chaos spec even when a test fails mid-way, so later
+// tests (and later suites in the same binary) start clean.
+class ChaosGuard {
+ public:
+  ~ChaosGuard() { resil::chaos::configure(""); }
+};
+
+const analysis::ModelFunction kQuadratic =
+    [](const expr::ParameterSet& p) {
+      const double x = p.get("x");
+      return p.get("a") * x * x + p.get("b");
+    };
+
+const expr::ParameterSet kBase{{"a", 2.0}, {"b", 1.0}, {"x", 3.0}};
+const std::vector<stats::ParameterRange> kRanges = {{"x", 0.0, 2.0},
+                                                    {"b", -1.0, 1.0}};
+
+void expect_bit_identical(const analysis::UncertaintyResult& actual,
+                          const analysis::UncertaintyResult& expected) {
+  ASSERT_EQ(actual.metrics.size(), expected.metrics.size());
+  for (std::size_t i = 0; i < expected.metrics.size(); ++i) {
+    EXPECT_EQ(actual.metrics[i], expected.metrics[i]) << i;
+    EXPECT_EQ(actual.samples[i].parameters, expected.samples[i].parameters)
+        << i;
+  }
+  EXPECT_EQ(actual.mean, expected.mean);
+  EXPECT_EQ(actual.interval80.lower, expected.interval80.lower);
+  EXPECT_EQ(actual.interval80.upper, expected.interval80.upper);
+  EXPECT_EQ(actual.interval90.lower, expected.interval90.lower);
+  EXPECT_EQ(actual.interval90.upper, expected.interval90.upper);
+  EXPECT_EQ(actual.summary.variance(), expected.summary.variance());
+}
+
+TEST(ResilientUncertainty, CancelledRunResumesBitIdentically) {
+  const std::string path = temp_path("uncertainty_resume.json");
+  std::remove(path.c_str());
+
+  analysis::UncertaintyOptions options;
+  options.samples = 64;
+  options.seed = 17;
+  options.threads = 4;
+  const std::uint64_t digest =
+      analysis::uncertainty_checkpoint_digest(options, kRanges);
+
+  const auto straight =
+      analysis::uncertainty_analysis(kQuadratic, kBase, kRanges, options);
+
+  // Pass 1: request cancellation from inside the model function after
+  // ten solves.  Which indices finish depends on scheduling, but that
+  // must not matter — every completed index carries exact bits and
+  // every pending index is recomputed from its own substream.
+  std::atomic<int> calls{0};
+  resil::CancellationToken cancel;
+  const analysis::ModelFunction cancelling_model =
+      [&](const expr::ParameterSet& p) {
+        if (calls.fetch_add(1) + 1 == 10) cancel.request_cancel();
+        return kQuadratic(p);
+      };
+  resil::Checkpointer first(path, "uncertainty", digest, options.samples);
+  first.set_flush_every(1);
+  options.control.cancel = &cancel;
+  options.control.checkpoint = &first;
+  const auto partial = analysis::uncertainty_analysis(cancelling_model, kBase,
+                                                      kRanges, options);
+  ASSERT_TRUE(partial.interrupted);
+  EXPECT_EQ(partial.interrupt_reason, "cancellation requested");
+  EXPECT_LT(partial.completed, partial.requested);
+  EXPECT_GE(partial.completed, 1u);
+
+  // Pass 2: resume from disk with a fresh token, different thread
+  // count, and the plain model.
+  resil::Checkpointer second(path, "uncertainty", digest, options.samples);
+  EXPECT_EQ(second.resume_from_disk(), partial.completed);
+  options.control.cancel = nullptr;
+  options.control.checkpoint = &second;
+  options.threads = 1;
+  const auto resumed =
+      analysis::uncertainty_analysis(kQuadratic, kBase, kRanges, options);
+
+  EXPECT_FALSE(resumed.interrupted);
+  EXPECT_EQ(resumed.completed, resumed.requested);
+  expect_bit_identical(resumed, straight);
+  std::remove(path.c_str());
+}
+
+TEST(ResilientUncertainty, ChaosWorkerFaultIsRecordedAndSkipped) {
+  ChaosGuard guard;
+  resil::chaos::configure("worker-throw@3");
+
+  analysis::UncertaintyOptions options;
+  options.samples = 8;
+  options.seed = 17;
+  options.threads = 1;
+  options.control.skip_failures = true;
+  const auto result =
+      analysis::uncertainty_analysis(kQuadratic, kBase, kRanges, options);
+
+  EXPECT_FALSE(result.interrupted);
+  EXPECT_EQ(result.completed, 7u);
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_EQ(result.failures[0].index, 3u);
+  EXPECT_EQ(result.failures[0].parameters.size(), kRanges.size());
+  EXPECT_NE(result.failures[0].error.find("chaos"), std::string::npos);
+  // Surviving samples are the straight run's, minus the dropped draw.
+  EXPECT_EQ(result.metrics.size(), 7u);
+}
+
+TEST(ResilientUncertainty, ChaosWorkerFaultIsFatalWithoutSkipFailures) {
+  ChaosGuard guard;
+  resil::chaos::configure("worker-throw@3");
+  analysis::UncertaintyOptions options;
+  options.samples = 8;
+  options.seed = 17;
+  options.threads = 1;
+  options.control.skip_failures = false;
+  EXPECT_THROW(
+      analysis::uncertainty_analysis(kQuadratic, kBase, kRanges, options),
+      resil::chaos::ChaosError);
+}
+
+TEST(ResilientUncertainty, WrongTotalCheckpointIsRejected) {
+  const std::string path = temp_path("uncertainty_mismatch.json");
+  std::remove(path.c_str());
+  analysis::UncertaintyOptions options;
+  options.samples = 8;
+  options.threads = 1;
+  const std::uint64_t digest =
+      analysis::uncertainty_checkpoint_digest(options, kRanges);
+  resil::Checkpointer checkpoint(path, "uncertainty", digest,
+                                 options.samples + 1);
+  options.control.checkpoint = &checkpoint;
+  EXPECT_THROW(
+      analysis::uncertainty_analysis(kQuadratic, kBase, kRanges, options),
+      resil::CheckpointError);
+  std::remove(path.c_str());
+}
+
+TEST(ResilientCampaign, SigtermMidCampaignResumesBitIdentically) {
+  ChaosGuard guard;
+  const std::string path = temp_path("campaign_resume.json");
+  std::remove(path.c_str());
+
+  faultinj::CampaignOptions options;
+  options.trials = 120;
+  options.seed = 1973;
+  options.threads = 1;
+  const std::uint64_t digest = faultinj::campaign_checkpoint_digest(options);
+
+  const auto straight = faultinj::run_campaign(options);
+
+  // Pass 1: a chaos site raises a real SIGTERM when trial 40 starts;
+  // the installed handler latches the token and the engine drains.
+  resil::CancellationToken cancel;
+  resil::install_signal_handlers(cancel);
+  resil::chaos::configure("sigterm@40");
+  resil::Checkpointer first(path, "campaign", digest, options.trials);
+  first.set_flush_every(1);
+  options.control.cancel = &cancel;
+  options.control.checkpoint = &first;
+  const auto partial = faultinj::run_campaign(options);
+  resil::chaos::configure("");
+  ASSERT_TRUE(partial.interrupted);
+  EXPECT_EQ(partial.interrupt_reason, "signal SIGTERM");
+  EXPECT_LT(partial.trials, options.trials);
+
+  // Pass 2: resume at a different thread count.
+  resil::Checkpointer second(path, "campaign", digest, options.trials);
+  EXPECT_GE(second.resume_from_disk(), 1u);
+  options.control.cancel = nullptr;
+  options.control.checkpoint = &second;
+  options.threads = 4;
+  const auto resumed = faultinj::run_campaign(options);
+
+  EXPECT_FALSE(resumed.interrupted);
+  EXPECT_EQ(resumed.trials, straight.trials);
+  EXPECT_EQ(resumed.successes, straight.successes);
+  ASSERT_EQ(resumed.records.size(), straight.records.size());
+  for (std::size_t i = 0; i < straight.records.size(); ++i) {
+    EXPECT_EQ(resumed.records[i].fault, straight.records[i].fault) << i;
+    EXPECT_EQ(resumed.records[i].workload, straight.records[i].workload)
+        << i;
+    EXPECT_EQ(resumed.records[i].recovery_time_hours,
+              straight.records[i].recovery_time_hours)
+        << i;
+  }
+  EXPECT_EQ(resumed.hadb_restart_times.mean(),
+            straight.hadb_restart_times.mean());
+  EXPECT_EQ(resumed.recovery_by_workload[1].variance(),
+            straight.recovery_by_workload[1].variance());
+  std::remove(path.c_str());
+}
+
+TEST(ResilientSimulation, FaultedReplicationResumesBitIdentically) {
+  ChaosGuard guard;
+  const std::string path = temp_path("sim_resume.json");
+  std::remove(path.c_str());
+
+  const models::JsasConfig config = models::JsasConfig::config1();
+  const expr::ParameterSet params = models::default_parameters();
+  sim::JsasSimOptions options;
+  options.duration = 8760.0;
+  options.replications = 6;
+  options.seed = 33;
+  options.threads = 4;
+  const std::uint64_t digest =
+      sim::jsas_sim_checkpoint_digest(config, params, options);
+
+  const auto straight = sim::simulate_jsas(config, params, options);
+
+  // Pass 1 (serial so exactly replications 0 and 1 are on disk): the
+  // chaos fault aborts the run, but recorded entries survive.
+  resil::chaos::configure("worker-throw@2");
+  resil::Checkpointer first(path, "jsas-sim", digest, options.replications);
+  first.set_flush_every(1);
+  options.threads = 1;
+  options.control.checkpoint = &first;
+  EXPECT_THROW(sim::simulate_jsas(config, params, options),
+               resil::chaos::ChaosError);
+  resil::chaos::configure("");
+
+  // Pass 2: resume in parallel.
+  resil::Checkpointer second(path, "jsas-sim", digest, options.replications);
+  EXPECT_EQ(second.resume_from_disk(), 2u);
+  options.control.checkpoint = &second;
+  options.threads = 4;
+  const auto resumed = sim::simulate_jsas(config, params, options);
+
+  EXPECT_FALSE(resumed.interrupted);
+  EXPECT_EQ(resumed.completed_replications, options.replications);
+  EXPECT_EQ(resumed.availability, straight.availability);
+  EXPECT_EQ(resumed.availability_ci95.lower, straight.availability_ci95.lower);
+  EXPECT_EQ(resumed.downtime_minutes_per_year,
+            straight.downtime_minutes_per_year);
+  EXPECT_EQ(resumed.system_failures, straight.system_failures);
+  EXPECT_EQ(resumed.as_instance_failures, straight.as_instance_failures);
+  EXPECT_EQ(resumed.hadb_node_failures, straight.hadb_node_failures);
+  EXPECT_EQ(resumed.events_simulated, straight.events_simulated);
+  std::remove(path.c_str());
+}
+
+// --- Solver escalation ---------------------------------------------------
+
+ctmc::Ctmc availability_chain() {
+  ctmc::CtmcBuilder b;
+  b.state("Ok", 1.0);
+  b.state("Degraded", 1.0);
+  b.state("Down", 0.0);
+  b.rate(0, 1, 1e-4).rate(1, 0, 60.0).rate(1, 2, 2e-4).rate(2, 0, 1.0);
+  return b.build();
+}
+
+TEST(SolverEscalation, ForcedNonConvergenceEscalatesToGth) {
+  ChaosGuard guard;
+  const ctmc::Ctmc chain = availability_chain();
+  const ctmc::SteadyState reference =
+      ctmc::solve_steady_state(chain, ctmc::SteadyStateMethod::kGth);
+
+  resil::chaos::configure("solver-nonconverge@0");
+  ctmc::SolveControl control;
+  control.escalate = true;
+  const ctmc::SteadyState rescued = ctmc::solve_steady_state(
+      chain, ctmc::SteadyStateMethod::kPower, ctmc::Validation::kOn, control);
+
+  EXPECT_TRUE(rescued.escalated);
+  ASSERT_EQ(rescued.probabilities.size(), reference.probabilities.size());
+  for (std::size_t i = 0; i < reference.probabilities.size(); ++i) {
+    EXPECT_EQ(rescued.probabilities[i], reference.probabilities[i]) << i;
+  }
+}
+
+TEST(SolverEscalation, NonConvergenceWithoutEscalationThrows) {
+  const ctmc::Ctmc chain = availability_chain();
+  ctmc::SolveControl control;
+  control.max_iterations = 1;
+  control.escalate = false;
+  try {
+    (void)ctmc::solve_steady_state(chain, ctmc::SteadyStateMethod::kPower,
+                                   ctmc::Validation::kOn, control);
+    FAIL() << "expected NonConvergenceError";
+  } catch (const ctmc::NonConvergenceError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("did not converge"), std::string::npos) << what;
+    EXPECT_NE(what.find("power"), std::string::npos) << what;
+  }
+}
+
+TEST(SolverEscalation, UnforcedSolveDoesNotEscalate) {
+  ctmc::SolveControl control;
+  control.escalate = true;
+  const ctmc::SteadyState s = ctmc::solve_steady_state(
+      availability_chain(), ctmc::SteadyStateMethod::kPower,
+      ctmc::Validation::kOn, control);
+  EXPECT_FALSE(s.escalated);
+  EXPECT_LT(s.residual, 1e-8);
+}
+
+TEST(SolverEscalation, CancelledSolveThrowsCancelledNotNonConvergence) {
+  resil::CancellationToken cancel;
+  cancel.request_cancel();
+  ctmc::SolveControl control;
+  control.cancel = &cancel;
+  control.escalate = true;  // must NOT mask cancellation via GTH
+  EXPECT_THROW(
+      (void)ctmc::solve_steady_state(availability_chain(),
+                                     ctmc::SteadyStateMethod::kGaussSeidel,
+                                     ctmc::Validation::kOn, control),
+      resil::CancelledError);
+}
+
+// --- Digests -------------------------------------------------------------
+
+TEST(CheckpointDigests, ChangeWithAnyResultAffectingSetting) {
+  analysis::UncertaintyOptions u;
+  u.samples = 16;
+  u.seed = 1;
+  const std::uint64_t base =
+      analysis::uncertainty_checkpoint_digest(u, kRanges);
+  u.seed = 2;
+  EXPECT_NE(analysis::uncertainty_checkpoint_digest(u, kRanges), base);
+  u.seed = 1;
+  u.samples = 17;
+  EXPECT_NE(analysis::uncertainty_checkpoint_digest(u, kRanges), base);
+  u.samples = 16;
+  u.latin_hypercube = true;
+  EXPECT_NE(analysis::uncertainty_checkpoint_digest(u, kRanges), base);
+  u.latin_hypercube = false;
+  auto shifted = kRanges;
+  shifted[0].hi = 3.0;
+  EXPECT_NE(analysis::uncertainty_checkpoint_digest(u, shifted), base);
+  // Thread count and control settings are resume-legal: same digest.
+  u.threads = 8;
+  u.control.skip_failures = true;
+  EXPECT_EQ(analysis::uncertainty_checkpoint_digest(u, kRanges), base);
+
+  faultinj::CampaignOptions c;
+  c.trials = 64;
+  c.seed = 5;
+  const std::uint64_t campaign_base = faultinj::campaign_checkpoint_digest(c);
+  c.seed = 6;
+  EXPECT_NE(faultinj::campaign_checkpoint_digest(c), campaign_base);
+  c.seed = 5;
+  c.recovery.true_imperfect_recovery = 0.25;
+  EXPECT_NE(faultinj::campaign_checkpoint_digest(c), campaign_base);
+  c.recovery.true_imperfect_recovery = 0.0;
+  c.threads = 16;
+  EXPECT_EQ(faultinj::campaign_checkpoint_digest(c), campaign_base);
+}
+
+}  // namespace
+}  // namespace rascal

@@ -22,7 +22,20 @@
 // never touches the RNG stream, so traced runs produce bit-identical
 // numerical output on stdout.
 //
+// Long-running subcommands (uncertainty, campaign) additionally accept
+// --checkpoint FILE / --resume / --deadline SECS: the run writes
+// periodic atomic checkpoints, drains cleanly on SIGINT/SIGTERM or
+// deadline expiry with partial results clearly marked, and a resumed
+// run emits stdout byte-identical to an uninterrupted one.
+//
+// Exit codes: 0 success; 1 internal error; 2 usage; 3 model or
+// validation error (parse failure, lint errors, bad ranges, corrupt
+// checkpoint, golden mismatch); 4 solver nonconvergence or deadline
+// exceeded; 128+N interrupted by signal N after checkpointing (130
+// SIGINT, 143 SIGTERM).
+//
 // Methods: gth (default), lu, power, gauss-seidel.
+#include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <optional>
@@ -46,10 +59,34 @@
 #include "report/ascii_plot.h"
 #include "report/diagnostics.h"
 #include "report/table.h"
+#include "resil/resil.h"
 
 namespace {
 
 using namespace rascal;
+
+// Exit-code contract (documented in usage() and docs/resilience.md).
+constexpr int kExitOk = 0;
+constexpr int kExitInternal = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitModelError = 3;
+constexpr int kExitNonConvergence = 4;  // also: deadline exceeded
+
+// Residuals above this mean the printed pi cannot be trusted; the CLI
+// warns on stderr and exits kExitNonConvergence even though metrics
+// were printed (satellite: nonconvergence must not be silent).
+constexpr double kResidualWarnLimit = 1e-6;
+
+// One process-wide token: the signal handlers latch it, --deadline
+// arms it, and every solver / sampling loop polls it.
+resil::CancellationToken g_cancel;
+
+[[nodiscard]] int interrupted_exit_code() {
+  if (g_cancel.reason() == resil::CancelReason::kSignal) {
+    return 128 + g_cancel.signal_number();
+  }
+  return kExitNonConvergence;  // deadline (or programmatic cancel)
+}
 
 int usage() {
   std::cerr
@@ -58,7 +95,7 @@ int usage() {
          "[--method gth|lu|power|gauss-seidel]\n"
          "  rascal_cli lint   MODEL.rasc [--set NAME=VALUE ...] [--json]"
          " [--werror]\n"
-         "             (static analysis; exit 1 on errors, or on"
+         "             (static analysis; exit 3 on errors, or on"
          " warnings with --werror)\n"
          "  rascal_cli states MODEL.rasc [--set NAME=VALUE ...]\n"
          "  rascal_cli sweep  MODEL.rasc --param NAME --from A --to B\n"
@@ -86,8 +123,23 @@ int usage() {
          "  global flags (any subcommand):\n"
          "    --trace FILE   write a Chrome trace-event JSON"
          " (chrome://tracing, Perfetto)\n"
-         "    --stats        print the telemetry summary to stderr\n";
-  return 2;
+         "    --stats        print the telemetry summary to stderr\n"
+         "    --deadline SECS       cooperative wall-clock budget;"
+         " drains and exits 4\n"
+         "    --max-iter-budget N   cap iterative-solver iterations"
+         " per solve\n"
+         "\n"
+         "  resilience flags (uncertainty, campaign):\n"
+         "    --checkpoint FILE  write periodic atomic checkpoints of"
+         " completed indices\n"
+         "    --resume           continue from FILE; resumed output is"
+         " byte-identical\n"
+         "\n"
+         "  exit codes: 0 ok; 1 internal error; 2 usage; 3 model/"
+         "validation error;\n"
+         "    4 nonconvergence or deadline; 128+N interrupted by"
+         " signal N\n";
+  return kExitUsage;
 }
 
 struct Arguments {
@@ -121,6 +173,12 @@ struct Arguments {
   // global observability flags
   std::string trace_path;  // empty = no trace file
   bool stats = false;      // print telemetry summary to stderr
+
+  // resilience flags
+  std::string checkpoint_path;     // empty = no checkpointing
+  bool resume = false;             // continue from checkpoint_path
+  double deadline_seconds = 0.0;   // 0 = no deadline
+  std::size_t max_iter_budget = 0; // 0 = library default
 };
 
 bool parse_double(const char* text, double& out) {
@@ -175,6 +233,16 @@ bool parse_uint64(const char* text, std::uint64_t& out) {
   } catch (const std::exception&) {
     return false;
   }
+}
+
+const char* method_name(ctmc::SteadyStateMethod method) {
+  switch (method) {
+    case ctmc::SteadyStateMethod::kGth: return "gth";
+    case ctmc::SteadyStateMethod::kLu: return "lu";
+    case ctmc::SteadyStateMethod::kPower: return "power";
+    case ctmc::SteadyStateMethod::kGaussSeidel: return "gauss-seidel";
+  }
+  return "unknown";
 }
 
 bool parse_method(const std::string& name, ctmc::SteadyStateMethod& out) {
@@ -251,6 +319,18 @@ bool parse_arguments(int argc, char** argv, Arguments& args) {
       args.trace_path = value;
     } else if (flag == "--stats") {
       args.stats = true;
+    } else if (flag == "--checkpoint") {
+      const char* value = next();
+      if (!value) return false;
+      args.checkpoint_path = value;
+    } else if (flag == "--resume") {
+      args.resume = true;
+    } else if (flag == "--deadline") {
+      const char* value = next();
+      if (!value || !parse_double(value, args.deadline_seconds)) return false;
+    } else if (flag == "--max-iter-budget") {
+      const char* value = next();
+      if (!value || !parse_size(value, args.max_iter_budget)) return false;
     } else if (flag == "--update-golden") {
       args.update_golden = true;
     } else if (flag == "--json") {
@@ -284,13 +364,57 @@ void print_metrics(const core::AvailabilityMetrics& m) {
   std::printf("expected reward rate: %.9f\n", m.expected_reward_rate);
 }
 
+// SolveControl for the interactive solve paths: iteration budget from
+// --max-iter-budget, the process cancel token, and GTH escalation so a
+// nonconverging iterative method still yields a trustworthy pi (with a
+// stderr warning) instead of dying.
+ctmc::SolveControl interactive_solve_control(const Arguments& args) {
+  ctmc::SolveControl control;
+  control.max_iterations = args.max_iter_budget;
+  control.cancel = &g_cancel;
+  control.escalate = true;
+  return control;
+}
+
+// Batch solves (uncertainty samples): no escalation — a sample whose
+// solve fails is recorded with its parameter draw and dropped, which
+// keeps the failure visible in the final report instead of silently
+// switching methods mid-campaign.
+ctmc::SolveControl batch_solve_control(const Arguments& args) {
+  ctmc::SolveControl control;
+  control.max_iterations = args.max_iter_budget;
+  control.cancel = &g_cancel;
+  control.escalate = false;
+  return control;
+}
+
+// Nonconvergence must reach the user, not just an obs counter: warn
+// about escalations and return kExitNonConvergence when the printed pi
+// failed its residual check.
+int report_solve_quality(const ctmc::SteadyState& steady,
+                         const Arguments& args) {
+  if (steady.escalated) {
+    std::cerr << "warning: method '" << method_name(args.method)
+              << "' did not produce a usable solution; escalated to GTH\n";
+  }
+  if (steady.residual > kResidualWarnLimit) {
+    std::cerr << "warning: steady-state residual " << steady.residual
+              << " exceeds " << kResidualWarnLimit
+              << "; the printed solution did not converge\n";
+    return kExitNonConvergence;
+  }
+  return kExitOk;
+}
+
 int run_solve(const Arguments& args) {
   const io::ModelFile file = io::load_model(args.model_path);
   if (!file.name.empty()) std::printf("model: %s\n\n", file.name.c_str());
   const ctmc::Ctmc chain = file.bind(args.overrides);
-  const auto steady = ctmc::solve_steady_state(chain, args.method);
+  const auto steady = ctmc::solve_steady_state(
+      chain, args.method, ctmc::Validation::kOn,
+      interactive_solve_control(args));
   print_metrics(core::availability_metrics(chain, steady));
-  return 0;
+  return report_solve_quality(steady, args);
 }
 
 int run_lint(const Arguments& args) {
@@ -313,15 +437,19 @@ int run_lint(const Arguments& args) {
   }
   std::cout << (args.json ? report::render_diagnostics_json(report)
                           : report::render_diagnostics_text(report));
-  if (report.has_errors()) return 1;
-  if (args.werror && report.count(lint::Severity::kWarning) > 0) return 1;
-  return 0;
+  if (report.has_errors()) return kExitModelError;
+  if (args.werror && report.count(lint::Severity::kWarning) > 0) {
+    return kExitModelError;
+  }
+  return kExitOk;
 }
 
 int run_states(const Arguments& args) {
   const io::ModelFile file = io::load_model(args.model_path);
   const ctmc::Ctmc chain = file.bind(args.overrides);
-  const auto steady = ctmc::solve_steady_state(chain, args.method);
+  const auto steady = ctmc::solve_steady_state(
+      chain, args.method, ctmc::Validation::kOn,
+      interactive_solve_control(args));
   report::TextTable table({"State", "Reward", "Probability",
                            "Minutes/year"});
   for (ctmc::StateId s = 0; s < chain.num_states(); ++s) {
@@ -332,7 +460,7 @@ int run_states(const Arguments& args) {
                        steady.probability(s) * 8760.0 * 60.0, 3)});
   }
   std::cout << table.to_string();
-  return 0;
+  return report_solve_quality(steady, args);
 }
 
 int run_sweep(const Arguments& args) {
@@ -340,11 +468,13 @@ int run_sweep(const Arguments& args) {
     return usage();
   }
   const io::ModelFile file = io::load_model(args.model_path);
+  const ctmc::SolveControl control = interactive_solve_control(args);
   const analysis::ModelFunction metric_fn =
       [&](const expr::ParameterSet& params) {
         const auto m = core::availability_metrics(
             file.model.bind(params),
-            ctmc::solve_steady_state(file.model.bind(params), args.method));
+            ctmc::solve_steady_state(file.model.bind(params), args.method,
+                                     ctmc::Validation::kOn, control));
         if (args.metric == "downtime") return m.downtime_minutes_per_year;
         if (args.metric == "mtbf") return m.mtbf_hours;
         return m.availability;
@@ -375,7 +505,7 @@ int run_mttf(const Arguments& args) {
   const auto down_states = chain.states_with_reward_below(0.5);
   if (down_states.empty()) {
     std::cerr << "error: the model has no down states\n";
-    return 1;
+    return kExitModelError;
   }
   const ctmc::StateId start =
       args.start_state.empty() ? 0 : chain.state(args.start_state);
@@ -454,9 +584,51 @@ int run_golden(const Arguments& args) {
   if (!all_ok) {
     std::cerr << "golden mismatch; if the drift is intentional, rerun with "
                  "--update-golden\n";
-    return 1;
+    return kExitModelError;
   }
-  return 0;
+  return kExitOk;
+}
+
+// Shared --checkpoint/--resume handling: builds the Checkpointer
+// in place (it holds a mutex, so it cannot be moved or returned by
+// value), verifying kind/digest/total, refusing to clobber an existing
+// checkpoint without --resume, and reporting progress on stderr so
+// stdout stays byte-comparable across interrupted/resumed runs.
+// Returns the exit code to bail out with, or kExitOk to proceed.
+int open_checkpoint(const Arguments& args, const char* kind,
+                    std::uint64_t digest, std::uint64_t total,
+                    std::optional<resil::Checkpointer>& checkpoint) {
+  if (args.checkpoint_path.empty()) {
+    if (args.resume) {
+      std::cerr << "error: --resume requires --checkpoint FILE\n";
+      return kExitUsage;
+    }
+    return kExitOk;
+  }
+  if (resil::checkpoint_file_exists(args.checkpoint_path) && !args.resume) {
+    std::cerr << "error: checkpoint '" << args.checkpoint_path
+              << "' already exists; pass --resume to continue it or "
+                 "delete it to start over\n";
+    return kExitModelError;
+  }
+  checkpoint.emplace(args.checkpoint_path, kind, digest, total);
+  if (resil::checkpoint_file_exists(args.checkpoint_path)) {
+    const std::size_t restored = checkpoint->resume_from_disk();
+    std::cerr << "resuming from checkpoint '" << args.checkpoint_path
+              << "': " << restored << "/" << total
+              << " indices already done\n";
+  } else if (args.resume) {
+    std::cerr << "note: --resume given but checkpoint '"
+              << args.checkpoint_path
+              << "' does not exist; starting fresh\n";
+  }
+  return kExitOk;
+}
+
+void print_partial_marker(const char* what, const std::string& reason,
+                          std::size_t done, std::size_t total) {
+  std::printf("*** PARTIAL RESULTS: interrupted (%s) after %zu/%zu %s ***\n",
+              reason.c_str(), done, total, what);
 }
 
 int run_uncertainty(const Arguments& args) {
@@ -465,11 +637,13 @@ int run_uncertainty(const Arguments& args) {
     return usage();
   }
   const io::ModelFile file = io::load_model(args.model_path);
+  const ctmc::SolveControl solve_control = batch_solve_control(args);
   const analysis::ModelFunction metric_fn =
       [&](const expr::ParameterSet& params) {
         const auto m = core::availability_metrics(
             file.model.bind(params),
-            ctmc::solve_steady_state(file.model.bind(params), args.method));
+            ctmc::solve_steady_state(file.model.bind(params), args.method,
+                                     ctmc::Validation::kOn, solve_control));
         if (args.metric == "downtime") return m.downtime_minutes_per_year;
         if (args.metric == "mtbf") return m.mtbf_hours;
         return m.availability;
@@ -479,9 +653,25 @@ int run_uncertainty(const Arguments& args) {
   options.seed = args.seed;
   options.latin_hypercube = args.latin_hypercube;
   options.threads = args.threads;
+  options.control.cancel = &g_cancel;
+  options.control.skip_failures = true;
+
+  std::optional<resil::Checkpointer> checkpoint;
+  const int checkpoint_error = open_checkpoint(
+      args, "uncertainty",
+      analysis::uncertainty_checkpoint_digest(options, args.ranges),
+      options.samples, checkpoint);
+  if (checkpoint_error != kExitOk) return checkpoint_error;
+  if (checkpoint) options.control.checkpoint = &*checkpoint;
+
   const auto result = analysis::uncertainty_analysis(
       metric_fn, file.parameters.with(args.overrides), args.ranges, options);
 
+  if (result.interrupted) {
+    print_partial_marker("samples", result.interrupt_reason,
+                         result.completed + result.failures.size(),
+                         result.requested);
+  }
   if (!file.name.empty()) std::printf("model: %s\n", file.name.c_str());
   std::printf("metric: %s over %zu %s samples\n\n", args.metric.c_str(),
               args.samples, args.latin_hypercube ? "Latin-hypercube"
@@ -504,7 +694,26 @@ int run_uncertainty(const Arguments& args) {
     // Five-9s = 5.25 downtime minutes per year (paper Section 7).
     std::printf("P(five-9s)  : %.4f\n", result.fraction_below(5.26));
   }
-  return 0;
+  if (!result.failures.empty()) {
+    std::printf("\ndropped samples (%zu of %zu; solves failed, parameter "
+                "draws recorded):\n",
+                result.failures.size(), result.requested);
+    for (const analysis::SampleFailure& failure : result.failures) {
+      std::printf("  sample %zu:", failure.index);
+      for (std::size_t d = 0; d < args.ranges.size(); ++d) {
+        std::printf(" %s=%.9g", args.ranges[d].name.c_str(),
+                    failure.parameters[d]);
+      }
+      std::printf("\n    error: %s\n", failure.error.c_str());
+    }
+  }
+  if (checkpoint) {
+    std::cerr << "checkpoint written to '" << checkpoint->path() << "' ("
+              << checkpoint->size() << "/" << checkpoint->total()
+              << " indices)\n";
+  }
+  if (result.interrupted) return interrupted_exit_code();
+  return kExitOk;
 }
 
 int run_campaign_cmd(const Arguments& args) {
@@ -513,8 +722,24 @@ int run_campaign_cmd(const Arguments& args) {
   if (args.seed_set) options.seed = args.seed;
   options.threads = args.threads;
   options.recovery.true_imperfect_recovery = args.true_fir;
+  options.control.cancel = &g_cancel;
+  options.control.skip_failures = true;
+
+  std::optional<resil::Checkpointer> checkpoint;
+  const int checkpoint_error =
+      open_checkpoint(args, "campaign",
+                      faultinj::campaign_checkpoint_digest(options),
+                      options.trials, checkpoint);
+  if (checkpoint_error != kExitOk) return checkpoint_error;
+  if (checkpoint) options.control.checkpoint = &*checkpoint;
+
   const faultinj::CampaignResult result = faultinj::run_campaign(options);
 
+  if (result.interrupted) {
+    print_partial_marker("trials", result.interrupt_reason,
+                         result.trials + result.failures.size(),
+                         result.requested);
+  }
   std::printf("trials              : %llu\n",
               static_cast<unsigned long long>(result.trials));
   std::printf("successes           : %llu\n",
@@ -536,7 +761,20 @@ int run_campaign_cmd(const Arguments& args) {
   add_summary("moderate workload", result.recovery_by_workload[1]);
   add_summary("full workload", result.recovery_by_workload[2]);
   std::cout << table.to_string();
-  return 0;
+  if (!result.failures.empty()) {
+    std::printf("\ndropped trials (%zu of %zu; recorded and skipped):\n",
+                result.failures.size(), result.requested);
+    for (const faultinj::TrialFailure& failure : result.failures) {
+      std::printf("  trial %zu: %s\n", failure.trial, failure.error.c_str());
+    }
+  }
+  if (checkpoint) {
+    std::cerr << "checkpoint written to '" << checkpoint->path() << "' ("
+              << checkpoint->size() << "/" << checkpoint->total()
+              << " indices)\n";
+  }
+  if (result.interrupted) return interrupted_exit_code();
+  return kExitOk;
 }
 
 int run_dot(const Arguments& args) {
@@ -583,6 +821,17 @@ void finalize_telemetry(const Arguments& args, obs::TraceSession& session) {
 int main(int argc, char** argv) {
   Arguments args;
   if (!parse_arguments(argc, argv, args)) return usage();
+  // Long-running commands drain cooperatively on SIGINT/SIGTERM: the
+  // handler latches g_cancel, workers finish their current index, the
+  // final checkpoint is flushed, and partial results are printed.  For
+  // the quick interactive commands default signal disposition (kill) is
+  // the right behaviour, so handlers are not installed there.
+  if (args.command == "uncertainty" || args.command == "campaign") {
+    resil::install_signal_handlers(g_cancel);
+  }
+  if (args.deadline_seconds > 0.0) {
+    g_cancel.set_deadline_after(args.deadline_seconds);
+  }
   // Telemetry is opt-in: without these flags collection stays disabled
   // and the instrumentation in the libraries reduces to one relaxed
   // atomic load per site.  Event recording (per-span trace entries) is
@@ -593,13 +842,36 @@ int main(int argc, char** argv) {
     options.collect_events = !args.trace_path.empty();
     session.emplace(options);
   }
+  int code = kExitOk;
   try {
-    const int code = dispatch(args);
-    if (session) finalize_telemetry(args, *session);
-    return code;
+    code = dispatch(args);
+  } catch (const resil::CancelledError& e) {
+    // A solve or simulation aborted mid-flight (deadline or signal on a
+    // command without index-granular draining).
+    std::cerr << "cancelled: " << e.what() << "\n";
+    code = interrupted_exit_code();
+  } catch (const ctmc::NonConvergenceError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    code = kExitNonConvergence;
+  } catch (const resil::CheckpointError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    code = kExitModelError;
+  } catch (const io::ModelFileError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    code = kExitModelError;
+  } catch (const lint::LintError& e) {  // derives from std::domain_error
+    std::cerr << "error: " << e.what() << "\n";
+    code = kExitModelError;
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    code = kExitModelError;
+  } catch (const std::domain_error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    code = kExitModelError;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    if (session) finalize_telemetry(args, *session);
-    return 1;
+    code = kExitInternal;
   }
+  if (session) finalize_telemetry(args, *session);
+  return code;
 }
