@@ -14,9 +14,10 @@ int main() {
   std::cout << "=== Figure 5: Availability vs AS HW/OS recovery time, "
                "Config 1 ===\n\n";
 
-  const analysis::ModelFunction availability =
-      [](const expr::ParameterSet& params) {
-        return models::solve_jsas(models::JsasConfig::config1(), params)
+  const analysis::ContextModelFunction availability =
+      [](const expr::ParameterSet& params, ctmc::SolveCache& cache) {
+        return models::solve_jsas(models::JsasConfig::config1(), params,
+                                  cache)
             .availability;
       };
   const auto xs = analysis::linspace(0.5, 3.0, 11);

@@ -15,9 +15,10 @@ int main() {
   std::cout << "=== Figure 6: Availability vs AS HW/OS recovery time, "
                "Config 2 ===\n\n";
 
-  const analysis::ModelFunction availability =
-      [](const expr::ParameterSet& params) {
-        return models::solve_jsas(models::JsasConfig::config2(), params)
+  const analysis::ContextModelFunction availability =
+      [](const expr::ParameterSet& params, ctmc::SolveCache& cache) {
+        return models::solve_jsas(models::JsasConfig::config2(), params,
+                                  cache)
             .availability;
       };
   const auto xs = analysis::linspace(0.5, 3.0, 11);

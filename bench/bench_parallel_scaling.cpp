@@ -46,9 +46,10 @@ struct Scaling {
 Scaling time_uncertainty(std::size_t samples) {
   const models::JsasConfig config = models::JsasConfig::config1();
   const auto ranges = benchutil::paper_ranges();
-  const analysis::ModelFunction model =
-      [&config](const expr::ParameterSet& params) {
-        return models::solve_jsas(config, params).downtime_minutes_per_year;
+  const analysis::ContextModelFunction model =
+      [&config](const expr::ParameterSet& params, ctmc::SolveCache& cache) {
+        return models::solve_jsas(config, params, cache)
+            .downtime_minutes_per_year;
       };
 
   Scaling scaling;

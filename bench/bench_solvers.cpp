@@ -3,11 +3,15 @@
 // on the stiff JSAS models.  google-benchmark binary.
 #include <benchmark/benchmark.h>
 
+#include "ctmc/solve_cache.h"
 #include "ctmc/steady_state.h"
+#include "expr/parameter_set.h"
 #include "linalg/gth.h"
 #include "linalg/iterative.h"
+#include "linalg/workspace.h"
 #include "models/app_server.h"
 #include "models/hadb_pair.h"
+#include "models/jsas_system.h"
 #include "models/params.h"
 
 namespace {
@@ -37,6 +41,66 @@ void BM_LuSteadyState(benchmark::State& state) {
   state.counters["states"] = static_cast<double>(chain.num_states());
 }
 BENCHMARK(BM_LuSteadyState)->Arg(2)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+// Workspace-reusing variants (ISSUE 6 tentpole): same solves through
+// a per-caller SolveWorkspace, so the factor/pivot/scratch storage is
+// allocated once instead of per solve.  Results are bit-identical to
+// the fresh path (gated by check_workspace_consensus).
+void BM_GthSteadyStateWorkspace(benchmark::State& state) {
+  const auto chain = as_chain(static_cast<std::size_t>(state.range(0)));
+  linalg::SolveWorkspace workspace;
+  ctmc::SolveControl control;
+  control.workspace = &workspace;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctmc::solve_steady_state(
+        chain, ctmc::SteadyStateMethod::kGth, ctmc::Validation::kOn,
+        control));
+  }
+  state.counters["states"] = static_cast<double>(chain.num_states());
+}
+BENCHMARK(BM_GthSteadyStateWorkspace)->Arg(2)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_LuSteadyStateWorkspace(benchmark::State& state) {
+  const auto chain = as_chain(static_cast<std::size_t>(state.range(0)));
+  linalg::SolveWorkspace workspace;
+  ctmc::SolveControl control;
+  control.workspace = &workspace;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctmc::solve_steady_state(
+        chain, ctmc::SteadyStateMethod::kLu, ctmc::Validation::kOn,
+        control));
+  }
+  state.counters["states"] = static_cast<double>(chain.num_states());
+}
+BENCHMARK(BM_LuSteadyStateWorkspace)->Arg(2)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+// The fig7 per-sample path: one full JSAS solve per parameter draw
+// through a SolveCache.  The miss variant perturbs a parameter every
+// iteration (every draw re-solves, as uncertainty analysis does); the
+// hit variant repeats identical parameters (the generator digest
+// short-circuits the solve).
+void BM_JsasSolveCacheMiss(benchmark::State& state) {
+  const auto config = models::JsasConfig::config1();
+  ctmc::SolveCache cache;
+  expr::ParameterSet params = models::default_parameters();
+  double bump = 0.0;
+  for (auto _ : state) {
+    params.set("as_Tstart_long", 1.0 + bump);
+    bump += 1e-9;
+    benchmark::DoNotOptimize(models::solve_jsas(config, params, cache));
+  }
+}
+BENCHMARK(BM_JsasSolveCacheMiss);
+
+void BM_JsasSolveCacheHit(benchmark::State& state) {
+  const auto config = models::JsasConfig::config1();
+  ctmc::SolveCache cache;
+  const expr::ParameterSet params = models::default_parameters();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(models::solve_jsas(config, params, cache));
+  }
+}
+BENCHMARK(BM_JsasSolveCacheHit);
 
 // Iterative solvers on a *mild* chain (they do not converge in
 // reasonable time on the stiff AS chain — that observation is the

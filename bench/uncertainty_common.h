@@ -46,8 +46,9 @@ inline void run_uncertainty_figure(const models::JsasConfig& config,
   options.samples = 1000;
   options.seed = 2004;
   const auto result = analysis::uncertainty_analysis(
-      [&config](const expr::ParameterSet& params) {
-        return models::solve_jsas(config, params).downtime_minutes_per_year;
+      [&config](const expr::ParameterSet& params, ctmc::SolveCache& cache) {
+        return models::solve_jsas(config, params, cache)
+            .downtime_minutes_per_year;
       },
       models::default_parameters(), paper_ranges(), options);
 

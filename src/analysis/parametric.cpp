@@ -32,4 +32,25 @@ std::vector<SweepPoint> parametric_sweep(const ModelFunction& model,
       });
 }
 
+std::vector<SweepPoint> parametric_sweep(const ContextModelFunction& model,
+                                         const expr::ParameterSet& base,
+                                         const std::string& parameter,
+                                         const std::vector<double>& values,
+                                         std::size_t threads) {
+  std::vector<SweepPoint> out(values.size());
+  core::parallel_for(values.size(), core::resolve_threads(threads),
+                     [&](std::size_t begin, std::size_t end) {
+                       // Chunk-local = worker-local: the cache and the
+                       // parameter set are copied once per chunk, and
+                       // each point only rebinds the swept parameter.
+                       ctmc::SolveCache cache;
+                       expr::ParameterSet params = base;
+                       for (std::size_t i = begin; i < end; ++i) {
+                         params.set(parameter, values[i]);
+                         out[i] = {values[i], model(params, cache)};
+                       }
+                     });
+  return out;
+}
+
 }  // namespace rascal::analysis

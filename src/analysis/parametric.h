@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "ctmc/solve_cache.h"
 #include "expr/parameter_set.h"
 
 namespace rascal::analysis {
@@ -14,6 +15,14 @@ namespace rascal::analysis {
 /// A scalar model output as a function of parameter bindings, e.g.
 /// "system availability of Config 1" or "yearly downtime of Config 2".
 using ModelFunction = std::function<double(const expr::ParameterSet&)>;
+
+/// Context-aware model: additionally receives a worker-local
+/// SolveCache, letting the hot path reuse factorisation scratch and
+/// memoized solves across a whole batch instead of allocating per
+/// evaluation.  The cache never changes results (oracle-gated), so a
+/// context model must return the same bits as its plain counterpart.
+using ContextModelFunction =
+    std::function<double(const expr::ParameterSet&, ctmc::SolveCache&)>;
 
 /// `count` evenly spaced values covering [lo, hi] inclusive.
 /// count >= 2; throws std::invalid_argument otherwise.
@@ -32,6 +41,15 @@ struct SweepPoint {
 /// threads != 1 requires `model` to be safe to call concurrently.
 [[nodiscard]] std::vector<SweepPoint> parametric_sweep(
     const ModelFunction& model, const expr::ParameterSet& base,
+    const std::string& parameter, const std::vector<double>& values,
+    std::size_t threads = 1);
+
+/// Context-aware overload: each worker evaluates its points through
+/// its own SolveCache and a parameter set copied once per chunk, so a
+/// sweep performs O(workers) instead of O(points) solver allocations.
+/// Point values are bit-identical to the plain overload.
+[[nodiscard]] std::vector<SweepPoint> parametric_sweep(
+    const ContextModelFunction& model, const expr::ParameterSet& base,
     const std::string& parameter, const std::vector<double>& values,
     std::size_t threads = 1);
 

@@ -48,6 +48,20 @@ UncertaintyResult uncertainty_analysis(
     const ModelFunction& model, const expr::ParameterSet& base,
     const std::vector<stats::ParameterRange>& ranges,
     const UncertaintyOptions& options) {
+  // The context path only threads extra scratch through; ignoring the
+  // cache makes it evaluate the identical operation sequence.
+  return uncertainty_analysis(
+      ContextModelFunction(
+          [&model](const expr::ParameterSet& params, ctmc::SolveCache&) {
+            return model(params);
+          }),
+      base, ranges, options);
+}
+
+UncertaintyResult uncertainty_analysis(
+    const ContextModelFunction& model, const expr::ParameterSet& base,
+    const std::vector<stats::ParameterRange>& ranges,
+    const UncertaintyOptions& options) {
   const obs::Span span("analysis.uncertainty");
   if (options.samples == 0) {
     throw std::invalid_argument("uncertainty_analysis: zero samples");
@@ -105,14 +119,22 @@ UncertaintyResult uncertainty_analysis(
   core::parallel_for(
       n, core::resolve_threads(options.threads),
       [&](std::size_t begin, std::size_t end) {
+        // Chunk-local = worker-local: the solver cache and the
+        // parameter set are set up once per chunk.  Every draw
+        // overrides every ranged parameter, so reusing the set leaves
+        // exactly the same bindings sample_parameters() would build.
+        ctmc::SolveCache cache;
+        expr::ParameterSet params = base;
         for (std::size_t i = begin; i < end; ++i) {
           if (status[i] != 0) continue;  // restored from checkpoint
           if (cancel != nullptr && cancel->cancelled()) return;  // drain
           try {
             resil::chaos::worker_hook(i);
             const obs::Span sample_span("analysis.uncertainty.sample");
-            metrics[i] =
-                model(sample_parameters(base, ranges, draws[i]));
+            for (std::size_t d = 0; d < ranges.size(); ++d) {
+              params.set(ranges[d].name, draws[i][d]);
+            }
+            metrics[i] = model(params, cache);
             status[i] = 1;
             if (checkpoint != nullptr) {
               checkpoint->record({i, resil::EntryStatus::kOk,

@@ -89,4 +89,14 @@ struct UncertaintyResult {
     const std::vector<stats::ParameterRange>& ranges,
     const UncertaintyOptions& options = {});
 
+/// Context-aware overload (the hot path): each worker chunk owns one
+/// SolveCache and one parameter-set copy of `base`, so a thousand
+/// samples perform O(workers) solver allocations instead of
+/// O(samples).  Metrics are bit-identical to the plain overload at any
+/// thread count (oracle-gated).
+[[nodiscard]] UncertaintyResult uncertainty_analysis(
+    const ContextModelFunction& model, const expr::ParameterSet& base,
+    const std::vector<stats::ParameterRange>& ranges,
+    const UncertaintyOptions& options = {});
+
 }  // namespace rascal::analysis

@@ -4,9 +4,11 @@
 #include <sstream>
 
 #include "core/metrics.h"
+#include "ctmc/solve_cache.h"
 #include "ctmc/steady_state.h"
 #include "ctmc/transient.h"
 #include "linalg/expm.h"
+#include "linalg/workspace.h"
 
 namespace rascal::check {
 
@@ -170,6 +172,144 @@ OracleReport check_transient_consensus(const ctmc::Ctmc& chain, double t,
   for (double x : uni.probabilities) mass += x;
   report.expect_close("uniformization mass", mass, 1.0,
                       options.transient_tolerance);
+  return report;
+}
+
+OracleReport check_workspace_consensus(const ctmc::Ctmc& chain, double t,
+                                       const OracleOptions& options) {
+  std::vector<ctmc::SteadyStateMethod> methods = {
+      ctmc::SteadyStateMethod::kGth, ctmc::SteadyStateMethod::kLu};
+  if (options.include_iterative) {
+    methods.push_back(ctmc::SteadyStateMethod::kPower);
+    methods.push_back(ctmc::SteadyStateMethod::kGaussSeidel);
+  }
+
+  OracleReport report;
+  // One workspace shared across all methods and repeats, so every
+  // solve after the first runs against deliberately dirty scratch.
+  linalg::SolveWorkspace workspace;
+  ctmc::SolveCache cache;
+  for (const auto method : methods) {
+    const std::string name = method_name(method);
+    ctmc::SteadyState fresh;
+    try {
+      fresh = ctmc::solve_steady_state(chain, method);
+    } catch (const std::exception&) {
+      // A method that honestly refuses the chain must refuse it the
+      // same way through a workspace; success would be divergence.
+      ++report.checks;
+      bool reused_threw = false;
+      try {
+        ctmc::SolveControl control;
+        control.workspace = &workspace;
+        (void)ctmc::solve_steady_state(chain, method, ctmc::Validation::kOn,
+                                       control);
+      } catch (const std::exception&) {
+        reused_threw = true;
+      }
+      if (!reused_threw) {
+        report.failures.push_back(name +
+                                  ": fresh solve threw but workspace "
+                                  "solve succeeded");
+      }
+      continue;
+    }
+
+    ctmc::SolveControl control;
+    control.workspace = &workspace;
+    for (int rep = 0; rep < 2; ++rep) {
+      const auto reused = ctmc::solve_steady_state(
+          chain, method, ctmc::Validation::kOn, control);
+      const std::string what =
+          name + " workspace rep " + std::to_string(rep);
+      for (std::size_t s = 0; s < chain.num_states(); ++s) {
+        report.expect_close(what + " pi[" + chain.state_name(s) + "]",
+                            reused.probabilities[s], fresh.probabilities[s],
+                            0.0);
+      }
+      report.expect_close(what + " residual", reused.residual, fresh.residual,
+                          0.0);
+    }
+
+    // Single-entry memo: the first call per method misses (the key
+    // changed), the second must hit and both must match fresh exactly.
+    const ctmc::SteadyState first = cache.steady_state(chain, method);
+    const std::uint64_t hits_before = cache.hits();
+    const ctmc::SteadyState second = cache.steady_state(chain, method);
+    ++report.checks;
+    if (cache.hits() != hits_before + 1) {
+      report.failures.push_back(name + ": repeated cache solve did not hit");
+    }
+    for (std::size_t s = 0; s < chain.num_states(); ++s) {
+      report.expect_close(name + " cache pi[" + chain.state_name(s) + "]",
+                          first.probabilities[s], fresh.probabilities[s], 0.0);
+      report.expect_close(name + " cache hit pi[" + chain.state_name(s) + "]",
+                          second.probabilities[s], fresh.probabilities[s],
+                          0.0);
+    }
+  }
+
+  // Transient distribution through the (still dirty) workspace.
+  const auto fresh_dist =
+      ctmc::transient_distribution(chain, ctmc::StateId{0}, t);
+  ctmc::TransientOptions ws_options;
+  ws_options.workspace = &workspace;
+  for (int rep = 0; rep < 2; ++rep) {
+    const auto reused =
+        ctmc::transient_distribution(chain, ctmc::StateId{0}, t, ws_options);
+    const std::string what = "transient workspace rep " + std::to_string(rep);
+    for (std::size_t s = 0; s < chain.num_states(); ++s) {
+      report.expect_close(what + " pi_t[" + chain.state_name(s) + "]",
+                          reused.probabilities[s], fresh_dist.probabilities[s],
+                          0.0);
+    }
+    ++report.checks;
+    if (reused.terms != fresh_dist.terms) {
+      report.failures.push_back(what + ": Poisson term count diverged");
+    }
+  }
+
+  // Batched multi-RHS interval rewards: entry j must match a
+  // standalone single-set evaluation, and the chain-reward set must
+  // match the scalar expected_interval_reward path.
+  linalg::Vector initial(chain.num_states(), 0.0);
+  initial[0] = 1.0;
+  std::vector<linalg::Vector> reward_sets;
+  linalg::Vector chain_rewards(chain.num_states(), 0.0);
+  for (std::size_t s = 0; s < chain.num_states(); ++s) {
+    chain_rewards[s] = chain.reward(s);
+  }
+  reward_sets.push_back(chain_rewards);
+  reward_sets.emplace_back(chain.num_states(), 1.0);
+  linalg::Vector ramp(chain.num_states(), 0.0);
+  for (std::size_t s = 0; s < chain.num_states(); ++s) {
+    ramp[s] = static_cast<double>(s + 1);
+  }
+  reward_sets.push_back(ramp);
+
+  const auto batched =
+      ctmc::expected_interval_rewards(chain, initial, t, reward_sets,
+                                      ws_options);
+  const auto scalar = ctmc::expected_interval_reward(chain, initial, t);
+  report.expect_close("batched[chain rewards] vs scalar accumulated",
+                      batched[0].accumulated_reward, scalar.accumulated_reward,
+                      0.0);
+  report.expect_close("batched[chain rewards] vs scalar time-averaged",
+                      batched[0].time_averaged, scalar.time_averaged, 0.0);
+  for (std::size_t j = 0; j < reward_sets.size(); ++j) {
+    const auto lone =
+        ctmc::expected_interval_rewards(chain, initial, t, {reward_sets[j]})
+            .front();
+    const std::string what = "batched[" + std::to_string(j) + "]";
+    report.expect_close(what + " accumulated", batched[j].accumulated_reward,
+                        lone.accumulated_reward, 0.0);
+    report.expect_close(what + " time-averaged", batched[j].time_averaged,
+                        lone.time_averaged, 0.0);
+    ++report.checks;
+    if (batched[j].terms != lone.terms) {
+      report.failures.push_back(what + ": Poisson term count diverged");
+    }
+  }
   return report;
 }
 

@@ -79,4 +79,13 @@ struct OracleOptions {
     const ctmc::Ctmc& chain, const sim::CtmcSimOptions& sim_options,
     const OracleOptions& options = {});
 
+/// Bit-identity gate for the allocation-free solve hot path: solves
+/// through a reused (and deliberately dirty) SolveWorkspace, repeated
+/// SolveCache hits, and batched multi-RHS interval rewards must all
+/// reproduce the fresh-allocation path exactly — tolerance zero —
+/// across every steady-state method in `options` and both transient
+/// evaluators (distribution and interval reward) at horizon `t`.
+[[nodiscard]] OracleReport check_workspace_consensus(
+    const ctmc::Ctmc& chain, double t, const OracleOptions& options = {});
+
 }  // namespace rascal::check

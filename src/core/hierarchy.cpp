@@ -35,18 +35,23 @@ HierarchicalModel& HierarchicalModel::set_root(ctmc::SymbolicCtmc root,
   return *this;
 }
 
-HierarchicalResult HierarchicalModel::solve(
-    const expr::ParameterSet& inputs,
-    ctmc::SteadyStateMethod method) const {
+HierarchicalResult HierarchicalModel::solve(const expr::ParameterSet& inputs,
+                                            ctmc::SteadyStateMethod method,
+                                            ctmc::SolveCache* cache) const {
   if (!has_root_) {
     throw std::logic_error("HierarchicalModel::solve: no root model set");
   }
   HierarchicalResult result;
   expr::ParameterSet params = inputs;
 
+  const auto solve_chain = [&](const ctmc::Ctmc& chain) {
+    return cache != nullptr ? cache->steady_state(chain, method)
+                            : ctmc::solve_steady_state(chain, method);
+  };
+
   for (const Submodel& sub : submodels_) {
     const ctmc::Ctmc chain = sub.model.bind(params);
-    ctmc::SteadyState steady = ctmc::solve_steady_state(chain, method);
+    ctmc::SteadyState steady = solve_chain(chain);
     SubmodelResult sr;
     sr.name = sub.name;
     sr.metrics = availability_metrics(chain, steady, sub.up_threshold);
@@ -74,7 +79,7 @@ HierarchicalResult HierarchicalModel::solve(
   }
 
   const ctmc::Ctmc root_chain = root_.bind(params);
-  result.root_steady = ctmc::solve_steady_state(root_chain, method);
+  result.root_steady = solve_chain(root_chain);
   result.system = availability_metrics(root_chain, result.root_steady,
                                        root_up_threshold_);
   result.effective_params = std::move(params);

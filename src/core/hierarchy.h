@@ -15,6 +15,7 @@
 
 #include "core/metrics.h"
 #include "ctmc/builder.h"
+#include "ctmc/solve_cache.h"
 #include "ctmc/steady_state.h"
 #include "expr/parameter_set.h"
 
@@ -71,9 +72,14 @@ class HierarchicalModel {
   /// Throws expr::UnknownParameterError when a referenced parameter is
   /// neither an input nor an earlier export, and std::logic_error when
   /// no root model has been set.
+  ///
+  /// An optional per-worker SolveCache supplies reusable solver
+  /// scratch and memoizes repeated generators; results are
+  /// bit-identical with and without one (oracle-gated).
   [[nodiscard]] HierarchicalResult solve(
       const expr::ParameterSet& inputs,
-      ctmc::SteadyStateMethod method = ctmc::SteadyStateMethod::kGth) const;
+      ctmc::SteadyStateMethod method = ctmc::SteadyStateMethod::kGth,
+      ctmc::SolveCache* cache = nullptr) const;
 
   [[nodiscard]] std::size_t num_submodels() const noexcept {
     return submodels_.size();

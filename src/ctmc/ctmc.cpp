@@ -114,16 +114,45 @@ linalg::Matrix Ctmc::generator() const {
   return q;
 }
 
+void Ctmc::write_generator(linalg::Matrix& q) const {
+  q.reshape(states_.size(), states_.size(), 0.0);
+  for (const Transition& t : transitions_) q(t.from, t.to) = t.rate;
+  for (StateId i = 0; i < states_.size(); ++i) q(i, i) = -exit_rates_[i];
+}
+
 linalg::CsrMatrix Ctmc::sparse_generator() const {
-  std::vector<linalg::Triplet> triplets;
-  triplets.reserve(transitions_.size() + states_.size());
-  for (const Transition& t : transitions_) {
-    triplets.push_back({t.from, t.to, t.rate});
+  // transitions_ is already sorted by (from, to) with merged duplicates
+  // and no self-loops, so each CSR row is the row's transitions with
+  // the diagonal spliced in at its sorted position.
+  const std::size_t n = states_.size();
+  std::vector<std::size_t> row_ptr(n + 1, 0);
+  std::vector<std::size_t> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(transitions_.size() + n);
+  values.reserve(transitions_.size() + n);
+  for (StateId i = 0; i < n; ++i) {
+    // Zero-exit states store no diagonal, matching the triplet-based
+    // assembly which dropped exact-zero sums.
+    bool diag_pending = exit_rates_[i] != 0.0;
+    for (std::size_t k = row_offsets_[i]; k < row_offsets_[i + 1]; ++k) {
+      const Transition& t = transitions_[k];
+      if (diag_pending && t.to > i) {
+        col_idx.push_back(i);
+        values.push_back(-exit_rates_[i]);
+        diag_pending = false;
+      }
+      col_idx.push_back(t.to);
+      values.push_back(t.rate);
+    }
+    if (diag_pending) {
+      col_idx.push_back(i);
+      values.push_back(-exit_rates_[i]);
+    }
+    row_ptr[i + 1] = col_idx.size();
   }
-  for (StateId i = 0; i < states_.size(); ++i) {
-    if (exit_rates_[i] != 0.0) triplets.push_back({i, i, -exit_rates_[i]});
-  }
-  return linalg::CsrMatrix(states_.size(), states_.size(), triplets);
+  return linalg::CsrMatrix::from_parts(n, n, std::move(row_ptr),
+                                       std::move(col_idx),
+                                       std::move(values));
 }
 
 bool Ctmc::is_irreducible() const {

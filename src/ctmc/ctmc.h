@@ -67,7 +67,13 @@ class Ctmc {
   /// Dense infinitesimal generator Q (diagonal = negative exit rate).
   [[nodiscard]] linalg::Matrix generator() const;
 
-  /// Sparse generator, diagonal included.
+  /// Writes the dense generator into caller-owned storage (reshaped to
+  /// n x n), so repeated solves through a SolveWorkspace reuse one
+  /// heap block instead of allocating per call.
+  void write_generator(linalg::Matrix& q) const;
+
+  /// Sparse generator, diagonal included.  Assembled straight into CSR
+  /// arrays from the sorted transition index — no triplet round trip.
   [[nodiscard]] linalg::CsrMatrix sparse_generator() const;
 
   /// True when every state can reach every other state.

@@ -1,0 +1,46 @@
+#include "ctmc/solve_cache.h"
+
+#include "obs/obs.h"
+#include "resil/checkpoint.h"
+
+namespace rascal::ctmc {
+
+std::uint64_t SolveCache::generator_digest(const Ctmc& chain) {
+  resil::DigestBuilder digest;
+  digest.add_u64(chain.num_states());
+  for (const Transition& t : chain.transitions()) {
+    digest.add_u64(t.from);
+    digest.add_u64(t.to);
+    digest.add_f64(t.rate);
+  }
+  return digest.value();
+}
+
+const SteadyState& SolveCache::steady_state(const Ctmc& chain,
+                                            SteadyStateMethod method,
+                                            Validation validation,
+                                            SolveControl control) {
+  resil::DigestBuilder key_builder;
+  key_builder.add_u64(generator_digest(chain));
+  key_builder.add_u64(static_cast<std::uint64_t>(method));
+  key_builder.add_u64(validation == Validation::kOn ? 1 : 0);
+  key_builder.add_u64(control.max_iterations);
+  key_builder.add_u64(control.escalate ? 1 : 0);
+  const std::uint64_t key = key_builder.value();
+
+  if (valid_ && key == key_) {
+    ++hits_;
+    if (obs::enabled()) obs::counter("ctmc.solve_cache.hits").add(1);
+    return cached_;
+  }
+  ++misses_;
+  if (obs::enabled()) obs::counter("ctmc.solve_cache.misses").add(1);
+  control.workspace = &workspace_;
+  valid_ = false;  // stay invalid if the solve throws
+  cached_ = solve_steady_state(chain, method, validation, control);
+  key_ = key;
+  valid_ = true;
+  return cached_;
+}
+
+}  // namespace rascal::ctmc

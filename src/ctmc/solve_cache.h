@@ -1,0 +1,60 @@
+// Memoized steady-state solving for batch drivers.
+//
+// Hierarchical models solve the same bound chain more than once per
+// sample (e.g. the availability metric and the downtime attribution
+// both need the root distribution), and batched drivers often sweep
+// parameters that leave some submodel generators untouched.  A
+// SolveCache keys the most recent solve by an exact digest of the
+// generator (state count plus every transition's endpoints and rate
+// bit pattern, via resil::DigestBuilder) and returns the stored
+// distribution on a match instead of re-running the factorisation.
+// Because the solvers are deterministic, a cache hit is bit-identical
+// to a fresh solve — gated by the src/check/ oracle.
+//
+// The cache also owns the worker's SolveWorkspace, so one object per
+// worker provides both memoization and allocation-free scratch.  Not
+// thread-safe; give each worker its own.
+#pragma once
+
+#include <cstdint>
+
+#include "ctmc/steady_state.h"
+
+namespace rascal::ctmc {
+
+class SolveCache {
+ public:
+  /// The reusable scratch threaded into every cached solve.
+  [[nodiscard]] linalg::SolveWorkspace& workspace() noexcept {
+    return workspace_;
+  }
+
+  /// As solve_steady_state(), but returns the stored result when the
+  /// chain's generator, the method, and the control knobs that affect
+  /// the numerics (max_iterations, escalate, validation) match the
+  /// previous call.  The cancellation token and workspace pointer are
+  /// excluded from the key: they never change the solution.
+  const SteadyState& steady_state(
+      const Ctmc& chain, SteadyStateMethod method = SteadyStateMethod::kGth,
+      Validation validation = Validation::kOn, SolveControl control = {});
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+  /// Drops the stored solve (the workspace keeps its capacity).
+  void invalidate() noexcept { valid_ = false; }
+
+  /// Exact structural digest of a chain's generator: state count plus
+  /// (from, to, rate-bits) of every merged transition.
+  [[nodiscard]] static std::uint64_t generator_digest(const Ctmc& chain);
+
+ private:
+  linalg::SolveWorkspace workspace_;
+  SteadyState cached_;
+  std::uint64_t key_ = 0;
+  bool valid_ = false;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace rascal::ctmc

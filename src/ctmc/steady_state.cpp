@@ -63,22 +63,68 @@ void record_escalation(SteadyStateMethod from) {
 // mean the solve is untrustworthy and (under escalation) GTH is used.
 constexpr double kDirectResidualLimit = 1e-8;
 
-linalg::Vector solve_lu(const Ctmc& chain) {
+// Writes the transposed generator with the last balance equation
+// replaced by the normalization row sum(pi) = 1 (the LU system).
+void write_lu_system(const Ctmc& chain, linalg::Matrix& a) {
+  const std::size_t n = chain.num_states();
+  a.reshape(n, n, 0.0);
+  for (const Transition& t : chain.transitions()) a(t.to, t.from) = t.rate;
+  for (std::size_t i = 0; i < n; ++i) a(i, i) = -chain.exit_rate(i);
+  for (std::size_t c = 0; c < n; ++c) a(n - 1, c) = 1.0;
+}
+
+void solve_lu(const Ctmc& chain, linalg::SolveWorkspace* ws,
+              linalg::Vector& pi) {
   // pi Q = 0  <=>  Q^T pi^T = 0.  Replace the last balance equation
   // with the normalization sum(pi) = 1 to obtain a nonsingular system.
   const std::size_t n = chain.num_states();
-  linalg::Matrix a = chain.generator().transposed();
-  for (std::size_t c = 0; c < n; ++c) a(n - 1, c) = 1.0;
-  linalg::Vector b(n, 0.0);
+  linalg::SolveWorkspace local;
+  if (ws == nullptr) ws = &local;
+  linalg::Matrix& a = ws->dense_storage();
+  write_lu_system(chain, a);
+  ws->lu().refactor(a);
+  linalg::Vector& b = ws->vec(0, n);
   b[n - 1] = 1.0;
-  linalg::Vector pi = linalg::solve_linear_system(std::move(a), b);
+  ws->lu().solve_into(b, pi);
   // Direct solves can leave tiny negative round-off in near-zero
   // probabilities; clamp and renormalize.
   for (double& p : pi) {
     if (p < 0.0 && p > -1e-12) p = 0.0;
   }
   linalg::normalize_to_sum_one(pi);
-  return pi;
+}
+
+// ||pi Q||_inf accumulated transition-wise from the sorted adjacency,
+// with the diagonal spliced in at its column-sorted position.  This
+// visits every (row, col) entry exactly once in the same order as a
+// CSR left-multiply of sparse_generator(), so the result is
+// bit-identical to the matrix-based residual without building a CSR
+// matrix per solve.
+double residual_inf(const Ctmc& chain, const linalg::Vector& pi,
+                    linalg::Vector& scratch) {
+  const std::size_t n = chain.num_states();
+  const std::vector<Transition>& ts = chain.transitions();
+  scratch.assign(n, 0.0);
+  std::size_t k = 0;
+  for (StateId i = 0; i < n; ++i) {
+    const double xi = pi[i];
+    if (xi == 0.0) {
+      while (k < ts.size() && ts[k].from == i) ++k;
+      continue;
+    }
+    const double exit = chain.exit_rate(i);
+    bool diag_pending = exit != 0.0;
+    while (k < ts.size() && ts[k].from == i) {
+      if (diag_pending && ts[k].to > i) {
+        scratch[i] += xi * -exit;
+        diag_pending = false;
+      }
+      scratch[ts[k].to] += xi * ts[k].rate;
+      ++k;
+    }
+    if (diag_pending) scratch[i] += xi * -exit;
+  }
+  return linalg::norm_inf(scratch);
 }
 
 }  // namespace
@@ -97,12 +143,21 @@ SteadyState solve_steady_state(const Ctmc& chain, SteadyStateMethod method,
   }
   iterative.cancel = control.cancel;
 
-  const auto residual_of = [&chain](const linalg::Vector& pi) {
-    return linalg::norm_inf(chain.sparse_generator().left_multiply(pi));
+  linalg::SolveWorkspace local_ws;
+  linalg::SolveWorkspace* ws =
+      control.workspace != nullptr ? control.workspace : &local_ws;
+
+  const auto residual_of = [&chain, ws](const linalg::Vector& pi) {
+    return residual_inf(chain, pi, ws->vec(1, 0));
+  };
+  const auto solve_gth = [&chain, ws](linalg::Vector& pi) {
+    linalg::Matrix& q = ws->dense_storage();
+    chain.write_generator(q);
+    linalg::gth_stationary_in(q, pi);
   };
   const auto escalate_to_gth = [&](SteadyState& result) {
     record_escalation(method);
-    result.probabilities = linalg::gth_stationary(chain.generator());
+    solve_gth(result.probabilities);
     result.escalated = true;
   };
 
@@ -110,20 +165,20 @@ SteadyState solve_steady_state(const Ctmc& chain, SteadyStateMethod method,
   result.method = method;
   switch (method) {
     case SteadyStateMethod::kGth:
-      result.probabilities = linalg::gth_stationary(chain.generator());
+      solve_gth(result.probabilities);
       break;
     case SteadyStateMethod::kLu: {
       bool solved = false;
       if (control.escalate) {
         try {
-          result.probabilities = solve_lu(chain);
+          solve_lu(chain, ws, result.probabilities);
           solved = residual_of(result.probabilities) <= kDirectResidualLimit;
         } catch (const std::exception&) {
           solved = false;  // singular system: fall through to GTH
         }
         if (!solved) escalate_to_gth(result);
       } else {
-        result.probabilities = solve_lu(chain);
+        solve_lu(chain, ws, result.probabilities);
       }
       break;
     }

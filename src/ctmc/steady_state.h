@@ -6,6 +6,7 @@
 #include "ctmc/ctmc.h"
 #include "ctmc/validate.h"
 #include "linalg/matrix.h"
+#include "linalg/workspace.h"
 #include "resil/cancel.h"
 
 namespace rascal::ctmc {
@@ -40,6 +41,12 @@ struct SolveControl {
   /// throwing.  The result records `escalated = true` and keeps the
   /// originally requested method for reporting.
   bool escalate = false;
+
+  /// Optional reusable scratch storage (dense elimination matrix, LU
+  /// factors, residual vectors).  Batch drivers give each worker its
+  /// own workspace so repeated solves stop allocating; results are
+  /// bit-identical with and without one (oracle-gated).  Not owned.
+  linalg::SolveWorkspace* workspace = nullptr;
 };
 
 struct SteadyState {

@@ -1,5 +1,6 @@
 #include "ctmc/transient.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -46,16 +47,18 @@ void check_cancel(const TransientOptions& options, std::size_t term,
   }
 }
 
-// One DTMC step of the uniformized chain: next = v (I + Q/Lambda).
-linalg::Vector uniformized_step(const linalg::CsrMatrix& q,
-                                const linalg::Vector& v, double lambda) {
-  linalg::Vector vq = q.left_multiply(v);
-  linalg::Vector next(v.size());
+// One DTMC step of the uniformized chain, v <- v (I + Q/Lambda), using
+// caller-owned scratch so the Poisson summation never allocates.
+void uniformized_step(const linalg::CsrMatrix& q, linalg::Vector& v,
+                      double lambda, linalg::Vector& vq,
+                      linalg::Vector& next) {
+  q.left_multiply_into(v, vq);
+  next.resize(v.size());
   for (std::size_t i = 0; i < v.size(); ++i) {
     next[i] = v[i] + vq[i] / lambda;
     if (next[i] < 0.0) next[i] = 0.0;  // round-off guard
   }
-  return next;
+  std::swap(v, next);
 }
 
 }  // namespace
@@ -81,9 +84,15 @@ TransientResult transient_distribution(const Ctmc& chain,
   const double lt = lambda * t;
   const linalg::CsrMatrix q = chain.sparse_generator();
 
-  linalg::Vector v = initial;                       // pi(0) P^k
-  linalg::Vector acc(chain.num_states(), 0.0);      // weighted sum
-  double log_w = -lt;                               // log Poisson pmf at k
+  linalg::SolveWorkspace local_ws;
+  linalg::SolveWorkspace* ws =
+      options.workspace != nullptr ? options.workspace : &local_ws;
+  linalg::Vector& v = ws->vec(0, chain.num_states());  // pi(0) P^k
+  std::copy(initial.begin(), initial.end(), v.begin());
+  linalg::Vector& vq = ws->vec(1, 0);
+  linalg::Vector& next = ws->vec(2, 0);
+  linalg::Vector acc(chain.num_states(), 0.0);  // weighted sum (the result)
+  double log_w = -lt;                           // log Poisson pmf at k
   double accumulated_weight = 0.0;
   std::size_t k = 0;
   while (accumulated_weight < 1.0 - options.precision) {
@@ -99,7 +108,7 @@ TransientResult transient_distribution(const Ctmc& chain,
       for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += w * v[i];
       accumulated_weight += w;
     }
-    v = uniformized_step(q, v, lambda);
+    uniformized_step(q, v, lambda, vq, next);
     ++k;
     log_w += std::log(lt) - std::log(static_cast<double>(k));
   }
@@ -127,23 +136,49 @@ TransientResult transient_distribution(const Ctmc& chain,
 IntervalRewardResult expected_interval_reward(
     const Ctmc& chain, const linalg::Vector& initial, double t,
     const TransientOptions& options) {
+  linalg::Vector rewards(chain.num_states());
+  for (StateId i = 0; i < chain.num_states(); ++i) {
+    rewards[i] = chain.reward(i);
+  }
+  return expected_interval_rewards(chain, initial, t, {std::move(rewards)},
+                                   options)
+      .front();
+}
+
+std::vector<IntervalRewardResult> expected_interval_rewards(
+    const Ctmc& chain, const linalg::Vector& initial, double t,
+    const std::vector<linalg::Vector>& reward_sets,
+    const TransientOptions& options) {
   const obs::Span span("ctmc.interval_reward");
   check_initial(chain, initial);
   if (!(t > 0.0)) {
     throw std::invalid_argument("expected_interval_reward: requires t > 0");
   }
+  if (reward_sets.empty()) {
+    throw std::invalid_argument(
+        "expected_interval_rewards: need at least one reward vector");
+  }
+  const std::size_t n = chain.num_states();
+  for (const linalg::Vector& rewards : reward_sets) {
+    if (rewards.size() != n) {
+      throw std::invalid_argument(
+          "expected_interval_rewards: reward vector size mismatch");
+    }
+  }
   if (options.validate) {
     throw_if_errors(validate_for_transient(chain, t, options.max_terms));
   }
-  IntervalRewardResult result;
+  std::vector<IntervalRewardResult> results(reward_sets.size());
   if (chain.max_exit_rate() == 0.0) {
-    double reward = 0.0;
-    for (StateId i = 0; i < chain.num_states(); ++i) {
-      reward += initial[i] * chain.reward(i);
+    for (std::size_t j = 0; j < reward_sets.size(); ++j) {
+      double reward = 0.0;
+      for (StateId i = 0; i < n; ++i) {
+        reward += initial[i] * reward_sets[j][i];
+      }
+      results[j].accumulated_reward = reward * t;
+      results[j].time_averaged = reward;
     }
-    result.accumulated_reward = reward * t;
-    result.time_averaged = reward;
-    return result;
+    return results;
   }
   const double lambda = chain.max_exit_rate() * 1.02;
   const double lt = lambda * t;
@@ -151,11 +186,18 @@ IntervalRewardResult expected_interval_reward(
 
   // integral_0^t pi(u) du = (1/Lambda) sum_k (1 - W_k) v_k, where
   // W_k is the Poisson CDF at k.  We accumulate the reward-weighted
-  // version directly.
-  linalg::Vector v = initial;
+  // version directly, one running integral per reward set over a
+  // single shared walk (the Poisson terms do not depend on rewards).
+  linalg::SolveWorkspace local_ws;
+  linalg::SolveWorkspace* ws =
+      options.workspace != nullptr ? options.workspace : &local_ws;
+  linalg::Vector& v = ws->vec(0, n);
+  std::copy(initial.begin(), initial.end(), v.begin());
+  linalg::Vector& vq = ws->vec(1, 0);
+  linalg::Vector& next = ws->vec(2, 0);
+  std::vector<double> integrals(reward_sets.size(), 0.0);
   double log_w = -lt;
   double cdf = 0.0;
-  double integral = 0.0;  // sum over states of reward * integral of pi
   std::size_t k = 0;
   while (1.0 - cdf > options.precision) {
     check_cancel(options, k, "expected_interval_reward");
@@ -165,23 +207,28 @@ IntervalRewardResult expected_interval_reward(
           "expected_interval_reward: truncation point exceeds max_terms");
     }
     if (log_w > kLogUnderflow) cdf += std::exp(log_w);
-    double v_reward = 0.0;
-    for (StateId i = 0; i < chain.num_states(); ++i) {
-      v_reward += v[i] * chain.reward(i);
+    for (std::size_t j = 0; j < reward_sets.size(); ++j) {
+      const double* rj = reward_sets[j].data();
+      double v_reward = 0.0;
+      for (StateId i = 0; i < n; ++i) {
+        v_reward += v[i] * rj[i];
+      }
+      integrals[j] += (1.0 - cdf) * v_reward;
     }
-    integral += (1.0 - cdf) * v_reward;
-    v = uniformized_step(q, v, lambda);
+    uniformized_step(q, v, lambda, vq, next);
     ++k;
     log_w += std::log(lt) - std::log(static_cast<double>(k));
   }
-  result.accumulated_reward = integral / lambda;
-  result.time_averaged = result.accumulated_reward / t;
-  result.terms = k;
+  for (std::size_t j = 0; j < reward_sets.size(); ++j) {
+    results[j].accumulated_reward = integrals[j] / lambda;
+    results[j].time_averaged = results[j].accumulated_reward / t;
+    results[j].terms = k;
+  }
   if (obs::enabled()) {
     obs::counter("ctmc.transient.solves").add(1);
-    obs::counter("ctmc.transient.terms").add(result.terms);
+    obs::counter("ctmc.transient.terms").add(k);
   }
-  return result;
+  return results;
 }
 
 }  // namespace rascal::ctmc

@@ -7,6 +7,7 @@
 
 #include "ctmc/ctmc.h"
 #include "linalg/matrix.h"
+#include "linalg/workspace.h"
 #include "resil/cancel.h"
 
 namespace rascal::ctmc {
@@ -21,6 +22,10 @@ struct TransientOptions {
   // Optional cooperative cancellation; polled every ~128 Poisson terms
   // and raises resil::CancelledError when it fires mid-summation.
   const resil::CancellationToken* cancel = nullptr;
+  // Optional reusable scratch for the per-term vector temporaries, so
+  // batch drivers stop allocating inside the Poisson summation.
+  // Results are bit-identical with and without one.  Not owned.
+  linalg::SolveWorkspace* workspace = nullptr;
 };
 
 struct TransientResult {
@@ -52,6 +57,18 @@ struct IntervalRewardResult {
 /// Expected accumulated reward over [0, t].
 [[nodiscard]] IntervalRewardResult expected_interval_reward(
     const Ctmc& chain, const linalg::Vector& initial, double t,
+    const TransientOptions& options = {});
+
+/// Batched variant: evaluates several per-state reward vectors over
+/// one shared uniformization walk, so K reward sets cost one transient
+/// summation instead of K.  Each reward vector must have one entry per
+/// state.  Entry j of the result is bit-identical to a standalone
+/// expected_interval_reward run on a chain whose state rewards are
+/// reward_sets[j]: the Poisson walk does not depend on rewards, and
+/// each reward accumulation uses the same operation order.
+[[nodiscard]] std::vector<IntervalRewardResult> expected_interval_rewards(
+    const Ctmc& chain, const linalg::Vector& initial, double t,
+    const std::vector<linalg::Vector>& reward_sets,
     const TransientOptions& options = {});
 
 }  // namespace rascal::ctmc

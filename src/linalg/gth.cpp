@@ -4,7 +4,7 @@
 
 namespace rascal::linalg {
 
-Vector gth_stationary(Matrix q) {
+void gth_stationary_in(Matrix& q, Vector& pi) {
   if (!q.square()) {
     throw std::invalid_argument("gth_stationary: matrix must be square");
   }
@@ -20,12 +20,18 @@ Vector gth_stationary(Matrix q) {
       }
     }
   }
-  if (n == 1) return Vector{1.0};
+  if (n == 1) {
+    pi.assign(1, 1.0);
+    return;
+  }
 
   // Elimination phase: censor states n-1, n-2, ..., 1 in turn.
   // After eliminating state k, transitions i->j (i,j < k) gain the
   // contribution of paths through k.  Only additions of nonnegative
-  // numbers occur.
+  // numbers occur.  Indexed accesses, not hoisted row pointers: the
+  // single-base-array form lets the compiler vectorize the update
+  // (hand-hoisted pointers measurably pessimize it), and the
+  // operation order is part of the bit-identity contract.
   for (std::size_t k = n - 1; k >= 1; --k) {
     double departure = 0.0;  // total rate out of k to states < k
     for (std::size_t c = 0; c < k; ++c) departure += q(k, c);
@@ -45,7 +51,7 @@ Vector gth_stationary(Matrix q) {
   }
 
   // Back-substitution: pi_0 = 1, then unfold the censored states.
-  Vector pi(n, 0.0);
+  pi.assign(n, 0.0);
   pi[0] = 1.0;
   for (std::size_t k = 1; k < n; ++k) {
     double departure = 0.0;
@@ -55,6 +61,11 @@ Vector gth_stationary(Matrix q) {
     pi[k] = inflow / departure;
   }
   normalize_to_sum_one(pi);
+}
+
+Vector gth_stationary(Matrix q) {
+  Vector pi;
+  gth_stationary_in(q, pi);
   return pi;
 }
 

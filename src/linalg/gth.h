@@ -24,6 +24,13 @@ namespace rascal::linalg {
 /// class reachable from every state).
 [[nodiscard]] Vector gth_stationary(Matrix q);
 
+/// In-place variant for workspace reuse: `q` is consumed as the
+/// elimination scratch and `pi` is resized and overwritten with the
+/// stationary vector.  Runs the identical operation sequence as
+/// gth_stationary (which delegates here), so results are bit-identical
+/// whether or not the buffers are recycled.
+void gth_stationary_in(Matrix& q, Vector& pi);
+
 /// Stationary vector of a DTMC transition-probability matrix P
 /// (pi P = pi).  Internally converts to the generator P - I and reuses
 /// gth_stationary.

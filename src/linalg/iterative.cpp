@@ -24,22 +24,42 @@ std::size_t chaos_capped_iterations(std::size_t max_iterations) {
   return max_iterations;
 }
 
-// Transpose a CSR matrix by re-assembling from triplets; O(nnz log nnz).
+// Counting-sort transpose straight from the CSR arrays; O(nnz).  The
+// row-order scan leaves each output row column-sorted, so the arrays
+// satisfy the from_parts invariants by construction.
 CsrMatrix transpose(const CsrMatrix& a) {
-  std::vector<Triplet> triplets;
-  triplets.reserve(a.non_zeros());
+  const std::vector<std::size_t>& rp = a.row_ptr();
+  const std::vector<std::size_t>& ci = a.col_idx();
+  const std::vector<double>& vv = a.values();
+  const std::size_t nnz = a.non_zeros();
+
+  std::vector<std::size_t> t_row_ptr(a.cols() + 1, 0);
+  for (std::size_t k = 0; k < nnz; ++k) ++t_row_ptr[ci[k] + 1];
+  for (std::size_t c = 0; c < a.cols(); ++c) t_row_ptr[c + 1] += t_row_ptr[c];
+
+  std::vector<std::size_t> t_col_idx(nnz);
+  std::vector<double> t_values(nnz);
+  std::vector<std::size_t> cursor(t_row_ptr.begin(), t_row_ptr.end() - 1);
   for (std::size_t r = 0; r < a.rows(); ++r) {
-    for (const auto& [c, v] : a.row(r)) triplets.push_back({c, r, v});
+    for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
+      const std::size_t slot = cursor[ci[k]]++;
+      t_col_idx[slot] = r;
+      t_values[slot] = vv[k];
+    }
   }
-  return CsrMatrix(a.cols(), a.rows(), triplets);
+  return CsrMatrix::from_parts(a.cols(), a.rows(), std::move(t_row_ptr),
+                               std::move(t_col_idx), std::move(t_values));
 }
 
 double max_exit_rate(const CsrMatrix& q) {
+  const std::vector<std::size_t>& rp = q.row_ptr();
+  const std::vector<std::size_t>& ci = q.col_idx();
+  const std::vector<double>& vv = q.values();
   double lambda = 0.0;
   for (std::size_t r = 0; r < q.rows(); ++r) {
     double exit = 0.0;
-    for (const auto& [c, v] : q.row(r)) {
-      if (c != r) exit += v;
+    for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
+      if (ci[k] != r) exit += vv[k];
     }
     lambda = std::max(lambda, exit);
   }
@@ -62,6 +82,8 @@ IterativeResult power_stationary(const CsrMatrix& q,
   const std::size_t max_iterations =
       chaos_capped_iterations(options.max_iterations);
   Vector pi(n, 1.0 / static_cast<double>(n));
+  Vector piq;   // reused across iterations: one left_multiply scratch
+  Vector next;  // reused across iterations: the updated iterate
   for (std::size_t it = 0; it < max_iterations; ++it) {
     if (options.cancel != nullptr && it % kCancelCheckStride == 0 &&
         options.cancel->cancelled()) {
@@ -69,19 +91,23 @@ IterativeResult power_stationary(const CsrMatrix& q,
       break;
     }
     // next = pi (I + Q/lambda) = pi + (pi Q)/lambda
-    Vector piq = q.left_multiply(pi);
-    Vector next(n);
+    q.left_multiply_into(pi, piq);
+    next.resize(n);
     for (std::size_t i = 0; i < n; ++i) next[i] = pi[i] + piq[i] / lambda;
     normalize_to_sum_one(next);
-    const double delta = norm_inf(subtract(next, pi));
-    pi = std::move(next);
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      delta = std::max(delta, std::abs(next[i] - pi[i]));
+    }
+    std::swap(pi, next);
     result.iterations = it + 1;
     if (delta < options.tolerance) {
       result.converged = true;
       break;
     }
   }
-  result.residual = norm_inf(q.left_multiply(pi));
+  q.left_multiply_into(pi, piq);
+  result.residual = norm_inf(piq);
   result.pi = std::move(pi);
   return result;
 }
@@ -96,15 +122,26 @@ IterativeResult gauss_seidel_stationary(const CsrMatrix& q,
 
   // Exit rates (used as the diagonal): exit_j = sum_{c != j} q(j, c).
   Vector exit(n, 0.0);
-  for (std::size_t r = 0; r < n; ++r) {
-    for (const auto& [c, v] : q.row(r)) {
-      if (c != r) exit[r] += v;
+  {
+    const std::vector<std::size_t>& rp = q.row_ptr();
+    const std::vector<std::size_t>& ci = q.col_idx();
+    const std::vector<double>& vv = q.values();
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
+        if (ci[k] != r) exit[r] += vv[k];
+      }
     }
   }
 
   IterativeResult result;
   const std::size_t max_iterations =
       chaos_capped_iterations(options.max_iterations);
+  // Raw CSR arrays of the transpose: the inner sweep below must not
+  // allocate (qt.row(j) built a fresh vector per state per sweep).
+  const std::size_t* t_rp = qt.row_ptr().data();
+  const std::size_t* t_ci = qt.col_idx().data();
+  const double* t_vv = qt.values().data();
+
   Vector pi(n, 1.0 / static_cast<double>(n));
   for (std::size_t it = 0; it < max_iterations; ++it) {
     if (options.cancel != nullptr && it % kCancelCheckStride == 0 &&
@@ -120,8 +157,10 @@ IterativeResult gauss_seidel_stationary(const CsrMatrix& q,
             "balance equation");
       }
       double inflow = 0.0;
-      for (const auto& [i, v] : qt.row(j)) {
-        if (i != j) inflow += pi[i] * v;
+      const std::size_t end = t_rp[j + 1];
+      for (std::size_t k = t_rp[j]; k < end; ++k) {
+        const std::size_t i = t_ci[k];
+        if (i != j) inflow += pi[i] * t_vv[k];
       }
       const double updated = inflow / exit[j];
       delta = std::max(delta, std::abs(updated - pi[j]));
@@ -134,7 +173,9 @@ IterativeResult gauss_seidel_stationary(const CsrMatrix& q,
       break;
     }
   }
-  result.residual = norm_inf(q.left_multiply(pi));
+  Vector residual_vec;
+  q.left_multiply_into(pi, residual_vec);
+  result.residual = norm_inf(residual_vec);
   result.pi = std::move(pi);
   return result;
 }

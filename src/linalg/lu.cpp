@@ -11,10 +11,25 @@ constexpr double kSingularThreshold = 1e-300;
 }  // namespace
 
 LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
+  factorize();
+}
+
+void LuDecomposition::refactor(const Matrix& a) {
+  lu_ = a;  // vector copy-assignment reuses the existing heap block
+  factorize();
+}
+
+void LuDecomposition::refactor(Matrix&& a) {
+  lu_ = std::move(a);
+  factorize();
+}
+
+void LuDecomposition::factorize() {
   if (!lu_.square()) {
     throw std::invalid_argument("LuDecomposition: matrix must be square");
   }
   const std::size_t n = lu_.rows();
+  pivot_sign_ = 1;
   perm_.resize(n);
   std::iota(perm_.begin(), perm_.end(), std::size_t{0});
 
@@ -40,37 +55,55 @@ LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
       pivot_sign_ = -pivot_sign_;
     }
     const double pivot = lu_(k, k);
+    const double* row_k = &lu_(k, 0);
     for (std::size_t r = k + 1; r < n; ++r) {
-      const double factor = lu_(r, k) / pivot;
-      lu_(r, k) = factor;
+      double* row_r = &lu_(r, 0);
+      const double factor = row_r[k] / pivot;
+      row_r[k] = factor;
       if (factor == 0.0) continue;
       for (std::size_t c = k + 1; c < n; ++c) {
-        lu_(r, c) -= factor * lu_(k, c);
+        row_r[c] -= factor * row_k[c];
       }
     }
   }
 }
 
 Vector LuDecomposition::solve(const Vector& b) const {
+  Vector x;
+  solve_into(b, x);
+  return x;
+}
+
+void LuDecomposition::solve_into(const Vector& b, Vector& x) const {
   const std::size_t n = lu_.rows();
   if (b.size() != n) {
     throw std::invalid_argument("LuDecomposition::solve: size mismatch");
   }
-  // Forward substitution with permuted rhs (L has unit diagonal).
-  Vector y(n);
+  // Forward substitution with permuted rhs (L has unit diagonal),
+  // writing the intermediate y into x so no scratch vector is needed:
+  // position r only reads y[c] for c < r, which is already final.
+  const double* lu = lu_.data().data();
+  x.resize(n);
   for (std::size_t r = 0; r < n; ++r) {
     double acc = b[perm_[r]];
-    for (std::size_t c = 0; c < r; ++c) acc -= lu_(r, c) * y[c];
-    y[r] = acc;
+    const double* row = lu + r * n;
+    for (std::size_t c = 0; c < r; ++c) acc -= row[c] * x[c];
+    x[r] = acc;
   }
-  // Back substitution.
-  Vector x(n);
+  // Back substitution, in place over the forward result.
   for (std::size_t ri = n; ri-- > 0;) {
-    double acc = y[ri];
-    for (std::size_t c = ri + 1; c < n; ++c) acc -= lu_(ri, c) * x[c];
-    x[ri] = acc / lu_(ri, ri);
+    double acc = x[ri];
+    const double* row = lu + ri * n;
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= row[c] * x[c];
+    x[ri] = acc / row[ri];
   }
-  return x;
+}
+
+std::vector<Vector> LuDecomposition::solve_many(
+    const std::vector<Vector>& rhs) const {
+  std::vector<Vector> out(rhs.size());
+  for (std::size_t i = 0; i < rhs.size(); ++i) solve_into(rhs[i], out[i]);
+  return out;
 }
 
 Matrix LuDecomposition::solve(const Matrix& b) const {

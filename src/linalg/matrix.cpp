@@ -20,6 +20,12 @@ Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
   }
 }
 
+void Matrix::reshape(std::size_t rows, std::size_t cols, double fill) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, fill);
+}
+
 Matrix Matrix::identity(std::size_t n) {
   Matrix m(n, n);
   for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;

@@ -47,6 +47,12 @@ class Matrix {
   [[nodiscard]] double& at(std::size_t r, std::size_t c);
   [[nodiscard]] double at(std::size_t r, std::size_t c) const;
 
+  /// Reshapes to rows x cols and refills every entry with `fill`,
+  /// reusing the existing heap block when capacity allows.  The
+  /// workhorse of SolveWorkspace reuse: repeated same-shape solves
+  /// never reallocate.
+  void reshape(std::size_t rows, std::size_t cols, double fill = 0.0);
+
   /// Raw storage, row-major.
   [[nodiscard]] const std::vector<double>& data() const noexcept {
     return data_;

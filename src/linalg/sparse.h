@@ -22,9 +22,23 @@ class CsrMatrix {
   CsrMatrix() = default;
 
   /// Builds from triplets.  Throws std::invalid_argument when an index
-  /// is out of range.
+  /// is out of range.  Assembly is a counting sort straight into the
+  /// CSR arrays — the triplet list is never copied or reordered.
   CsrMatrix(std::size_t rows, std::size_t cols,
             const std::vector<Triplet>& triplets);
+
+  /// Rvalue convenience; same counting-sort build (no copy either way).
+  CsrMatrix(std::size_t rows, std::size_t cols,
+            std::vector<Triplet>&& triplets);
+
+  /// Adopts pre-built CSR arrays without any triplet round trip.  Rows
+  /// must be column-sorted with unique columns; throws
+  /// std::invalid_argument when the arrays are inconsistent.
+  [[nodiscard]] static CsrMatrix from_parts(std::size_t rows,
+                                            std::size_t cols,
+                                            std::vector<std::size_t> row_ptr,
+                                            std::vector<std::size_t> col_idx,
+                                            std::vector<double> values);
 
   [[nodiscard]] static CsrMatrix from_dense(const Matrix& m,
                                             double drop_below = 0.0);
@@ -38,8 +52,16 @@ class CsrMatrix {
   /// y = A x.  Throws std::invalid_argument on dimension mismatch.
   [[nodiscard]] Vector multiply(const Vector& x) const;
 
+  /// y = A x into caller-owned storage (y is resized; x and y may not
+  /// alias).  Same accumulation order as multiply().
+  void multiply_into(const Vector& x, Vector& y) const;
+
   /// y = x^T A.  Throws std::invalid_argument on dimension mismatch.
   [[nodiscard]] Vector left_multiply(const Vector& x) const;
+
+  /// y = x^T A into caller-owned storage (y is resized; x and y may
+  /// not alias).  Same accumulation order as left_multiply().
+  void left_multiply_into(const Vector& x, Vector& y) const;
 
   /// Value at (r, c); zero when not stored.  Bounds-checked.
   [[nodiscard]] double at(std::size_t r, std::size_t c) const;
@@ -50,7 +72,21 @@ class CsrMatrix {
   [[nodiscard]] std::vector<std::pair<std::size_t, double>> row(
       std::size_t r) const;
 
+  /// Raw CSR arrays for allocation-free iteration: row r occupies
+  /// [row_ptr()[r], row_ptr()[r+1]) in col_idx()/values().
+  [[nodiscard]] const std::vector<std::size_t>& row_ptr() const noexcept {
+    return row_ptr_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& col_idx() const noexcept {
+    return col_idx_;
+  }
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+
  private:
+  void build(const std::vector<Triplet>& triplets);
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<std::size_t> row_ptr_{0};

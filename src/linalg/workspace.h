@@ -1,0 +1,56 @@
+// Reusable solver scratch storage.
+//
+// Batch drivers (uncertainty analysis, parametric sweeps, fault
+// campaigns) solve thousands of same-shaped systems in a row.  A
+// SolveWorkspace owns the dense elimination scratch, pivot array, and
+// vector temporaries those solves need, so a worker performs O(1)
+// heap allocations over a whole batch instead of O(samples) matrix
+// churn.  Reusing a workspace never changes results: the workspace
+// only recycles storage, every solve refills it from scratch and runs
+// the identical operation sequence (gated by the src/check/ oracle's
+// workspace-vs-fresh bit-identity checks).
+//
+// A workspace is NOT thread-safe; give each worker its own.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/lu.h"
+#include "linalg/matrix.h"
+
+namespace rascal::linalg {
+
+class SolveWorkspace {
+ public:
+  /// Dense scratch reshaped to rows x cols and zero-filled, reusing
+  /// the existing heap block when capacity allows.
+  [[nodiscard]] Matrix& dense(std::size_t rows, std::size_t cols);
+
+  /// Raw dense scratch with whatever shape the last caller left; for
+  /// callers that reshape/refill it themselves (e.g. via
+  /// Ctmc::write_generator).
+  [[nodiscard]] Matrix& dense_storage() noexcept { return dense_; }
+
+  /// Resident LU decomposition: refactor() into it per solve and the
+  /// packed-factor storage is reused across the whole batch.
+  [[nodiscard]] LuDecomposition& lu() noexcept { return lu_; }
+
+  /// Pivot/permutation scratch of length n (uninitialized contents).
+  [[nodiscard]] std::vector<std::size_t>& pivots(std::size_t n);
+
+  /// Vector scratch slot `slot` resized to n and zero-filled.  Slots
+  /// are independent buffers; callers that need several concurrent
+  /// temporaries use distinct slots.
+  [[nodiscard]] Vector& vec(std::size_t slot, std::size_t n);
+
+  static constexpr std::size_t kVectorSlots = 4;
+
+ private:
+  Matrix dense_;
+  LuDecomposition lu_;
+  std::vector<std::size_t> pivots_;
+  Vector vectors_[kVectorSlots];
+};
+
+}  // namespace rascal::linalg

@@ -1,6 +1,9 @@
 #include "models/jsas_system.h"
 
+#include <map>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 
 #include "core/units.h"
 #include "ctmc/steady_state.h"
@@ -30,6 +33,36 @@ ctmc::SymbolicCtmc jsas_root_model() {
   root.rate("Ok", "HADB_Fail", "N_pair*La_hadb_pair");
   root.rate("HADB_Fail", "Ok", "Mu_hadb_pair");
   return root;
+}
+
+// Building a symbolic model re-parses every rate expression, which
+// dominates per-sample cost in batch drivers (the structure depends
+// only on the configuration, not the parameter values).  These caches
+// hand out shared immutable structures instead; SymbolicCtmc::bind and
+// HierarchicalModel::solve are const and safe to run concurrently.
+const ctmc::SymbolicCtmc& cached_jsas_root() {
+  static const ctmc::SymbolicCtmc root = jsas_root_model();
+  return root;
+}
+
+const core::HierarchicalModel& cached_jsas_model(const JsasConfig& config) {
+  static std::mutex mutex;
+  // hadb_spares is informational and does not change the structure.
+  static std::map<std::pair<std::size_t, std::size_t>,
+                  core::HierarchicalModel>
+      cache;
+  const std::scoped_lock lock(mutex);
+  const auto key = std::make_pair(config.as_instances, config.hadb_pairs);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, jsas_model(config)).first;
+  }
+  return it->second;
+}
+
+const ctmc::SymbolicCtmc& cached_single_instance_model() {
+  static const ctmc::SymbolicCtmc model = single_instance_model();
+  return model;
 }
 
 }  // namespace
@@ -64,12 +97,19 @@ core::HierarchicalModel jsas_model(const JsasConfig& config) {
 
 JsasResult solve_jsas(const JsasConfig& config,
                       const expr::ParameterSet& params) {
+  ctmc::SolveCache cache;
+  return solve_jsas(config, params, cache);
+}
+
+JsasResult solve_jsas(const JsasConfig& config,
+                      const expr::ParameterSet& params,
+                      ctmc::SolveCache& cache) {
   JsasResult result;
 
   if (config.as_instances == 1) {
     // Table 3 row 1: one instance, no failover, no HADB tier modeled.
-    const ctmc::Ctmc chain = single_instance_model().bind(params);
-    const ctmc::SteadyState steady = ctmc::solve_steady_state(chain);
+    const ctmc::Ctmc chain = cached_single_instance_model().bind(params);
+    const ctmc::SteadyState& steady = cache.steady_state(chain);
     const core::AvailabilityMetrics m =
         core::availability_metrics(chain, steady);
     result.availability = m.availability;
@@ -80,10 +120,11 @@ JsasResult solve_jsas(const JsasConfig& config,
     return result;
   }
 
-  const core::HierarchicalModel model = jsas_model(config);
+  const core::HierarchicalModel& model = cached_jsas_model(config);
   expr::ParameterSet bound = params;
   bound.set("N_pair", static_cast<double>(config.hadb_pairs));
-  core::HierarchicalResult hr = model.solve(bound);
+  core::HierarchicalResult hr = model.solve(
+      bound, ctmc::SteadyStateMethod::kGth, &cache);
 
   result.availability = hr.system.availability;
   result.downtime_minutes_per_year = hr.system.downtime_minutes_per_year;
@@ -91,7 +132,7 @@ JsasResult solve_jsas(const JsasConfig& config,
 
   // Attribute downtime to the submodel whose failure state the root
   // chain is occupying.
-  const ctmc::Ctmc root = jsas_root_model().bind(hr.effective_params);
+  const ctmc::Ctmc root = cached_jsas_root().bind(hr.effective_params);
   result.downtime_as_minutes = core::downtime_minutes_per_year(
       hr.root_steady.probability(root.state("AS_Fail")));
   result.downtime_hadb_minutes = core::downtime_minutes_per_year(

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "core/hierarchy.h"
+#include "ctmc/solve_cache.h"
 #include "expr/parameter_set.h"
 
 namespace rascal::models {
@@ -57,5 +58,14 @@ struct JsasResult {
 /// HADB tier, matching Table 3 row 1.
 [[nodiscard]] JsasResult solve_jsas(const JsasConfig& config,
                                     const expr::ParameterSet& params);
+
+/// Batch-friendly overload: solves through a caller-owned per-worker
+/// SolveCache (reusable factorisation scratch + generator memoization)
+/// and a process-wide cache of the symbolic model structure, so the
+/// expression re-parsing and solver allocations drop out of per-sample
+/// cost.  Bit-identical to the plain overload (oracle-gated).
+[[nodiscard]] JsasResult solve_jsas(const JsasConfig& config,
+                                    const expr::ParameterSet& params,
+                                    ctmc::SolveCache& cache);
 
 }  // namespace rascal::models

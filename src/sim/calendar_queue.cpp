@@ -1,0 +1,115 @@
+#include "sim/calendar_queue.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace rascal::sim {
+
+namespace {
+constexpr std::size_t kMinBuckets = 8;  // ring sizes stay powers of two
+}  // namespace
+
+CalendarQueue::CalendarQueue() : buckets_(kMinBuckets) {}
+
+std::size_t CalendarQueue::bucket_of(double day) const noexcept {
+  // `day` is a non-negative integer-valued double; fmod is exact.
+  return static_cast<std::size_t>(
+      std::fmod(day, static_cast<double>(buckets_.size())));
+}
+
+void CalendarQueue::push(Event event) {
+  if (!(event.time >= 0.0) || !std::isfinite(event.time)) {
+    throw std::invalid_argument(
+        "CalendarQueue: event time must be finite and non-negative");
+  }
+  if (event.time < floor_time_) floor_time_ = event.time;
+  buckets_[bucket_of(std::floor(event.time / width_))].push_back(
+      std::move(event));
+  ++size_;
+  if (size_ > buckets_.size() * 2) rebuild(buckets_.size() * 2);
+}
+
+CalendarQueue::Pos CalendarQueue::find_min() const {
+  // Scan days in increasing order starting at the search floor.  An
+  // event's day is floor(time / width): days scan in time order, and
+  // equal-time events share a day (hence a bucket), so the first day
+  // holding a resident event contains the global (time, id) minimum.
+  double day = std::floor(floor_time_ / width_);
+  for (std::size_t step = 0; step < buckets_.size(); ++step, day += 1.0) {
+    const std::vector<Event>& bucket = buckets_[bucket_of(day)];
+    std::size_t best = bucket.size();
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      // Skip residents from later ring revolutions ("future years").
+      if (std::floor(bucket[i].time / width_) != day) continue;
+      if (best == bucket.size() || fires_before(bucket[i], bucket[best])) {
+        best = i;
+      }
+    }
+    if (best != bucket.size()) return {bucket_of(day), best};
+  }
+  // Every queued event is at least a full revolution ahead of the
+  // floor: fall back to a direct scan for the global minimum.
+  Pos pos;
+  const Event* best = nullptr;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    for (std::size_t i = 0; i < buckets_[b].size(); ++i) {
+      const Event& event = buckets_[b][i];
+      if (best == nullptr || fires_before(event, *best)) {
+        best = &event;
+        pos = {b, i};
+      }
+    }
+  }
+  return pos;  // size_ > 0 guarantees a hit
+}
+
+const Event& CalendarQueue::min() const {
+  const Pos pos = find_min();
+  return buckets_[pos.bucket][pos.index];
+}
+
+Event CalendarQueue::pop_min() {
+  const Pos pos = find_min();
+  std::vector<Event>& bucket = buckets_[pos.bucket];
+  Event event = std::move(bucket[pos.index]);
+  if (pos.index + 1 != bucket.size()) {
+    bucket[pos.index] = std::move(bucket.back());
+  }
+  bucket.pop_back();
+  --size_;
+  floor_time_ = event.time;
+  if (buckets_.size() > kMinBuckets && size_ < buckets_.size() / 4) {
+    rebuild(buckets_.size() / 2);
+  }
+  return event;
+}
+
+void CalendarQueue::rebuild(std::size_t bucket_count) {
+  std::vector<Event> all;
+  all.reserve(size_);
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (std::vector<Event>& bucket : buckets_) {
+    for (Event& event : bucket) {
+      lo = std::min(lo, event.time);
+      hi = std::max(hi, event.time);
+      all.push_back(std::move(event));
+    }
+    bucket.clear();
+  }
+  buckets_.assign(bucket_count, {});
+  // Re-estimate the day width so the live window spreads over about
+  // half the ring; degenerate spans keep the current width.
+  if (size_ > 1 && hi > lo) {
+    const double width = 2.0 * (hi - lo) / static_cast<double>(size_);
+    if (std::isfinite(width) && width > 0.0) width_ = width;
+  }
+  for (Event& event : all) {
+    buckets_[bucket_of(std::floor(event.time / width_))].push_back(
+        std::move(event));
+  }
+}
+
+}  // namespace rascal::sim

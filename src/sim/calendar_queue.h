@@ -1,0 +1,67 @@
+// Calendar queue (index-bucketed priority queue) for the simulation
+// scheduler: O(1) amortized push/pop when event times are roughly
+// uniform, versus O(log n) for the binary heap — the regime of
+// million-event JSAS runs where the pending calendar stays large.
+//
+// Pops yield exactly the (time, id) min-order the binary heap yields,
+// so the two backends are interchangeable (pinned by property tests).
+//
+// Structure: a power-of-two ring of unsorted buckets, each covering a
+// `width_`-sized slice of simulated time (a "day"); an event lands in
+// bucket (day number mod ring size).  pop_min() scans days forward
+// from the last popped time — equal-time events share a day, so the
+// first day with a resident event holds the global minimum.  A full
+// revolution without a hit (every event at least one "year" ahead)
+// falls back to a direct scan.  The ring is rebuilt, and the day
+// width re-estimated from the live time span, when occupancy drifts,
+// keeping buckets O(1) on average.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/event.h"
+
+namespace rascal::sim {
+
+class CalendarQueue {
+ public:
+  CalendarQueue();
+
+  /// Inserts an event.  Throws std::invalid_argument for negative or
+  /// non-finite event times (the scheduler never produces either).
+  void push(Event event);
+
+  /// Smallest (time, id) event.  Precondition: !empty().
+  [[nodiscard]] const Event& min() const;
+
+  /// Removes and returns the smallest (time, id) event.
+  /// Precondition: !empty().
+  Event pop_min();
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  /// Current ring size — exposed so tests can pin the resize policy.
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return buckets_.size();
+  }
+
+ private:
+  struct Pos {
+    std::size_t bucket = 0;
+    std::size_t index = 0;
+  };
+  [[nodiscard]] Pos find_min() const;  // precondition: size_ > 0
+  [[nodiscard]] std::size_t bucket_of(double day) const noexcept;
+  void rebuild(std::size_t bucket_count);
+
+  std::vector<std::vector<Event>> buckets_;
+  double width_ = 1.0;  // simulated-time span of one bucket
+  // Search floor: no queued event is earlier than this (pops are
+  // monotone; push lowers it when needed), so find_min starts its day
+  // scan here instead of at day zero.
+  double floor_time_ = 0.0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rascal::sim

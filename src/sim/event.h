@@ -1,0 +1,29 @@
+// Shared event record for the simulation event queues (binary heap
+// and calendar queue).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace rascal::sim {
+
+using EventId = std::uint64_t;
+using EventAction = std::function<void()>;
+
+/// A scheduled (time, id, action) record.  Queues order events by
+/// (time, id): equal-time events pop in ascending id, i.e. insertion
+/// order — the deterministic tie-break the campaign RNG scheme
+/// depends on (pinned by Scheduler unit tests).
+struct Event {
+  double time = 0.0;
+  EventId id = 0;
+  EventAction action;
+};
+
+/// True when `a` fires strictly before `b` under the (time, id) order.
+[[nodiscard]] inline bool fires_before(const Event& a,
+                                       const Event& b) noexcept {
+  return a.time != b.time ? a.time < b.time : a.id < b.id;
+}
+
+}  // namespace rascal::sim

@@ -1,23 +1,76 @@
 #include "sim/scheduler.h"
 
+#include <algorithm>
 #include <stdexcept>
-
-#include "obs/obs.h"
+#include <utility>
 
 namespace rascal::sim {
+
+namespace {
+// Comparator for the std heap algorithms: max-heap semantics, so the
+// root is the event that fires first.
+struct Later {
+  bool operator()(const Event& a, const Event& b) const noexcept {
+    return fires_before(b, a);
+  }
+};
+}  // namespace
+
+Scheduler::Scheduler(QueueKind kind)
+    : kind_(kind),
+      scheduled_counter_(obs::counter("sim.scheduler.scheduled")),
+      cancelled_counter_(obs::counter("sim.scheduler.cancelled")),
+      fired_counter_(obs::counter("sim.scheduler.fired")),
+      queue_hwm_(obs::gauge("sim.scheduler.queue_hwm")) {}
+
+void Scheduler::push_event(Event event) {
+  if (kind_ == QueueKind::kBinaryHeap) {
+    heap_.push_back(std::move(event));
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  } else {
+    calendar_.push(std::move(event));
+  }
+}
+
+Event Scheduler::pop_front() {
+  if (kind_ == QueueKind::kBinaryHeap) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event event = std::move(heap_.back());
+    heap_.pop_back();
+    return event;
+  }
+  return calendar_.pop_min();
+}
+
+bool Scheduler::queue_empty() const noexcept {
+  return kind_ == QueueKind::kBinaryHeap ? heap_.empty() : calendar_.empty();
+}
+
+std::size_t Scheduler::queue_size() const noexcept {
+  return kind_ == QueueKind::kBinaryHeap ? heap_.size() : calendar_.size();
+}
+
+const Event* Scheduler::peek_live() {
+  while (!queue_empty()) {
+    const Event& front =
+        kind_ == QueueKind::kBinaryHeap ? heap_.front() : calendar_.min();
+    if (pending_ids_.count(front.id) != 0) return &front;
+    // Cancelled: discard lazily so cancel() itself stays O(1).
+    (void)pop_front();
+  }
+  return nullptr;
+}
 
 EventId Scheduler::schedule_at(double at, EventAction action) {
   if (at < now_) {
     throw std::invalid_argument("Scheduler: cannot schedule in the past");
   }
   const EventId id = next_id_++;
-  queue_.push({at, id, std::move(action)});
+  push_event({at, id, std::move(action)});
   pending_ids_.insert(id);
   if (obs::enabled()) {
-    static obs::Counter& scheduled = obs::counter("sim.scheduler.scheduled");
-    static obs::Gauge& hwm = obs::gauge("sim.scheduler.queue_hwm");
-    scheduled.add(1);
-    hwm.record_max(static_cast<double>(queue_.size()));
+    scheduled_counter_.add(1);
+    queue_hwm_.record_max(static_cast<double>(queue_size()));
   }
   return id;
 }
@@ -35,34 +88,28 @@ bool Scheduler::cancel(EventId id) {
   // out of pending_ids_ naturally (next_id_ starts at 1, so 0 is
   // never inserted).
   if (pending_ids_.erase(id) == 0) return false;
-  cancelled_.insert(id);
-  if (obs::enabled()) {
-    static obs::Counter& cancelled = obs::counter("sim.scheduler.cancelled");
-    cancelled.add(1);
-  }
+  if (obs::enabled()) cancelled_counter_.add(1);
   return true;
 }
 
 bool Scheduler::step() {
-  while (!queue_.empty()) {
-    Entry entry = queue_.top();
-    queue_.pop();
-    if (cancelled_.erase(entry.id) > 0) continue;
-    pending_ids_.erase(entry.id);
-    now_ = entry.time;
-    entry.action();
-    if (obs::enabled()) {
-      static obs::Counter& fired = obs::counter("sim.scheduler.fired");
-      fired.add(1);
-    }
+  while (!queue_empty()) {
+    Event event = pop_front();
+    if (pending_ids_.erase(event.id) == 0) continue;  // was cancelled
+    now_ = event.time;
+    event.action();
+    if (obs::enabled()) fired_counter_.add(1);
     return true;
   }
   return false;
 }
 
 void Scheduler::run_until(double until) {
-  while (!queue_.empty()) {
-    if (queue_.top().time > until) break;
+  for (;;) {
+    // peek_live skips cancelled entries, so a cancelled front cannot
+    // drag an event from beyond the horizon into this run.
+    const Event* next = peek_live();
+    if (next == nullptr || next->time > until) break;
     // step() may push new events; the loop re-checks the horizon.
     if (!step()) break;
   }

@@ -1,0 +1,146 @@
+// Calendar-queue vs binary-heap equivalence: the two Scheduler
+// backends must fire the same events at the same times in the same
+// order on randomized event streams with interleaved cancellations,
+// and the standalone CalendarQueue must pop in exact (time, id) order
+// while its ring resizes underneath.  Fixed seeds keep the randomized
+// suite deterministic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sim/calendar_queue.h"
+#include "sim/scheduler.h"
+#include "stats/rng.h"
+
+namespace rascal::sim {
+namespace {
+
+using FiredLog = std::vector<std::pair<double, int>>;
+
+// Drives a scheduler through a seeded script of bursty schedules,
+// random cancellations (some stale on purpose), and horizon advances.
+// Both backends see the identical script — same rng stream, same
+// issued-id sequence — so their fired logs must match exactly.
+FiredLog drive(QueueKind kind, std::uint64_t seed) {
+  stats::RandomEngine rng(seed);
+  Scheduler s(kind);
+  FiredLog fired;
+  std::vector<EventId> issued;
+  int tag = 0;
+  for (int round = 0; round < 150; ++round) {
+    const int burst = 1 + static_cast<int>(rng.uniform(0.0, 8.0));
+    for (int b = 0; b < burst; ++b) {
+      double delay = rng.uniform(0.0, 50.0);
+      // Quantize a third of the delays so equal timestamps actually
+      // occur and the (time, id) tie-break is exercised.
+      if (rng.uniform01() < 0.34) delay = std::floor(delay);
+      const int my_tag = tag++;
+      issued.push_back(s.schedule_after(
+          delay, [&fired, &s, my_tag] { fired.emplace_back(s.now(), my_tag); }));
+    }
+    if (rng.uniform01() < 0.6) {
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform(0.0, static_cast<double>(issued.size())));
+      // May target an already-fired or already-cancelled id: both
+      // backends must agree that stale cancels are no-ops.
+      (void)s.cancel(issued[std::min(pick, issued.size() - 1)]);
+    }
+    s.run_until(s.now() + rng.uniform(0.0, 10.0));
+  }
+  s.run_until(1e9);
+  EXPECT_EQ(s.pending(), 0u);
+  return fired;
+}
+
+TEST(SchedulerEquivalence, CalendarMatchesBinaryHeapOn20SeededStreams) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const FiredLog heap = drive(QueueKind::kBinaryHeap, seed);
+    const FiredLog calendar = drive(QueueKind::kCalendar, seed);
+    ASSERT_EQ(heap.size(), calendar.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < heap.size(); ++i) {
+      EXPECT_EQ(heap[i].first, calendar[i].first)
+          << "seed " << seed << " event " << i;
+      EXPECT_EQ(heap[i].second, calendar[i].second)
+          << "seed " << seed << " event " << i;
+    }
+  }
+}
+
+TEST(CalendarQueue, PopsInExactTimeIdOrder) {
+  stats::RandomEngine rng(0xCA1E);
+  CalendarQueue q;
+  std::vector<std::pair<double, EventId>> expected;
+  for (EventId id = 1; id <= 500; ++id) {
+    double time = rng.uniform(0.0, 200.0);
+    if (rng.uniform01() < 0.4) time = std::floor(time);  // force ties
+    q.push({time, id, {}});
+    expected.emplace_back(time, id);
+  }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(q.size(), expected.size());
+  for (const auto& [time, id] : expected) {
+    ASSERT_FALSE(q.empty());
+    EXPECT_EQ(q.min().id, id);
+    const Event event = q.pop_min();
+    EXPECT_EQ(event.time, time);
+    EXPECT_EQ(event.id, id);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, RingGrowsAndShrinksWithOccupancy) {
+  CalendarQueue q;
+  const std::size_t initial = q.bucket_count();
+  for (EventId id = 1; id <= 1000; ++id) {
+    q.push({static_cast<double>(id) * 0.25, id, {}});
+  }
+  EXPECT_GT(q.bucket_count(), initial);
+  while (!q.empty()) (void)q.pop_min();
+  EXPECT_EQ(q.bucket_count(), initial);
+}
+
+TEST(CalendarQueue, InterleavedPushPopStaysOrdered) {
+  // Monotone pushes interleaved with pops — the scheduler's access
+  // pattern — including events far beyond one ring revolution.
+  stats::RandomEngine rng(0x1D1E);
+  CalendarQueue q;
+  EventId id = 1;
+  double now = 0.0;
+  double last_popped = 0.0;
+  for (int round = 0; round < 400; ++round) {
+    const int pushes = static_cast<int>(rng.uniform(0.0, 4.0));
+    for (int p = 0; p < pushes; ++p) {
+      const double horizon = rng.uniform01() < 0.1 ? 1e6 : 20.0;
+      q.push({now + rng.uniform(0.0, horizon), id++, {}});
+    }
+    if (!q.empty() && rng.uniform01() < 0.7) {
+      const Event event = q.pop_min();
+      EXPECT_GE(event.time, last_popped);
+      last_popped = event.time;
+      now = event.time;
+    }
+  }
+  while (!q.empty()) {
+    const Event event = q.pop_min();
+    EXPECT_GE(event.time, last_popped);
+    last_popped = event.time;
+  }
+}
+
+TEST(CalendarQueue, RejectsNegativeAndNonFiniteTimes) {
+  CalendarQueue q;
+  EXPECT_THROW(q.push({-1.0, 1, {}}), std::invalid_argument);
+  EXPECT_THROW(
+      q.push({std::numeric_limits<double>::infinity(), 1, {}}),
+      std::invalid_argument);
+  EXPECT_THROW(q.push({std::nan(""), 1, {}}), std::invalid_argument);
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace rascal::sim

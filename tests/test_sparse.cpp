@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace rascal::linalg {
 namespace {
@@ -78,6 +80,70 @@ TEST(Csr, FromDenseDropsSmallEntries) {
   const Matrix d{{1e-15, 1.0}, {0.5, 1e-16}};
   const CsrMatrix s = CsrMatrix::from_dense(d, 1e-12);
   EXPECT_EQ(s.non_zeros(), 2u);
+}
+
+TEST(Csr, RvalueTripletsBuildTheSameMatrix) {
+  std::vector<Triplet> triplets = {
+      {1, 0, 3.0}, {0, 2, 1.0}, {0, 0, 2.0}, {1, 0, -1.0}};
+  const CsrMatrix copied(2, 3, triplets);
+  const CsrMatrix moved(2, 3, std::move(triplets));
+  EXPECT_EQ(copied.row_ptr(), moved.row_ptr());
+  EXPECT_EQ(copied.col_idx(), moved.col_idx());
+  EXPECT_EQ(copied.values(), moved.values());
+  EXPECT_DOUBLE_EQ(moved.at(1, 0), 2.0);  // duplicates summed
+}
+
+TEST(Csr, UnsortedTripletsComeOutRowMajorColumnSorted) {
+  const CsrMatrix m(3, 3,
+                    {{2, 1, 6.0}, {0, 2, 3.0}, {1, 0, 4.0}, {0, 0, 1.0},
+                     {2, 2, 7.0}, {1, 1, 5.0}, {0, 1, 2.0}});
+  EXPECT_EQ(m.row_ptr(), (std::vector<std::size_t>{0, 3, 5, 7}));
+  EXPECT_EQ(m.col_idx(), (std::vector<std::size_t>{0, 1, 2, 0, 1, 1, 2}));
+  EXPECT_EQ(m.values(),
+            (std::vector<double>{1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0}));
+}
+
+TEST(Csr, FromPartsRoundTrips) {
+  const CsrMatrix src(2, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {1, 1, 3.0}});
+  const CsrMatrix rebuilt = CsrMatrix::from_parts(
+      src.rows(), src.cols(), src.row_ptr(), src.col_idx(), src.values());
+  EXPECT_EQ(rebuilt.row_ptr(), src.row_ptr());
+  EXPECT_EQ(rebuilt.col_idx(), src.col_idx());
+  EXPECT_EQ(rebuilt.values(), src.values());
+}
+
+TEST(Csr, FromPartsRejectsMalformedStructure) {
+  // row_ptr must start at 0, be monotone, end at nnz, with one entry
+  // per row plus one.
+  EXPECT_THROW((void)CsrMatrix::from_parts(2, 2, {0, 1}, {0}, {1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)CsrMatrix::from_parts(1, 2, {1, 1}, {}, {}),
+               std::invalid_argument);
+  EXPECT_THROW((void)CsrMatrix::from_parts(1, 2, {0, 2}, {0}, {1.0}),
+               std::invalid_argument);
+  // Columns must be strictly increasing within a row and in range.
+  EXPECT_THROW(
+      (void)CsrMatrix::from_parts(1, 2, {0, 2}, {1, 0}, {1.0, 2.0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)CsrMatrix::from_parts(1, 2, {0, 2}, {0, 0}, {1.0, 2.0}),
+      std::invalid_argument);
+  EXPECT_THROW((void)CsrMatrix::from_parts(1, 2, {0, 1}, {2}, {1.0}),
+               std::invalid_argument);
+}
+
+TEST(Csr, MultiplyIntoMatchesMultiply) {
+  const CsrMatrix m(2, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {1, 1, 3.0}});
+  const Vector x{1.0, 2.0, 3.0};
+  const Vector expected = m.multiply(x);
+  Vector y;
+  m.multiply_into(x, y);
+  EXPECT_EQ(y, expected);
+  const Vector z{4.0, 5.0};
+  const Vector left = m.left_multiply(z);
+  Vector w;
+  m.left_multiply_into(z, w);
+  EXPECT_EQ(w, left);
 }
 
 }  // namespace

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Record and compare BENCH_*.json benchmark trajectories.
+
+Two file shapes are understood:
+
+* google-benchmark JSON (``--benchmark_format=json`` output) — a
+  ``benchmarks`` array with per-benchmark ``real_time`` in ``ns``;
+* trajectory files (committed as ``BENCH_solvers.json`` /
+  ``BENCH_spmv.json``) — ``{"benchmark": ..., "unit": "ns",
+  "entries": [{"label", "recorded", "results": {name: real_time}}]}``
+  where each entry is one recorded run, oldest first.
+
+Subcommands:
+
+* ``record``  — extract a google-benchmark JSON run into a trajectory
+  entry and append it (creating the trajectory file if needed).
+* ``compare`` — diff two runs (any mix of shapes; a trajectory
+  contributes its latest entry, or the last two entries when it is
+  the only file given).  Regressions beyond the noise threshold exit
+  non-zero, which is the CI gate for bench_solvers / bench_spmv.
+
+Examples::
+
+  bench_compare.py record --json run.json --trajectory BENCH_spmv.json \
+      --label "PR 6" --benchmark bench_spmv
+  bench_compare.py compare BENCH_solvers.json run.json --threshold 0.25
+  bench_compare.py compare BENCH_spmv.json          # last two entries
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_results(path: Path, entry_index: int = -1) -> dict[str, float]:
+    """Returns {benchmark name: real_time ns} from either file shape."""
+    data = json.loads(path.read_text())
+    if "benchmarks" in data:  # google-benchmark output
+        # Prefer the _median aggregate when the run used
+        # --benchmark_repetitions: the median shrugs off the load
+        # spikes of a shared host that poison single-shot wall times.
+        medians = {
+            b["run_name"]: float(b["real_time"])
+            for b in data["benchmarks"]
+            if b.get("run_type") == "aggregate"
+            and b.get("aggregate_name") == "median"
+            and "run_name" in b
+        }
+        singles = {
+            b["name"]: float(b["real_time"])
+            for b in data["benchmarks"]
+            if b.get("run_type", "iteration") == "iteration"
+        }
+        return {**singles, **medians} if medians else singles
+    if "entries" in data:  # committed trajectory
+        entries = data["entries"]
+        if not entries:
+            raise SystemExit(f"{path}: trajectory has no entries")
+        return {k: float(v) for k, v in entries[entry_index]["results"].items()}
+    raise SystemExit(f"{path}: neither google-benchmark nor trajectory JSON")
+
+
+def record(args: argparse.Namespace) -> int:
+    results = load_results(Path(args.json))
+    trajectory_path = Path(args.trajectory)
+    if trajectory_path.exists():
+        trajectory = json.loads(trajectory_path.read_text())
+    else:
+        trajectory = {
+            "benchmark": args.benchmark or trajectory_path.stem,
+            "unit": "ns",
+            "entries": [],
+        }
+    entry = {"label": args.label, "results": results}
+    if args.note:
+        entry["note"] = args.note
+    trajectory["entries"].append(entry)
+    trajectory_path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"recorded {len(results)} benchmarks into {trajectory_path} "
+          f"as entry {len(trajectory['entries']) - 1} ({args.label})")
+    return 0
+
+
+def compare(args: argparse.Namespace) -> int:
+    if args.new is None:
+        # Single trajectory file: compare its last two entries.
+        old = load_results(Path(args.old), entry_index=-2)
+        new = load_results(Path(args.old), entry_index=-1)
+        old_name, new_name = f"{args.old}[-2]", f"{args.old}[-1]"
+    else:
+        old = load_results(Path(args.old))
+        new = load_results(Path(args.new))
+        old_name, new_name = args.old, args.new
+
+    shared = sorted(set(old) & set(new))
+    if not shared:
+        raise SystemExit("no common benchmarks between the two runs")
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+
+    print(f"comparing {old_name} -> {new_name} "
+          f"(noise threshold {args.threshold:.0%})")
+    print(f"{'benchmark':<42} {'old ns':>12} {'new ns':>12} {'delta':>8}")
+    regressions = []
+    for name in shared:
+        delta = (new[name] - old[name]) / old[name] if old[name] else 0.0
+        marker = ""
+        if delta > args.threshold:
+            marker = "  <-- REGRESSION"
+            regressions.append((name, delta))
+        elif delta < -args.threshold:
+            marker = "  (improved)"
+        print(f"{name:<42} {old[name]:>12.1f} {new[name]:>12.1f} "
+              f"{delta:>+7.1%}{marker}")
+    for name in only_old:
+        print(f"{name:<42} {'(removed)':>12}")
+    for name in only_new:
+        print(f"{name:<42} {'(new)':>25} {new[name]:>12.1f}")
+
+    if regressions:
+        worst = max(regressions, key=lambda r: r[1])
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed beyond "
+              f"{args.threshold:.0%} (worst: {worst[0]} {worst[1]:+.1%})")
+        return 1
+    print(f"\nOK: no regression beyond {args.threshold:.0%} "
+          f"across {len(shared)} shared benchmarks")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rec = sub.add_parser("record", help="append a run to a trajectory file")
+    rec.add_argument("--json", required=True,
+                     help="google-benchmark JSON output to record")
+    rec.add_argument("--trajectory", required=True,
+                     help="trajectory file to append to (created if missing)")
+    rec.add_argument("--label", required=True,
+                     help="entry label, e.g. a PR number or commit")
+    rec.add_argument("--benchmark", default=None,
+                     help="benchmark name for a newly created trajectory")
+    rec.add_argument("--note", default=None, help="free-form entry note")
+    rec.set_defaults(func=record)
+
+    cmp_ = sub.add_parser("compare", help="diff two runs with a threshold")
+    cmp_.add_argument("old", help="baseline file (trajectory or gbench JSON)")
+    cmp_.add_argument("new", nargs="?", default=None,
+                      help="candidate file; omitted = last two entries of OLD")
+    cmp_.add_argument("--threshold", type=float, default=0.25,
+                      help="relative wall-time noise threshold "
+                           "(default 0.25 = 25%%)")
+    cmp_.set_defaults(func=compare)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -469,12 +469,12 @@ int run_sweep(const Arguments& args) {
   }
   const io::ModelFile file = io::load_model(args.model_path);
   const ctmc::SolveControl control = interactive_solve_control(args);
-  const analysis::ModelFunction metric_fn =
-      [&](const expr::ParameterSet& params) {
+  const analysis::ContextModelFunction metric_fn =
+      [&](const expr::ParameterSet& params, ctmc::SolveCache& cache) {
+        const ctmc::Ctmc chain = file.model.bind(params);
         const auto m = core::availability_metrics(
-            file.model.bind(params),
-            ctmc::solve_steady_state(file.model.bind(params), args.method,
-                                     ctmc::Validation::kOn, control));
+            chain, cache.steady_state(chain, args.method,
+                                      ctmc::Validation::kOn, control));
         if (args.metric == "downtime") return m.downtime_minutes_per_year;
         if (args.metric == "mtbf") return m.mtbf_hours;
         return m.availability;
@@ -638,12 +638,12 @@ int run_uncertainty(const Arguments& args) {
   }
   const io::ModelFile file = io::load_model(args.model_path);
   const ctmc::SolveControl solve_control = batch_solve_control(args);
-  const analysis::ModelFunction metric_fn =
-      [&](const expr::ParameterSet& params) {
+  const analysis::ContextModelFunction metric_fn =
+      [&](const expr::ParameterSet& params, ctmc::SolveCache& cache) {
+        const ctmc::Ctmc chain = file.model.bind(params);
         const auto m = core::availability_metrics(
-            file.model.bind(params),
-            ctmc::solve_steady_state(file.model.bind(params), args.method,
-                                     ctmc::Validation::kOn, solve_control));
+            chain, cache.steady_state(chain, args.method,
+                                      ctmc::Validation::kOn, solve_control));
         if (args.metric == "downtime") return m.downtime_minutes_per_year;
         if (args.metric == "mtbf") return m.mtbf_hours;
         return m.availability;
