@@ -1,0 +1,113 @@
+// Sparse Krylov engine microbenchmarks (ISSUE 7): GMRES(m) and
+// BiCGStab stationary solves on the k-of-n replicated-AS family,
+// ILU(0) factorization cost, and the dense GTH comparison point at
+// the largest size where a dense Matrix is still reasonable.  Tracked
+// in the BENCH_krylov.json trajectory; google-benchmark binary.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+
+#include "linalg/gth.h"
+#include "linalg/krylov.h"
+#include "linalg/precond.h"
+#include "linalg/workspace.h"
+#include "models/kofn_as.h"
+
+namespace {
+
+using namespace rascal;
+
+models::KofnAsConfig config_for(std::size_t nodes) {
+  models::KofnAsConfig config;
+  config.nodes = nodes;
+  config.quorum = (2 * nodes + 2) / 3;  // two-thirds quorum
+  config.repair_crews = 2;
+  return config;
+}
+
+// 3^6 = 729, 3^8 = 6561, 3^10 = 59049 states.
+void BM_GmresIlu0Stationary(benchmark::State& state) {
+  const auto model =
+      models::kofn_as_sparse_model(config_for(
+          static_cast<std::size_t>(state.range(0))));
+  linalg::SolveWorkspace workspace;
+  linalg::KrylovOptions options;
+  options.precond = linalg::PrecondKind::kIlu0;
+  options.workspace = &workspace;
+  for (auto _ : state) {
+    auto result = linalg::gmres_stationary(model.generator, options);
+    benchmark::DoNotOptimize(result.x.data());
+    if (!result.converged) state.SkipWithError("gmres did not converge");
+  }
+  state.counters["states"] = static_cast<double>(model.generator.rows());
+  state.counters["nnz"] = static_cast<double>(model.generator.non_zeros());
+}
+BENCHMARK(BM_GmresIlu0Stationary)->Arg(6)->Arg(8)->Arg(10)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GmresJacobiStationary(benchmark::State& state) {
+  const auto model =
+      models::kofn_as_sparse_model(config_for(
+          static_cast<std::size_t>(state.range(0))));
+  linalg::SolveWorkspace workspace;
+  linalg::KrylovOptions options;
+  options.precond = linalg::PrecondKind::kJacobi;
+  options.workspace = &workspace;
+  for (auto _ : state) {
+    auto result = linalg::gmres_stationary(model.generator, options);
+    benchmark::DoNotOptimize(result.x.data());
+    if (!result.converged) state.SkipWithError("gmres did not converge");
+  }
+}
+BENCHMARK(BM_GmresJacobiStationary)->Arg(6)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_BiCgStabIlu0Stationary(benchmark::State& state) {
+  const auto model =
+      models::kofn_as_sparse_model(config_for(
+          static_cast<std::size_t>(state.range(0))));
+  linalg::SolveWorkspace workspace;
+  linalg::KrylovOptions options;
+  options.precond = linalg::PrecondKind::kIlu0;
+  options.workspace = &workspace;
+  for (auto _ : state) {
+    auto result = linalg::bicgstab_stationary(model.generator, options);
+    benchmark::DoNotOptimize(result.x.data());
+    if (!result.converged) state.SkipWithError("bicgstab did not converge");
+  }
+}
+BENCHMARK(BM_BiCgStabIlu0Stationary)->Arg(6)->Arg(8)->Arg(10)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Ilu0Factorization(benchmark::State& state) {
+  const auto model =
+      models::kofn_as_sparse_model(config_for(
+          static_cast<std::size_t>(state.range(0))));
+  const linalg::CsrMatrix a = linalg::stationary_system(model.generator);
+  for (auto _ : state) {
+    auto precond =
+        linalg::make_preconditioner(linalg::PrecondKind::kIlu0, a);
+    benchmark::DoNotOptimize(precond.get());
+  }
+  state.counters["nnz"] = static_cast<double>(a.non_zeros());
+}
+BENCHMARK(BM_Ilu0Factorization)->Arg(6)->Arg(8)->Arg(10)
+    ->Unit(benchmark::kMicrosecond);
+
+// The dense comparison point the sparse engine replaces: GTH on the
+// 729-state tier (already ~4.3 MB of Matrix; 3^10 would be 28 GB).
+void BM_DenseGthStationary(benchmark::State& state) {
+  const auto model =
+      models::kofn_as_sparse_model(config_for(
+          static_cast<std::size_t>(state.range(0))));
+  const linalg::Matrix q = model.generator.to_dense();
+  for (auto _ : state) {
+    auto pi = linalg::gth_stationary(q);
+    benchmark::DoNotOptimize(pi.data());
+  }
+}
+BENCHMARK(BM_DenseGthStationary)->Arg(6)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -20,6 +20,8 @@ const char* method_name(ctmc::SteadyStateMethod method) {
     case ctmc::SteadyStateMethod::kLu: return "lu";
     case ctmc::SteadyStateMethod::kPower: return "power";
     case ctmc::SteadyStateMethod::kGaussSeidel: return "gauss-seidel";
+    case ctmc::SteadyStateMethod::kGmres: return "gmres";
+    case ctmc::SteadyStateMethod::kBiCgStab: return "bicgstab";
   }
   return "?";
 }
@@ -327,6 +329,87 @@ OracleReport check_simulation_consensus(const ctmc::Ctmc& chain,
       options.ci_factor * half_width + options.ci_absolute_floor;
   report.expect_close("analytic vs simulated availability (CI-aware)",
                       analytic, sim.availability, tolerance);
+  return report;
+}
+
+OracleReport check_krylov_consensus(const ctmc::Ctmc& chain,
+                                    const OracleOptions& options) {
+  OracleReport report;
+
+  ctmc::SteadyState ref;
+  bool ref_refused = false;
+  try {
+    ref = ctmc::solve_steady_state(chain, ctmc::SteadyStateMethod::kGth);
+  } catch (const std::exception&) {
+    ref_refused = true;
+  }
+
+  const ctmc::SteadyStateMethod methods[] = {
+      ctmc::SteadyStateMethod::kGmres, ctmc::SteadyStateMethod::kBiCgStab};
+  const linalg::PrecondKind preconds[] = {linalg::PrecondKind::kNone,
+                                          linalg::PrecondKind::kJacobi,
+                                          linalg::PrecondKind::kIlu0};
+
+  // One workspace shared across every variant, so each solve after
+  // the first runs against deliberately dirty Krylov scratch.
+  linalg::SolveWorkspace workspace;
+  for (const auto method : methods) {
+    for (const auto precond : preconds) {
+      const std::string name = std::string(method_name(method)) + "+" +
+                               linalg::precond_name(precond);
+      ctmc::SolveControl control;
+      control.precond = precond;
+
+      ctmc::SteadyState fresh;
+      try {
+        fresh = ctmc::solve_steady_state(chain, method, ctmc::Validation::kOn,
+                                         control);
+      } catch (const std::exception& e) {
+        ++report.checks;
+        // A chain the dense reference refuses must be refused by the
+        // sparse engine too; anything else is divergence.
+        if (!ref_refused) {
+          report.failures.push_back(name + ": threw: " + e.what());
+        }
+        continue;
+      }
+      if (ref_refused) {
+        ++report.checks;
+        report.failures.push_back(name +
+                                  ": solved a chain the GTH reference "
+                                  "refused");
+        continue;
+      }
+
+      report.expect_close("residual ||pi Q|| (" + name + ")", fresh.residual,
+                          0.0, options.steady_tolerance);
+      for (std::size_t s = 0; s < chain.num_states(); ++s) {
+        report.expect_close(name + " vs gth pi[" + chain.state_name(s) + "]",
+                            fresh.probabilities[s], ref.probabilities[s],
+                            options.steady_tolerance);
+      }
+      report.expect_close(name + " vs gth availability",
+                          availability_of(chain, fresh.probabilities),
+                          availability_of(chain, ref.probabilities),
+                          options.steady_tolerance);
+
+      // Bit-identity through a reused, dirty workspace.
+      control.workspace = &workspace;
+      for (int rep = 0; rep < 2; ++rep) {
+        const auto reused = ctmc::solve_steady_state(
+            chain, method, ctmc::Validation::kOn, control);
+        const std::string what = name + " workspace rep " +
+                                 std::to_string(rep);
+        for (std::size_t s = 0; s < chain.num_states(); ++s) {
+          report.expect_close(what + " pi[" + chain.state_name(s) + "]",
+                              reused.probabilities[s], fresh.probabilities[s],
+                              0.0);
+        }
+        report.expect_close(what + " residual", reused.residual,
+                            fresh.residual, 0.0);
+      }
+    }
+  }
   return report;
 }
 

@@ -88,4 +88,14 @@ struct OracleOptions {
 [[nodiscard]] OracleReport check_workspace_consensus(
     const ctmc::Ctmc& chain, double t, const OracleOptions& options = {});
 
+/// Differential gate for the sparse Krylov engine: GMRES and BiCGStab
+/// under every preconditioner (none, Jacobi, ILU(0)) must agree with
+/// the dense GTH reference per-state and on availability, each
+/// solution's balance residual must meet tolerance, a chain GTH
+/// refuses must be refused by every Krylov variant too, and a solve
+/// through a reused (dirty) SolveWorkspace must reproduce the fresh
+/// Krylov solve bit-for-bit (tolerance zero).
+[[nodiscard]] OracleReport check_krylov_consensus(
+    const ctmc::Ctmc& chain, const OracleOptions& options = {});
+
 }  // namespace rascal::check

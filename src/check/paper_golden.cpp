@@ -1,12 +1,15 @@
 #include "check/paper_golden.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "analysis/uncertainty.h"
 #include "core/metrics.h"
+#include "ctmc/steady_state.h"
 #include "models/hadb_pair.h"
 #include "models/hadb_spares.h"
 #include "models/jsas_system.h"
+#include "models/kofn_as.h"
 #include "models/params.h"
 
 namespace rascal::check {
@@ -121,16 +124,47 @@ GoldenRecord uncertainty_golden() {
   return record;
 }
 
+// k-of-n replicated-AS tier, solved through the sparse Krylov path
+// (GMRES is forced via a sparse_threshold below the state count, so
+// this record regresses the Krylov engine end to end, not GTH).
+GoldenRecord kofn_as_golden() {
+  GoldenRecord record;
+  ctmc::SolveControl control;
+  control.sparse_threshold = 8;  // every config below exceeds this
+  control.escalate = false;
+  for (const auto& [quorum, label] :
+       {std::pair<std::size_t, const char*>{4, "quorum4"},
+        std::pair<std::size_t, const char*>{6, "quorum6"}}) {
+    models::KofnAsConfig config;
+    config.nodes = 6;
+    config.quorum = quorum;
+    config.repair_crews = 2;
+    const ctmc::Ctmc chain = models::kofn_as_model(config);
+    const auto steady = ctmc::solve_steady_state(
+        chain, ctmc::SteadyStateMethod::kGmres, ctmc::Validation::kOn,
+        control);
+    const auto metrics = core::availability_metrics(chain, steady);
+    const std::string prefix = std::string("kofn_as.n6.") + label;
+    record[prefix + ".availability"] = analytic(metrics.availability);
+    record[prefix + ".downtime_minutes_per_year"] =
+        analytic(metrics.downtime_minutes_per_year);
+    record[prefix + ".mtbf_hours"] = analytic(metrics.mtbf_hours);
+    record[prefix + ".mttr_hours"] = analytic(metrics.mttr_hours);
+  }
+  return record;
+}
+
 }  // namespace
 
 std::vector<std::string> paper_golden_groups() {
-  return {"jsas", "hadb", "uncertainty"};
+  return {"jsas", "hadb", "uncertainty", "kofn_as"};
 }
 
 GoldenRecord compute_paper_golden(const std::string& group) {
   if (group == "jsas") return jsas_golden();
   if (group == "hadb") return hadb_golden();
   if (group == "uncertainty") return uncertainty_golden();
+  if (group == "kofn_as") return kofn_as_golden();
   throw std::invalid_argument("unknown golden group: " + group);
 }
 

@@ -8,6 +8,8 @@
 //   uncertainty — Section 7 Monte Carlo statistics for Configs 1 and 2
 //                 (mean yearly downtime, 80%/90% intervals, five-9s
 //                 fraction), fixed seed, 300 snapshots
+//   kofn_as     — k-of-n replicated-AS extension solved through the
+//                 sparse GMRES path (regresses the Krylov engine)
 //
 // Everything is deterministic: analytic metrics exactly, sampled
 // metrics via the fixed-seed RandomEngine.  Tolerances implement the

@@ -140,6 +140,40 @@ ctmc::Ctmc rescale_rates(const ctmc::Ctmc& chain, double factor) {
   return ctmc::Ctmc(chain.states(), std::move(transitions));
 }
 
+ctmc::Ctmc permute_states(const ctmc::Ctmc& chain,
+                          const std::vector<std::size_t>& perm) {
+  const std::size_t n = chain.num_states();
+  if (perm.size() != n) {
+    throw std::invalid_argument("permute_states: permutation size mismatch");
+  }
+  std::vector<bool> seen(n, false);
+  for (const std::size_t p : perm) {
+    if (p >= n || seen[p]) {
+      throw std::invalid_argument("permute_states: not a permutation");
+    }
+    seen[p] = true;
+  }
+  std::vector<ctmc::State> states(n);
+  for (std::size_t i = 0; i < n; ++i) states[perm[i]] = chain.states()[i];
+  std::vector<ctmc::Transition> transitions = chain.transitions();
+  for (ctmc::Transition& t : transitions) {
+    t.from = perm[t.from];
+    t.to = perm[t.to];
+  }
+  return ctmc::Ctmc(std::move(states), std::move(transitions));
+}
+
+std::vector<std::size_t> random_permutation(std::size_t n,
+                                            stats::RandomEngine& rng) {
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = rng.uniform_index(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
 RawModel raw_model(const ctmc::Ctmc& chain) {
   return {chain.states(), chain.transitions()};
 }

@@ -69,6 +69,20 @@ struct GeneratedModel {
 [[nodiscard]] ctmc::Ctmc rescale_rates(const ctmc::Ctmc& chain,
                                        double factor);
 
+/// Relabels the states: new state perm[i] is old state i (perm must
+/// be a permutation of 0..n-1).  The basis of the state-permutation
+/// metamorphic property: pi_new[perm[i]] must equal pi_old[i] for
+/// every solver, which a solver with an order-dependent bias (e.g.
+/// the Krylov augmented system pinning the *last* balance row) would
+/// violate.  Throws std::invalid_argument on a malformed permutation.
+[[nodiscard]] ctmc::Ctmc permute_states(
+    const ctmc::Ctmc& chain, const std::vector<std::size_t>& perm);
+
+/// A seeded random permutation of 0..n-1 (Fisher-Yates on the split
+/// stream), for driving permute_states.
+[[nodiscard]] std::vector<std::size_t> random_permutation(
+    std::size_t n, stats::RandomEngine& rng);
+
 // ---------------------------------------------------------------------------
 // Broken-model mutants for linter property testing.
 //

@@ -26,6 +26,9 @@ const SteadyState& SolveCache::steady_state(const Ctmc& chain,
   key_builder.add_u64(validation == Validation::kOn ? 1 : 0);
   key_builder.add_u64(control.max_iterations);
   key_builder.add_u64(control.escalate ? 1 : 0);
+  key_builder.add_u64(control.sparse_threshold);
+  key_builder.add_u64(static_cast<std::uint64_t>(control.precond));
+  key_builder.add_u64(control.gmres_restart);
   const std::uint64_t key = key_builder.value();
 
   if (valid_ && key == key_) {

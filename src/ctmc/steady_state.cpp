@@ -5,6 +5,7 @@
 
 #include "linalg/gth.h"
 #include "linalg/iterative.h"
+#include "linalg/krylov.h"
 #include "linalg/lu.h"
 #include "obs/obs.h"
 
@@ -18,6 +19,8 @@ const char* method_slug(SteadyStateMethod method) {
     case SteadyStateMethod::kLu: return "lu";
     case SteadyStateMethod::kPower: return "power";
     case SteadyStateMethod::kGaussSeidel: return "gauss_seidel";
+    case SteadyStateMethod::kGmres: return "gmres";
+    case SteadyStateMethod::kBiCgStab: return "bicgstab";
   }
   return "unknown";
 }
@@ -147,6 +150,19 @@ SteadyState solve_steady_state(const Ctmc& chain, SteadyStateMethod method,
   linalg::SolveWorkspace* ws =
       control.workspace != nullptr ? control.workspace : &local_ws;
 
+  // Dense/sparse boundary: above the threshold a dense-method request
+  // is re-routed to the sparse GMRES path, never materializing the
+  // n x n Matrix, and escalation refuses to densify.
+  const std::size_t sparse_threshold = control.sparse_threshold > 0
+                                           ? control.sparse_threshold
+                                           : kDefaultSparseThreshold;
+  SteadyStateMethod effective = method;
+  if ((method == SteadyStateMethod::kGth || method == SteadyStateMethod::kLu) &&
+      chain.num_states() > sparse_threshold) {
+    effective = SteadyStateMethod::kGmres;
+    if (obs::enabled()) obs::counter("ctmc.solver.sparse_rerouted").add(1);
+  }
+
   const auto residual_of = [&chain, ws](const linalg::Vector& pi) {
     return residual_inf(chain, pi, ws->vec(1, 0));
   };
@@ -156,14 +172,15 @@ SteadyState solve_steady_state(const Ctmc& chain, SteadyStateMethod method,
     linalg::gth_stationary_in(q, pi);
   };
   const auto escalate_to_gth = [&](SteadyState& result) {
-    record_escalation(method);
+    record_escalation(effective);
     solve_gth(result.probabilities);
     result.escalated = true;
   };
 
   SteadyState result;
   result.method = method;
-  switch (method) {
+  result.effective_method = effective;
+  switch (effective) {
     case SteadyStateMethod::kGth:
       solve_gth(result.probabilities);
       break;
@@ -198,8 +215,16 @@ SteadyState solve_steady_state(const Ctmc& chain, SteadyStateMethod method,
       }
       if (!it.converged) {
         record_nonconvergence(method, it.iterations);
-        if (control.escalate) {
+        if (control.escalate && chain.num_states() <= sparse_threshold) {
           escalate_to_gth(result);
+        } else if (control.escalate) {
+          throw NonConvergenceError(
+              std::string("solve_steady_state: ") + method_slug(method) +
+              " did not converge within " + std::to_string(it.iterations) +
+              " iterations; " + std::to_string(chain.num_states()) +
+              " states exceed the sparse threshold (" +
+              std::to_string(sparse_threshold) +
+              "), so dense GTH escalation is unavailable");
         } else {
           throw NonConvergenceError(
               std::string("solve_steady_state: ") + method_slug(method) +
@@ -212,9 +237,73 @@ SteadyState solve_steady_state(const Ctmc& chain, SteadyStateMethod method,
       }
       break;
     }
+    case SteadyStateMethod::kGmres:
+    case SteadyStateMethod::kBiCgStab: {
+      linalg::KrylovOptions kopts;
+      if (control.max_iterations > 0) {
+        kopts.max_iterations = control.max_iterations;
+      }
+      if (control.gmres_restart > 0) kopts.restart = control.gmres_restart;
+      kopts.precond = control.precond;
+      kopts.cancel = control.cancel;
+      kopts.workspace = ws;
+
+      linalg::KrylovResult kr;
+      bool precond_rejected = false;
+      std::string failure_note;
+      try {
+        kr = effective == SteadyStateMethod::kGmres
+                 ? linalg::gmres_stationary(chain.sparse_generator(), kopts)
+                 : linalg::bicgstab_stationary(chain.sparse_generator(),
+                                               kopts);
+      } catch (const linalg::PrecondError& e) {
+        // A structurally unusable pattern (e.g. absorbing state with
+        // validation off) is handled like nonconvergence so the
+        // escalation cascade can still rescue the solve.
+        precond_rejected = true;
+        failure_note = e.what();
+      }
+      if (!precond_rejected && kr.cancelled) {
+        // Never escalate a cancelled solve: the caller asked to stop.
+        throw resil::CancelledError(
+            std::string("solve_steady_state: ") + method_slug(effective) +
+            " solve cancelled after " + std::to_string(kr.iterations) +
+            " iterations");
+      }
+      if (precond_rejected || !kr.converged) {
+        if (!precond_rejected) {
+          failure_note = std::string(kr.breakdown ? "broke down"
+                                                  : "did not converge") +
+                         " within " + std::to_string(kr.iterations) +
+                         " iterations (residual " +
+                         std::to_string(kr.residual) + ")";
+        }
+        record_nonconvergence(effective,
+                              precond_rejected ? 0 : kr.iterations);
+        if (control.escalate && chain.num_states() <= sparse_threshold) {
+          escalate_to_gth(result);
+        } else if (control.escalate) {
+          throw NonConvergenceError(
+              std::string("solve_steady_state: ") + method_slug(effective) +
+              " " + failure_note + "; " +
+              std::to_string(chain.num_states()) +
+              " states exceed the sparse threshold (" +
+              std::to_string(sparse_threshold) +
+              "), so dense GTH escalation is unavailable");
+        } else {
+          throw NonConvergenceError(std::string("solve_steady_state: ") +
+                                    method_slug(effective) + " " +
+                                    failure_note);
+        }
+      } else {
+        result.probabilities = std::move(kr.x);
+        result.iterations = kr.iterations;
+      }
+      break;
+    }
   }
   result.residual = residual_of(result.probabilities);
-  record_solve_telemetry(method, result);
+  record_solve_telemetry(effective, result);
   return result;
 }
 

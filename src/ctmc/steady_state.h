@@ -6,6 +6,7 @@
 #include "ctmc/ctmc.h"
 #include "ctmc/validate.h"
 #include "linalg/matrix.h"
+#include "linalg/precond.h"
 #include "linalg/workspace.h"
 #include "resil/cancel.h"
 
@@ -16,7 +17,16 @@ enum class SteadyStateMethod {
   kLu,           // direct solve of pi Q = 0 with normalization row
   kPower,        // power iteration on the uniformized chain
   kGaussSeidel,  // Gauss-Seidel sweeps on the balance equations
+  kGmres,        // sparse GMRES(m) on the normalized augmented system
+  kBiCgStab,     // sparse BiCGStab on the same system
 };
+
+/// Chains with more states than this never materialize a dense n x n
+/// Matrix: dense method requests re-route to the sparse GMRES path,
+/// and Krylov nonconvergence escalates to dense GTH only below it.
+/// 2048 states is the point where the dense image (33 MB) and the
+/// O(n^3) eliminations stop being a sensible per-sample cost.
+inline constexpr std::size_t kDefaultSparseThreshold = 2048;
 
 /// An iterative method exhausted its iteration budget without meeting
 /// tolerance (and escalation was disabled or also failed).
@@ -39,8 +49,26 @@ struct SolveControl {
   /// near-singular (throws or leaves a large residual); power /
   /// Gauss-Seidel escalate to GTH on nonconvergence instead of
   /// throwing.  The result records `escalated = true` and keeps the
-  /// originally requested method for reporting.
+  /// originally requested method for reporting.  The cascade crosses
+  /// the dense/sparse boundary in both directions: a Krylov solve
+  /// that fails to converge (or whose preconditioner rejects the
+  /// pattern) escalates to dense GTH when the state count fits under
+  /// `sparse_threshold`, and raises NonConvergenceError when the
+  /// chain is too large for any dense fallback.
   bool escalate = false;
+
+  /// Dense/sparse boundary (0 = kDefaultSparseThreshold): above this
+  /// many states, kGth/kLu requests are re-routed to the sparse GMRES
+  /// path instead of building a dense Matrix, and escalation refuses
+  /// to densify.  The result records the re-route in
+  /// `effective_method`.
+  std::size_t sparse_threshold = 0;
+
+  /// Preconditioner for the Krylov methods (kGmres/kBiCgStab).
+  linalg::PrecondKind precond = linalg::PrecondKind::kIlu0;
+
+  /// GMRES(m) restart length (0 = library default).
+  std::size_t gmres_restart = 0;
 
   /// Optional reusable scratch storage (dense elimination matrix, LU
   /// factors, residual vectors).  Batch drivers give each worker its
@@ -52,6 +80,10 @@ struct SolveControl {
 struct SteadyState {
   linalg::Vector probabilities;
   SteadyStateMethod method = SteadyStateMethod::kGth;
+  /// Method that actually produced the numbers: differs from `method`
+  /// when a dense request was re-routed to the sparse path (state
+  /// count above SolveControl::sparse_threshold).
+  SteadyStateMethod effective_method = SteadyStateMethod::kGth;
   std::size_t iterations = 0;  // 0 for direct methods
   double residual = 0.0;       // ||pi Q||_inf
   bool escalated = false;      // fell back to GTH (see SolveControl)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 
 namespace rascal::linalg {
@@ -41,23 +42,56 @@ void CsrMatrix::build(const std::vector<Triplet>& triplets) {
     values_[k] = t.value;
   }
 
-  // Order each row by column.  Insertion sort is stable (duplicate
-  // columns keep input order for the merge below) and CTMC rows are
-  // short, typically already sorted.
+  // Order each row by column.  Already-sorted rows (the common CTMC
+  // case) are detected in O(row length) and left alone.  Short
+  // unsorted rows use a stable insertion sort; long ones — e.g. a
+  // fully-dense normalization row assembled in arbitrary order, where
+  // insertion sort would go quadratic — use a stable permutation
+  // sort.  Both keep input order among duplicate columns, so the
+  // merge below sums duplicates in the same order either way.
+  constexpr std::size_t kInsertionSortMax = 32;
+  std::vector<std::size_t> perm;
+  std::vector<std::size_t> tmp_cols;
+  std::vector<double> tmp_vals;
   for (std::size_t r = 0; r < rows_; ++r) {
     const std::size_t b = row_ptr_[r];
     const std::size_t e = row_ptr_[r + 1];
+    bool sorted = true;
     for (std::size_t i = b + 1; i < e; ++i) {
-      const std::size_t c = col_idx_[i];
-      const double v = values_[i];
-      std::size_t j = i;
-      while (j > b && col_idx_[j - 1] > c) {
-        col_idx_[j] = col_idx_[j - 1];
-        values_[j] = values_[j - 1];
-        --j;
+      if (col_idx_[i - 1] > col_idx_[i]) {
+        sorted = false;
+        break;
       }
-      col_idx_[j] = c;
-      values_[j] = v;
+    }
+    if (sorted) continue;
+    if (e - b <= kInsertionSortMax) {
+      for (std::size_t i = b + 1; i < e; ++i) {
+        const std::size_t c = col_idx_[i];
+        const double v = values_[i];
+        std::size_t j = i;
+        while (j > b && col_idx_[j - 1] > c) {
+          col_idx_[j] = col_idx_[j - 1];
+          values_[j] = values_[j - 1];
+          --j;
+        }
+        col_idx_[j] = c;
+        values_[j] = v;
+      }
+    } else {
+      perm.resize(e - b);
+      std::iota(perm.begin(), perm.end(), std::size_t{0});
+      std::stable_sort(perm.begin(), perm.end(),
+                       [&](std::size_t a, std::size_t z) {
+                         return col_idx_[b + a] < col_idx_[b + z];
+                       });
+      tmp_cols.assign(col_idx_.begin() + static_cast<std::ptrdiff_t>(b),
+                      col_idx_.begin() + static_cast<std::ptrdiff_t>(e));
+      tmp_vals.assign(values_.begin() + static_cast<std::ptrdiff_t>(b),
+                      values_.begin() + static_cast<std::ptrdiff_t>(e));
+      for (std::size_t i = 0; i < perm.size(); ++i) {
+        col_idx_[b + i] = tmp_cols[perm[i]];
+        values_[b + i] = tmp_vals[perm[i]];
+      }
     }
   }
 

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <vector>
 
 #include "linalg/lu.h"
@@ -46,11 +47,28 @@ class SolveWorkspace {
 
   static constexpr std::size_t kVectorSlots = 4;
 
+  /// Sparse-path vector scratch: an open-ended pool of independent
+  /// slots (Krylov temporaries, preconditioner scratch), each resized
+  /// to n and zero-filled on acquisition.  Kept separate from vec()
+  /// so the dense and sparse paths never fight over the same slots
+  /// when an escalation runs both in one solve.  The pool is a deque,
+  /// so acquiring a new slot never invalidates references to slots
+  /// handed out earlier in the same solve.
+  [[nodiscard]] Vector& sparse_vec(std::size_t slot, std::size_t n);
+
+  /// Krylov basis scratch: `count` vectors each resized to n and
+  /// zero-filled; the pool shrinks logically but keeps its heap
+  /// blocks, so GMRES restart cycles reuse one allocation.
+  [[nodiscard]] std::vector<Vector>& krylov_basis(std::size_t count,
+                                                  std::size_t n);
+
  private:
   Matrix dense_;
   LuDecomposition lu_;
   std::vector<std::size_t> pivots_;
   Vector vectors_[kVectorSlots];
+  std::deque<Vector> sparse_vectors_;
+  std::vector<Vector> basis_;
 };
 
 }  // namespace rascal::linalg

@@ -22,6 +22,8 @@
 #include "faultinj/injector.h"
 #include "models/jsas_system.h"
 #include "models/params.h"
+#include "models/kofn_as.h"
+#include "obs/obs.h"
 #include "resil/chaos.h"
 #include "resil/resil.h"
 #include "sim/jsas_simulator.h"
@@ -340,6 +342,190 @@ TEST(SolverEscalation, CancelledSolveThrowsCancelledNotNonConvergence) {
                                      ctmc::SteadyStateMethod::kGaussSeidel,
                                      ctmc::Validation::kOn, control),
       resil::CancelledError);
+}
+
+// --- Sparse Krylov path ---------------------------------------------------
+
+TEST(SparseSolverEscalation, ForcedKrylovNonConvergenceEscalatesToGth) {
+  ChaosGuard guard;
+  const ctmc::Ctmc chain = availability_chain();
+  const ctmc::SteadyState reference =
+      ctmc::solve_steady_state(chain, ctmc::SteadyStateMethod::kGth);
+
+  obs::set_enabled(true);
+  obs::reset();
+  resil::chaos::configure("solver-nonconverge@0");
+  ctmc::SolveControl control;
+  control.escalate = true;
+  const ctmc::SteadyState rescued = ctmc::solve_steady_state(
+      chain, ctmc::SteadyStateMethod::kGmres, ctmc::Validation::kOn, control);
+  obs::set_enabled(false);
+
+  EXPECT_TRUE(rescued.escalated);
+  EXPECT_EQ(rescued.effective_method, ctmc::SteadyStateMethod::kGmres);
+  ASSERT_EQ(rescued.probabilities.size(), reference.probabilities.size());
+  for (std::size_t i = 0; i < reference.probabilities.size(); ++i) {
+    EXPECT_EQ(rescued.probabilities[i], reference.probabilities[i]) << i;
+  }
+  EXPECT_EQ(obs::counter("ctmc.solver.escalated.gmres_to_gth").value(), 1u);
+  EXPECT_EQ(obs::counter("ctmc.solver.nonconverged").value(), 1u);
+}
+
+TEST(SparseSolverEscalation, RefusesToDensifyAboveTheSparseThreshold) {
+  // The explicit dense/sparse boundary: with the threshold below the
+  // state count, a nonconverging Krylov solve may NOT escalate into a
+  // dense GTH (that would materialize the n x n matrix the caller
+  // asked to avoid) — it must throw instead.
+  ChaosGuard guard;
+  const ctmc::Ctmc chain = availability_chain();
+  resil::chaos::configure("solver-nonconverge@0");
+  ctmc::SolveControl control;
+  control.escalate = true;
+  control.sparse_threshold = 2;  // chain has 3 states
+  try {
+    (void)ctmc::solve_steady_state(chain, ctmc::SteadyStateMethod::kGmres,
+                                   ctmc::Validation::kOn, control);
+    FAIL() << "expected NonConvergenceError";
+  } catch (const ctmc::NonConvergenceError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("exceed the sparse threshold"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("gmres"), std::string::npos) << what;
+  }
+
+  // Same forced failure with the threshold at/above the state count:
+  // dense escalation is allowed again and must equal GTH exactly.
+  const ctmc::SteadyState reference =
+      ctmc::solve_steady_state(chain, ctmc::SteadyStateMethod::kGth);
+  resil::chaos::configure("solver-nonconverge@0");
+  control.sparse_threshold = chain.num_states();
+  const ctmc::SteadyState rescued = ctmc::solve_steady_state(
+      chain, ctmc::SteadyStateMethod::kGmres, ctmc::Validation::kOn, control);
+  EXPECT_TRUE(rescued.escalated);
+  for (std::size_t i = 0; i < reference.probabilities.size(); ++i) {
+    EXPECT_EQ(rescued.probabilities[i], reference.probabilities[i]) << i;
+  }
+}
+
+TEST(SparseSolverEscalation, DenseMethodsRerouteToGmresAboveTheThreshold) {
+  // A kGth request above the threshold silently runs the sparse
+  // engine instead (recorded in effective_method and the obs counter)
+  // and still produces the stationary distribution.
+  models::KofnAsConfig config;
+  config.nodes = 2;  // 9 states
+  config.quorum = 1;
+  config.repair_crews = 1;
+  const ctmc::Ctmc chain = models::kofn_as_model(config);
+  const ctmc::SteadyState reference =
+      ctmc::solve_steady_state(chain, ctmc::SteadyStateMethod::kGth);
+
+  obs::set_enabled(true);
+  obs::reset();
+  ctmc::SolveControl control;
+  control.sparse_threshold = 4;
+  const ctmc::SteadyState rerouted = ctmc::solve_steady_state(
+      chain, ctmc::SteadyStateMethod::kGth, ctmc::Validation::kOn, control);
+  obs::set_enabled(false);
+
+  EXPECT_EQ(rerouted.method, ctmc::SteadyStateMethod::kGth);
+  EXPECT_EQ(rerouted.effective_method, ctmc::SteadyStateMethod::kGmres);
+  EXPECT_FALSE(rerouted.escalated);
+  EXPECT_EQ(obs::counter("ctmc.solver.sparse_rerouted").value(), 1u);
+  EXPECT_EQ(obs::counter("ctmc.solver.solves.gmres").value(), 1u);
+  ASSERT_EQ(rerouted.probabilities.size(), reference.probabilities.size());
+  for (std::size_t i = 0; i < reference.probabilities.size(); ++i) {
+    EXPECT_NEAR(rerouted.probabilities[i], reference.probabilities[i], 1e-10)
+        << i;
+  }
+}
+
+TEST(SparseSolverEscalation, CancelledKrylovSolveThrowsCancelled) {
+  resil::CancellationToken cancel;
+  cancel.request_cancel();
+  ctmc::SolveControl control;
+  control.cancel = &cancel;
+  control.escalate = true;  // must NOT mask cancellation via GTH
+  EXPECT_THROW(
+      (void)ctmc::solve_steady_state(availability_chain(),
+                                     ctmc::SteadyStateMethod::kGmres,
+                                     ctmc::Validation::kOn, control),
+      resil::CancelledError);
+}
+
+// Availability of a small k-of-n tier solved strictly through the
+// sparse Krylov path (the threshold below the state count guarantees
+// no dense matrix is ever built).
+const analysis::ModelFunction kSparseKofnModel =
+    [](const expr::ParameterSet& p) {
+      models::KofnAsConfig config;
+      config.nodes = 3;  // 27 states
+      config.quorum = 2;
+      config.repair_crews = 1;
+      config.failure_rate = p.get("fr");
+      config.rebuild_rate = p.get("rb");
+      const ctmc::Ctmc chain = models::kofn_as_model(config);
+      ctmc::SolveControl control;
+      control.sparse_threshold = 8;  // force the Krylov path
+      control.escalate = false;
+      const auto steady = ctmc::solve_steady_state(
+          chain, ctmc::SteadyStateMethod::kGmres, ctmc::Validation::kOn,
+          control);
+      double availability = 0.0;
+      for (std::size_t i = 0; i < chain.num_states(); ++i) {
+        availability += steady.probabilities[i] * chain.states()[i].reward;
+      }
+      return availability;
+    };
+
+TEST(ResilientUncertainty, SparsePathResumesBitIdenticallyAcrossThreads) {
+  // Checkpoint/resume bit-identity for an uncertainty run whose every
+  // sample solves through the sparse Krylov path: interrupt a
+  // 4-thread run, resume single-threaded, and demand the merged
+  // output equal an uninterrupted run bit for bit.
+  const std::string path = temp_path("uncertainty_sparse_resume.json");
+  std::remove(path.c_str());
+
+  const expr::ParameterSet base{{"fr", 0.02}, {"rb", 0.5}};
+  const std::vector<stats::ParameterRange> ranges = {{"fr", 0.005, 0.1},
+                                                     {"rb", 0.1, 1.0}};
+  analysis::UncertaintyOptions options;
+  options.samples = 32;
+  options.seed = 23;
+  options.threads = 4;
+  const std::uint64_t digest =
+      analysis::uncertainty_checkpoint_digest(options, ranges);
+
+  const auto straight =
+      analysis::uncertainty_analysis(kSparseKofnModel, base, ranges, options);
+
+  std::atomic<int> calls{0};
+  resil::CancellationToken cancel;
+  const analysis::ModelFunction cancelling_model =
+      [&](const expr::ParameterSet& p) {
+        if (calls.fetch_add(1) + 1 == 6) cancel.request_cancel();
+        return kSparseKofnModel(p);
+      };
+  resil::Checkpointer first(path, "uncertainty", digest, options.samples);
+  first.set_flush_every(1);
+  options.control.cancel = &cancel;
+  options.control.checkpoint = &first;
+  const auto partial = analysis::uncertainty_analysis(cancelling_model, base,
+                                                      ranges, options);
+  ASSERT_TRUE(partial.interrupted);
+  EXPECT_LT(partial.completed, partial.requested);
+
+  resil::Checkpointer second(path, "uncertainty", digest, options.samples);
+  EXPECT_EQ(second.resume_from_disk(), partial.completed);
+  options.control.cancel = nullptr;
+  options.control.checkpoint = &second;
+  options.threads = 1;
+  const auto resumed =
+      analysis::uncertainty_analysis(kSparseKofnModel, base, ranges, options);
+
+  EXPECT_FALSE(resumed.interrupted);
+  EXPECT_EQ(resumed.completed, resumed.requested);
+  expect_bit_identical(resumed, straight);
+  std::remove(path.c_str());
 }
 
 // --- Digests -------------------------------------------------------------

@@ -132,6 +132,68 @@ TEST(Csr, FromPartsRejectsMalformedStructure) {
                std::invalid_argument);
 }
 
+TEST(Csr, ZeroStateMatrixConstructs) {
+  // Regression: the degenerate 0 x 0 matrix (an empty CTMC would
+  // produce it) must build from both constructors without touching
+  // row_ptr past its single sentinel entry.
+  const CsrMatrix empty(0, 0, {});
+  EXPECT_EQ(empty.rows(), 0u);
+  EXPECT_EQ(empty.cols(), 0u);
+  EXPECT_EQ(empty.non_zeros(), 0u);
+  EXPECT_EQ(empty.row_ptr(), (std::vector<std::size_t>{0}));
+  EXPECT_TRUE(empty.to_dense().empty());
+
+  const CsrMatrix rebuilt = CsrMatrix::from_parts(0, 0, {0}, {}, {});
+  EXPECT_EQ(rebuilt.non_zeros(), 0u);
+
+  // Multiplying by the empty vector is a no-op, not an error.
+  Vector y{99.0};
+  empty.multiply_into(Vector{}, y);
+  EXPECT_TRUE(y.empty());
+}
+
+TEST(Csr, FullyDenseRowSortsStably) {
+  // Regression for the per-row sort: the stationary augmented system
+  // appends one fully dense row (the normalization row), long enough
+  // to leave the insertion-sort fast path.  Feed that row's entries
+  // in strictly descending column order — the historical worst case —
+  // plus duplicates that must be summed in first-appearance order.
+  constexpr std::size_t n = 257;  // > the 32-entry insertion cutoff
+  std::vector<Triplet> triplets;
+  triplets.reserve(n + 2);
+  for (std::size_t j = n; j-- > 0;) {
+    triplets.push_back({0, j, static_cast<double>(j) + 1.0});
+  }
+  // Duplicates landing mid-row after the sort.
+  triplets.push_back({0, 7, 0.5});
+  triplets.push_back({0, 7, 0.25});
+  const CsrMatrix m(1, n, std::move(triplets));
+  ASSERT_EQ(m.non_zeros(), n);
+  const auto& cols = m.col_idx();
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_EQ(cols[j], j);
+    const double expected =
+        j == 7 ? 8.0 + 0.5 + 0.25 : static_cast<double>(j) + 1.0;
+    EXPECT_DOUBLE_EQ(m.values()[j], expected);
+  }
+}
+
+TEST(Csr, LongSortedRowSkipsTheSort) {
+  // The sorted-detection scan must leave an already-ordered dense row
+  // untouched (SPN emission produces rows in this form).
+  constexpr std::size_t n = 100;
+  std::vector<Triplet> triplets;
+  for (std::size_t j = 0; j < n; ++j) {
+    triplets.push_back({0, j, 1.0 / (static_cast<double>(j) + 1.0)});
+  }
+  const CsrMatrix m(1, n, std::move(triplets));
+  ASSERT_EQ(m.non_zeros(), n);
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_EQ(m.col_idx()[j], j);
+    EXPECT_DOUBLE_EQ(m.values()[j], 1.0 / (static_cast<double>(j) + 1.0));
+  }
+}
+
 TEST(Csr, MultiplyIntoMatchesMultiply) {
   const CsrMatrix m(2, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {1, 1, 3.0}});
   const Vector x{1.0, 2.0, 3.0};

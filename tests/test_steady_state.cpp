@@ -56,7 +56,9 @@ INSTANTIATE_TEST_SUITE_P(Methods, AllMethods,
                          ::testing::Values(SteadyStateMethod::kGth,
                                            SteadyStateMethod::kLu,
                                            SteadyStateMethod::kPower,
-                                           SteadyStateMethod::kGaussSeidel),
+                                           SteadyStateMethod::kGaussSeidel,
+                                           SteadyStateMethod::kGmres,
+                                           SteadyStateMethod::kBiCgStab),
                          [](const auto& param_info) {
                            switch (param_info.param) {
                              case SteadyStateMethod::kGth: return "Gth";
@@ -64,6 +66,9 @@ INSTANTIATE_TEST_SUITE_P(Methods, AllMethods,
                              case SteadyStateMethod::kPower: return "Power";
                              case SteadyStateMethod::kGaussSeidel:
                                return "GaussSeidel";
+                             case SteadyStateMethod::kGmres: return "Gmres";
+                             case SteadyStateMethod::kBiCgStab:
+                               return "BiCgStab";
                            }
                            return "Unknown";
                          });

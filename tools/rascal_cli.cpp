@@ -92,7 +92,9 @@ int usage() {
   std::cerr
       << "usage:\n"
          "  rascal_cli solve  MODEL.rasc [--set NAME=VALUE ...] "
-         "[--method gth|lu|power|gauss-seidel]\n"
+         "[--method gth|lu|power|gauss-seidel|gmres|bicgstab]\n"
+         "             [--precond none|jacobi|ilu0]"
+         " [--sparse-threshold N]\n"
          "  rascal_cli lint   MODEL.rasc [--set NAME=VALUE ...] [--json]"
          " [--werror]\n"
          "             (static analysis; exit 3 on errors, or on"
@@ -147,6 +149,8 @@ struct Arguments {
   std::string model_path;
   expr::ParameterSet overrides;
   ctmc::SteadyStateMethod method = ctmc::SteadyStateMethod::kGth;
+  linalg::PrecondKind precond = linalg::PrecondKind::kIlu0;
+  std::size_t sparse_threshold = 0;  // 0 = library default
   std::string sweep_param;
   double from = 0.0;
   double to = 0.0;
@@ -241,6 +245,8 @@ const char* method_name(ctmc::SteadyStateMethod method) {
     case ctmc::SteadyStateMethod::kLu: return "lu";
     case ctmc::SteadyStateMethod::kPower: return "power";
     case ctmc::SteadyStateMethod::kGaussSeidel: return "gauss-seidel";
+    case ctmc::SteadyStateMethod::kGmres: return "gmres";
+    case ctmc::SteadyStateMethod::kBiCgStab: return "bicgstab";
   }
   return "unknown";
 }
@@ -250,6 +256,16 @@ bool parse_method(const std::string& name, ctmc::SteadyStateMethod& out) {
   else if (name == "lu") out = ctmc::SteadyStateMethod::kLu;
   else if (name == "power") out = ctmc::SteadyStateMethod::kPower;
   else if (name == "gauss-seidel") out = ctmc::SteadyStateMethod::kGaussSeidel;
+  else if (name == "gmres") out = ctmc::SteadyStateMethod::kGmres;
+  else if (name == "bicgstab") out = ctmc::SteadyStateMethod::kBiCgStab;
+  else return false;
+  return true;
+}
+
+bool parse_precond(const std::string& name, linalg::PrecondKind& out) {
+  if (name == "none") out = linalg::PrecondKind::kNone;
+  else if (name == "jacobi") out = linalg::PrecondKind::kJacobi;
+  else if (name == "ilu0") out = linalg::PrecondKind::kIlu0;
   else return false;
   return true;
 }
@@ -277,6 +293,12 @@ bool parse_arguments(int argc, char** argv, Arguments& args) {
     } else if (flag == "--method") {
       const char* value = next();
       if (!value || !parse_method(value, args.method)) return false;
+    } else if (flag == "--precond") {
+      const char* value = next();
+      if (!value || !parse_precond(value, args.precond)) return false;
+    } else if (flag == "--sparse-threshold") {
+      const char* value = next();
+      if (!value || !parse_size(value, args.sparse_threshold)) return false;
     } else if (flag == "--param") {
       const char* value = next();
       if (!value) return false;
@@ -373,6 +395,8 @@ ctmc::SolveControl interactive_solve_control(const Arguments& args) {
   control.max_iterations = args.max_iter_budget;
   control.cancel = &g_cancel;
   control.escalate = true;
+  control.precond = args.precond;
+  control.sparse_threshold = args.sparse_threshold;
   return control;
 }
 
@@ -385,6 +409,8 @@ ctmc::SolveControl batch_solve_control(const Arguments& args) {
   control.max_iterations = args.max_iter_budget;
   control.cancel = &g_cancel;
   control.escalate = false;
+  control.precond = args.precond;
+  control.sparse_threshold = args.sparse_threshold;
   return control;
 }
 
