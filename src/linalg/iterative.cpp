@@ -10,8 +10,10 @@ namespace rascal::linalg {
 
 namespace {
 
-// Cancellation poll cadence: steady_clock reads are cheap but not
-// free, and availability-model sweeps are short.
+// Cancellation poll cadence: polling the CancellationToken is a
+// relaxed atomic load — cheap but not free in a tight solver loop,
+// and availability-model sweeps are short.  (No clock is read here;
+// wall time stays out of engine code per rascal-wall-clock.)
 constexpr std::size_t kCancelCheckStride = 64;
 
 // Chaos hook `solver-nonconverge@K`: force the K-th iterative solve to

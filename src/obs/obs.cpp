@@ -23,6 +23,9 @@ struct SpanAccum {
 // removed, so Counter/Gauge references handed out stay valid; the
 // mutex guards map growth, span aggregation, and the event buffer —
 // the hot counter/gauge mutations themselves are lock-free atomics.
+// Deliberately ordered std::map, not unordered_map: the stats
+// summary and trace export iterate these, and iteration order must
+// not depend on hash seeding (rascal-unordered-iteration contract).
 struct Registry {
   std::mutex mutex;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;

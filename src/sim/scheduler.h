@@ -69,7 +69,9 @@ class Scheduler {
   // cancellation authority: a popped event whose id is no longer here
   // was cancelled and is dropped.  Ids leave on fire or cancel, so
   // the set stays bounded by the calendar size over arbitrarily long
-  // runs.
+  // runs.  rascal-unordered-iteration: clean — used only for
+  // count/insert/erase/size membership queries, never iterated, so
+  // its unspecified order cannot reach results.
   std::unordered_set<EventId> pending_ids_;
   double now_ = 0.0;
   EventId next_id_ = 1;

@@ -1,0 +1,122 @@
+#include "AmbientRngCheck.h"
+
+#include "PathFilter.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+using namespace clang::ast_matchers;
+
+namespace rascal_tidy {
+
+AmbientRngCheck::AmbientRngCheck(llvm::StringRef Name,
+                                 clang::tidy::ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      AllowedPaths(Options.get("AllowedPaths", "src/stats/").str()) {}
+
+bool AmbientRngCheck::isLanguageVersionSupported(
+    const clang::LangOptions &LangOpts) const {
+  return LangOpts.CPlusPlus;
+}
+
+void AmbientRngCheck::storeOptions(
+    clang::tidy::ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "AllowedPaths", AllowedPaths);
+}
+
+void AmbientRngCheck::registerMatchers(MatchFinder *Finder) {
+  // The standard engine class templates; every named engine typedef
+  // (std::mt19937, std::minstd_rand, ...) desugars to one of these.
+  const auto EngineDecl = cxxRecordDecl(hasAnyName(
+      "::std::mersenne_twister_engine", "::std::linear_congruential_engine",
+      "::std::subtract_with_carry_engine", "::std::discard_block_engine",
+      "::std::shuffle_order_engine", "::std::independent_bits_engine"));
+  const auto EngineType = hasType(clang::ast_matchers::qualType(
+      hasUnqualifiedDesugaredType(recordType(hasDeclaration(EngineDecl)))));
+
+  // Nondeterministic seed sources: wall-clock reads and
+  // std::random_device draws, directly or anywhere inside a seed
+  // argument expression (e.g. static_cast<unsigned>(time(nullptr))).
+  const auto TimeCall = callExpr(callee(clang::ast_matchers::namedDecl(
+      hasAnyName("::time", "::clock", "::gettimeofday", "::clock_gettime",
+                 "::std::chrono::system_clock::now",
+                 "::std::chrono::steady_clock::now",
+                 "::std::chrono::high_resolution_clock::now"))));
+  const auto RandomDeviceCall = callExpr(
+      callee(cxxMethodDecl(ofClass(hasName("::std::random_device")))));
+  const auto SeedSource = clang::ast_matchers::expr(
+      anyOf(TimeCall, RandomDeviceCall,
+            hasDescendant(
+                clang::ast_matchers::expr(anyOf(TimeCall, RandomDeviceCall)))));
+
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(
+                   hasAnyName("::rand", "::srand", "::random", "::srandom",
+                              "::drand48", "::lrand48", "::mrand48",
+                              "::rand_r", "::erand48", "::nrand48"))))
+          .bind("crand"),
+      this);
+  Finder->addMatcher(
+      cxxConstructExpr(
+          hasType(clang::ast_matchers::qualType(hasUnqualifiedDesugaredType(
+              recordType(hasDeclaration(cxxRecordDecl(
+                  hasName("::std::random_device"))))))))
+          .bind("rdev"),
+      this);
+  // Time/entropy-seeded engines are banned everywhere, including the
+  // allowed paths: even the blessed wrapper must seed from an
+  // explicit value so a run is reproducible from its seed.
+  Finder->addMatcher(
+      cxxConstructExpr(EngineType, hasAnyArgument(SeedSource))
+          .bind("timeseed"),
+      this);
+  Finder->addMatcher(
+      cxxConstructExpr(EngineType, unless(hasAnyArgument(SeedSource)))
+          .bind("engine"),
+      this);
+}
+
+void AmbientRngCheck::check(const MatchFinder::MatchResult &Result) {
+  const clang::SourceManager &SM = *Result.SourceManager;
+
+  if (const auto *Call =
+          Result.Nodes.getNodeAs<clang::CallExpr>("crand")) {
+    const clang::FunctionDecl *FD = Call->getDirectCallee();
+    diag(Call->getExprLoc(),
+         "ambient C random source '%0' bypasses the deterministic "
+         "stats::RandomEngine::split substream contract; draw from a "
+         "RandomEngine substream instead")
+        << (FD != nullptr ? FD->getNameAsString() : std::string("rand"));
+    return;
+  }
+
+  if (const auto *Ctor =
+          Result.Nodes.getNodeAs<clang::CXXConstructExpr>("rdev")) {
+    diag(Ctor->getExprLoc(),
+         "std::random_device is nondeterministic; all randomness must "
+         "derive from stats::RandomEngine::split so runs are "
+         "reproducible from one seed");
+    return;
+  }
+
+  if (const auto *Ctor =
+          Result.Nodes.getNodeAs<clang::CXXConstructExpr>("timeseed")) {
+    diag(Ctor->getExprLoc(),
+         "random engine seeded from a nondeterministic source (wall "
+         "clock / std::random_device); seeds must be explicit values "
+         "derived via stats::RandomEngine::split");
+    return;
+  }
+
+  if (const auto *Ctor =
+          Result.Nodes.getNodeAs<clang::CXXConstructExpr>("engine")) {
+    if (pathIsUnder(fileOf(SM, Ctor->getExprLoc()), AllowedPaths)) return;
+    diag(Ctor->getExprLoc(),
+         "raw <random> engine constructed outside the RNG module "
+         "(allowed under: %0); use stats::RandomEngine::split "
+         "substreams so parallel runs stay bit-identical")
+        << AllowedPaths;
+  }
+}
+
+}  // namespace rascal_tidy

@@ -1,0 +1,32 @@
+// rascal-ambient-rng: every source of randomness in the engine must
+// derive from stats::RandomEngine::split substreams (DESIGN.md,
+// "Parallel execution & reproducibility").  Ambient RNGs — rand(),
+// std::random_device, wall-clock-seeded engines — make runs
+// irreproducible and break the bit-identical-at-any-RASCAL_THREADS
+// guarantee, so they are banned outright; raw <random> engines may
+// only be constructed inside the AllowedPaths set (default
+// src/stats/, where RandomEngine wraps the one blessed engine).
+#pragma once
+
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace rascal_tidy {
+
+class AmbientRngCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  AmbientRngCheck(llvm::StringRef Name,
+                  clang::tidy::ClangTidyContext *Context);
+  bool isLanguageVersionSupported(
+      const clang::LangOptions &LangOpts) const override;
+  void registerMatchers(clang::ast_matchers::MatchFinder *Finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(clang::tidy::ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  std::string AllowedPaths;
+};
+
+}  // namespace rascal_tidy

@@ -1,0 +1,47 @@
+// Shared helper for the rascal- check group: several contracts are
+// scoped by directory ("all randomness lives in src/stats/", "wall
+// clocks live in src/resil/ and src/obs/").  Checks express that
+// scope as a semicolon-separated list of repo-relative path prefixes
+// in their AllowedPaths option, and this helper decides whether a
+// diagnostic location falls inside the allowed set.  Matching is by
+// path component, so it works for both relative invocations
+// ("src/stats/rng.cpp") and the absolute paths a compile_commands
+// database produces ("/home/u/repo/src/stats/rng.cpp").
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+#include "clang/Basic/SourceLocation.h"
+#include "clang/Basic/SourceManager.h"
+#include "llvm/ADT/SmallVector.h"
+#include "llvm/ADT/StringRef.h"
+
+namespace rascal_tidy {
+
+inline bool pathIsUnder(llvm::StringRef Path, llvm::StringRef Prefixes) {
+  if (Path.empty() || Prefixes.empty()) return false;
+  std::string Norm = Path.str();
+  std::replace(Norm.begin(), Norm.end(), '\\', '/');
+  llvm::StringRef P(Norm);
+  llvm::SmallVector<llvm::StringRef, 8> Parts;
+  Prefixes.split(Parts, ';', /*MaxSplit=*/-1, /*KeepEmpty=*/false);
+  for (llvm::StringRef Prefix : Parts) {
+    Prefix = Prefix.trim();
+    if (Prefix.empty()) continue;
+    if (P.starts_with(Prefix)) return true;
+    const std::string Anchored = "/" + Prefix.str();
+    if (P.contains(Anchored)) return true;
+  }
+  return false;
+}
+
+/// File a diagnostic location belongs to, macro expansions resolved
+/// to their expansion site (the contract cares where code runs from,
+/// not where a macro was defined).
+inline llvm::StringRef fileOf(const clang::SourceManager &SM,
+                              clang::SourceLocation Loc) {
+  return SM.getFilename(SM.getExpansionLoc(Loc));
+}
+
+}  // namespace rascal_tidy

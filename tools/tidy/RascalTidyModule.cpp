@@ -1,0 +1,45 @@
+// Registration of the rascal- check group as a clang-tidy plugin
+// module.  Build with -DRASCAL_BUILD_TIDY_PLUGIN=ON and load with
+//   clang-tidy --load libRascalTidyModule.so --checks='-*,rascal-*' ...
+// See docs/static_analysis.md for the catalogue of checks and the CI
+// gate that runs them over src/ and tools/.
+#include "AmbientRngCheck.h"
+#include "SignalHandlerSafetyCheck.h"
+#include "SpanRaiiCheck.h"
+#include "UnorderedIterationCheck.h"
+#include "WallClockCheck.h"
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+namespace rascal_tidy {
+
+class RascalTidyModule : public clang::tidy::ClangTidyModule {
+ public:
+  void addCheckFactories(
+      clang::tidy::ClangTidyCheckFactories &CheckFactories) override {
+    CheckFactories.registerCheck<AmbientRngCheck>("rascal-ambient-rng");
+    CheckFactories.registerCheck<UnorderedIterationCheck>(
+        "rascal-unordered-iteration");
+    CheckFactories.registerCheck<WallClockCheck>("rascal-wall-clock");
+    CheckFactories.registerCheck<SpanRaiiCheck>("rascal-span-raii");
+    CheckFactories.registerCheck<SignalHandlerSafetyCheck>(
+        "rascal-signal-handler-safety");
+  }
+};
+
+}  // namespace rascal_tidy
+
+namespace clang::tidy {
+
+// Static registration hooks the module into the host clang-tidy's
+// registry when the shared object is dlopen'ed via --load.
+static ClangTidyModuleRegistry::Add<::rascal_tidy::RascalTidyModule>
+    RascalTidyModuleRegistration(
+        "rascal-module",
+        "Determinism & resilience contract checks for rascal.");
+
+}  // namespace clang::tidy
+
+// Anchor so a static linker keeps this object file if the module is
+// ever linked into a tool instead of loaded dynamically.
+volatile int RascalTidyModuleAnchorSource = 0;

@@ -1,0 +1,218 @@
+#include "SignalHandlerSafetyCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/DeclTemplate.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "clang/Basic/Builtins.h"
+#include "clang/Basic/SourceManager.h"
+#include "llvm/ADT/SmallVector.h"
+
+using namespace clang::ast_matchers;
+
+namespace rascal_tidy {
+
+namespace {
+
+// POSIX.1-2017 async-signal-safe core, trimmed to what engine code
+// could plausibly reach.  Names are matched with and without a
+// leading "std::" (the <csignal>/<cstdlib> wrappers).
+const char *const kAsyncSafe[] = {
+    "abort",       "_exit",         "_Exit",        "quick_exit",
+    "signal",      "sigaction",     "raise",        "kill",
+    "sigemptyset", "sigfillset",    "sigaddset",    "sigdelset",
+    "sigismember", "sigprocmask",   "pthread_sigmask",
+    "write",       "read",          "open",         "close",
+    "dup",         "dup2",          "fsync",        "fdatasync",
+    "fstat",       "lseek",         "getpid",       "gettid",
+    "time",        "clock_gettime", "memcpy",       "memmove",
+    "memset",      "strlen",
+};
+
+bool isAtomicClass(llvm::StringRef QualifiedName) {
+  // libstdc++ dispatches std::atomic<T> member functions to internal
+  // bases (__atomic_base, __atomic_float, ...); libc++ keeps them on
+  // std::atomic / __atomic_base.  All spellings denote the same
+  // lock-free-capable primitive.
+  return QualifiedName == "std::atomic" ||
+         QualifiedName == "std::atomic_flag" ||
+         QualifiedName == "std::atomic_ref" ||
+         QualifiedName.starts_with("std::__atomic");
+}
+
+}  // namespace
+
+SignalHandlerSafetyCheck::SignalHandlerSafetyCheck(
+    llvm::StringRef Name, clang::tidy::ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      AllowedFunctions(Options.get("AllowedFunctions", "").str()) {
+  for (const char *Fn : kAsyncSafe) AllowedSet.insert(Fn);
+  llvm::SmallVector<llvm::StringRef, 8> Extra;
+  llvm::StringRef(AllowedFunctions)
+      .split(Extra, ';', /*MaxSplit=*/-1, /*KeepEmpty=*/false);
+  for (llvm::StringRef Fn : Extra) {
+    Fn = Fn.trim();
+    if (!Fn.empty()) AllowedSet.insert(Fn);
+  }
+}
+
+bool SignalHandlerSafetyCheck::isLanguageVersionSupported(
+    const clang::LangOptions &LangOpts) const {
+  return LangOpts.CPlusPlus;
+}
+
+void SignalHandlerSafetyCheck::storeOptions(
+    clang::tidy::ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "AllowedFunctions", AllowedFunctions);
+}
+
+void SignalHandlerSafetyCheck::registerMatchers(MatchFinder *Finder) {
+  // <csignal> declares std::signal as `using ::signal`, so matching
+  // the global name covers both spellings.
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("::signal", "::std::signal"))),
+               argumentCountIs(2))
+          .bind("register"),
+      this);
+}
+
+void SignalHandlerSafetyCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Reg = Result.Nodes.getNodeAs<clang::CallExpr>("register");
+  if (Reg == nullptr) return;
+
+  const clang::Expr *Arg = Reg->getArg(1)->IgnoreParenImpCasts();
+  if (const auto *UO = llvm::dyn_cast<clang::UnaryOperator>(Arg)) {
+    if (UO->getOpcode() == clang::UO_AddrOf)
+      Arg = UO->getSubExpr()->IgnoreParenImpCasts();
+  }
+  const auto *Ref = llvm::dyn_cast<clang::DeclRefExpr>(Arg);
+  if (Ref == nullptr) return;  // SIG_DFL / SIG_IGN / computed handler
+  const auto *Handler = llvm::dyn_cast<clang::FunctionDecl>(Ref->getDecl());
+  if (Handler == nullptr) return;
+
+  const clang::FunctionDecl *Def = nullptr;
+  if (!Handler->hasBody(Def)) return;  // body in another TU
+
+  llvm::SmallPtrSet<const clang::FunctionDecl *, 16> Seen;
+  walkFunction(Def, Def, Reg->getExprLoc(), Seen, *Result.SourceManager);
+}
+
+void SignalHandlerSafetyCheck::walkFunction(
+    const clang::FunctionDecl *Fn, const clang::FunctionDecl *Handler,
+    clang::SourceLocation RegisterLoc,
+    llvm::SmallPtrSetImpl<const clang::FunctionDecl *> &Seen,
+    const clang::SourceManager &SM) {
+  if (Fn == nullptr || !Seen.insert(Fn).second) return;
+  visitStmt(Fn->getBody(), Handler, RegisterLoc, Seen, SM);
+}
+
+void SignalHandlerSafetyCheck::visitStmt(
+    const clang::Stmt *S, const clang::FunctionDecl *Handler,
+    clang::SourceLocation RegisterLoc,
+    llvm::SmallPtrSetImpl<const clang::FunctionDecl *> &Seen,
+    const clang::SourceManager &SM) {
+  if (S == nullptr) return;
+
+  if (llvm::isa<clang::CXXThrowExpr>(S)) {
+    diag(S->getBeginLoc(),
+         "'throw' is reachable from signal handler %0; handlers may "
+         "only touch lock-free atomics and async-signal-safe calls")
+        << Handler->getNameAsString();
+    diag(RegisterLoc, "handler registered here",
+         clang::DiagnosticIDs::Note);
+  } else if (llvm::isa<clang::CXXNewExpr>(S) ||
+             llvm::isa<clang::CXXDeleteExpr>(S)) {
+    diag(S->getBeginLoc(),
+         "heap allocation is reachable from signal handler %0; the "
+         "allocator takes locks and is not async-signal-safe")
+        << Handler->getNameAsString();
+    diag(RegisterLoc, "handler registered here",
+         clang::DiagnosticIDs::Note);
+  } else if (const auto *Ctor = llvm::dyn_cast<clang::CXXConstructExpr>(S)) {
+    const clang::CXXConstructorDecl *CD = Ctor->getConstructor();
+    if (CD != nullptr && !CD->isTrivial() && !CD->isDefaulted())
+      classifyCall(CD, Ctor->getBeginLoc(), Handler, RegisterLoc, Seen, SM);
+  } else if (const auto *Call = llvm::dyn_cast<clang::CallExpr>(S)) {
+    const clang::FunctionDecl *Callee = Call->getDirectCallee();
+    if (Callee == nullptr) {
+      diag(Call->getExprLoc(),
+           "indirect call reachable from signal handler %0 cannot be "
+           "proven async-signal-safe")
+          << Handler->getNameAsString();
+      diag(RegisterLoc, "handler registered here",
+           clang::DiagnosticIDs::Note);
+    } else {
+      classifyCall(Callee, Call->getExprLoc(), Handler, RegisterLoc, Seen,
+                   SM);
+    }
+  }
+
+  for (const clang::Stmt *Child : S->children())
+    visitStmt(Child, Handler, RegisterLoc, Seen, SM);
+}
+
+void SignalHandlerSafetyCheck::classifyCall(
+    const clang::FunctionDecl *Callee, clang::SourceLocation CallLoc,
+    const clang::FunctionDecl *Handler, clang::SourceLocation RegisterLoc,
+    llvm::SmallPtrSetImpl<const clang::FunctionDecl *> &Seen,
+    const clang::SourceManager &SM) {
+  // Lock-free atomic operations are the one blessed mutation channel.
+  if (const auto *MD = llvm::dyn_cast<clang::CXXMethodDecl>(Callee)) {
+    const clang::CXXRecordDecl *RD = MD->getParent();
+    if (RD != nullptr && isAtomicClass(RD->getQualifiedNameAsString())) {
+      if (const auto *Spec =
+              llvm::dyn_cast<clang::ClassTemplateSpecializationDecl>(RD)) {
+        if (Spec->getTemplateArgs().size() >= 1) {
+          const clang::TemplateArgument &TA = Spec->getTemplateArgs()[0];
+          if (TA.getKind() == clang::TemplateArgument::Type &&
+              !TA.getAsType()->isScalarType()) {
+            diag(CallLoc,
+                 "std::atomic over a class type may be lock-based; a "
+                 "signal handler (here: %0) may only touch lock-free "
+                 "atomics over scalar types")
+                << Handler->getNameAsString();
+            diag(RegisterLoc, "handler registered here",
+                 clang::DiagnosticIDs::Note);
+          }
+        }
+      }
+      return;
+    }
+  }
+
+  std::string Qualified = Callee->getQualifiedNameAsString();
+  llvm::StringRef Name(Qualified);
+  Name.consume_front("std::");
+  if (AllowedSet.contains(Name) || AllowedSet.contains(Qualified)) return;
+
+  // Compiler intrinsics (__builtin_expect, ...) lower to inline code,
+  // not calls.  Library builtins (printf, malloc, ...) also carry a
+  // builtin ID but are real libc calls, so they stay subject to the
+  // allowlist above.
+  if (unsigned ID = Callee->getBuiltinID()) {
+    if (!Callee->getASTContext().BuiltinInfo.isPredefinedLibFunction(ID))
+      return;
+  }
+
+  // A callee whose body is visible in this TU (and is not a standard
+  // library internal) is analyzed transitively instead of flagged —
+  // this is exactly what lets the resil handler call
+  // CancellationToken::request_cancel_signal.
+  const clang::FunctionDecl *CalleeDef = nullptr;
+  if (Callee->hasBody(CalleeDef) &&
+      !SM.isInSystemHeader(CalleeDef->getLocation())) {
+    walkFunction(CalleeDef, Handler, RegisterLoc, Seen, SM);
+    return;
+  }
+
+  diag(CallLoc,
+       "'%0' is not async-signal-safe but is reachable from signal "
+       "handler %1; handlers may only touch lock-free atomics and "
+       "async-signal-safe calls")
+      << Qualified << Handler->getNameAsString();
+  diag(RegisterLoc, "handler registered here", clang::DiagnosticIDs::Note);
+}
+
+}  // namespace rascal_tidy

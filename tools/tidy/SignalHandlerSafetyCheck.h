@@ -1,0 +1,60 @@
+// rascal-signal-handler-safety: the resil cancellation contract
+// (docs/resilience.md) says the handler installed by
+// resil::install_signal_handlers — and everything it reaches — may
+// only touch lock-free atomics and call async-signal-safe functions.
+// The stock bugprone-signal-handler check cannot express "calls into
+// a function that only touches atomics are fine", so it was disabled;
+// this check replaces it: it finds handler registrations
+// (std::signal/::signal), walks the registered function's call graph
+// through every callee whose body is visible in the translation
+// unit, and flags
+//   * calls to functions that are neither async-signal-safe,
+//     lock-free-atomic members, nor analyzable (no visible body),
+//   * throw / new / delete,
+//   * std::atomic<T> operations where T is a class type (such an
+//     atomic may be implemented with a lock).
+// The async-signal-safe set is the POSIX core list and can be
+// extended per project with the AllowedFunctions option.
+#pragma once
+
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/ADT/SmallPtrSet.h"
+#include "llvm/ADT/StringSet.h"
+
+namespace rascal_tidy {
+
+class SignalHandlerSafetyCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  SignalHandlerSafetyCheck(llvm::StringRef Name,
+                           clang::tidy::ClangTidyContext *Context);
+  bool isLanguageVersionSupported(
+      const clang::LangOptions &LangOpts) const override;
+  void registerMatchers(clang::ast_matchers::MatchFinder *Finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(clang::tidy::ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  void walkFunction(const clang::FunctionDecl *Fn,
+                    const clang::FunctionDecl *Handler,
+                    clang::SourceLocation RegisterLoc,
+                    llvm::SmallPtrSetImpl<const clang::FunctionDecl *> &Seen,
+                    const clang::SourceManager &SM);
+  void visitStmt(const clang::Stmt *S, const clang::FunctionDecl *Handler,
+                 clang::SourceLocation RegisterLoc,
+                 llvm::SmallPtrSetImpl<const clang::FunctionDecl *> &Seen,
+                 const clang::SourceManager &SM);
+  void classifyCall(const clang::FunctionDecl *Callee,
+                    clang::SourceLocation CallLoc,
+                    const clang::FunctionDecl *Handler,
+                    clang::SourceLocation RegisterLoc,
+                    llvm::SmallPtrSetImpl<const clang::FunctionDecl *> &Seen,
+                    const clang::SourceManager &SM);
+
+  std::string AllowedFunctions;
+  llvm::StringSet<> AllowedSet;
+};
+
+}  // namespace rascal_tidy

@@ -1,0 +1,87 @@
+#include "SpanRaiiCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+using namespace clang::ast_matchers;
+
+namespace rascal_tidy {
+
+SpanRaiiCheck::SpanRaiiCheck(llvm::StringRef Name,
+                             clang::tidy::ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      SpanClass(Options.get("SpanClass", "::rascal::obs::Span").str()) {}
+
+bool SpanRaiiCheck::isLanguageVersionSupported(
+    const clang::LangOptions &LangOpts) const {
+  return LangOpts.CPlusPlus;
+}
+
+void SpanRaiiCheck::storeOptions(
+    clang::tidy::ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "SpanClass", SpanClass);
+}
+
+void SpanRaiiCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      cxxTemporaryObjectExpr(
+          hasType(clang::ast_matchers::qualType(hasUnqualifiedDesugaredType(
+              recordType(hasDeclaration(cxxRecordDecl(hasName(SpanClass))))))))
+          .bind("temp"),
+      this);
+}
+
+void SpanRaiiCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Temp =
+      Result.Nodes.getNodeAs<clang::CXXTemporaryObjectExpr>("temp");
+  if (Temp == nullptr) return;
+
+  // Climb through the wrapper nodes the AST puts around a temporary
+  // with a nontrivial destructor.  If the chain tops out as a
+  // statement of a block (or as the unbraced body of a control
+  // statement), the temporary is a discarded-value expression: the
+  // span dies before the work it was meant to time even starts.
+  const clang::Stmt *Cur = Temp;
+  clang::ASTContext &Ctx = *Result.Context;
+  while (true) {
+    const auto Parents = Ctx.getParents(*Cur);
+    if (Parents.empty()) return;
+    const clang::Stmt *Parent = Parents[0].get<clang::Stmt>();
+    // Parent is a declaration (variable initializer, member default
+    // initializer, ...): the span is named and lives a scope.
+    if (Parent == nullptr) return;
+    if (llvm::isa<clang::CompoundStmt>(Parent) ||
+        llvm::isa<clang::IfStmt>(Parent) ||
+        llvm::isa<clang::ForStmt>(Parent) ||
+        llvm::isa<clang::WhileStmt>(Parent) ||
+        llvm::isa<clang::DoStmt>(Parent) ||
+        llvm::isa<clang::CXXForRangeStmt>(Parent) ||
+        llvm::isa<clang::CaseStmt>(Parent) ||
+        llvm::isa<clang::DefaultStmt>(Parent) ||
+        llvm::isa<clang::LabelStmt>(Parent)) {
+      break;
+    }
+    if (llvm::isa<clang::ExprWithCleanups>(Parent) ||
+        llvm::isa<clang::CXXBindTemporaryExpr>(Parent) ||
+        llvm::isa<clang::ImplicitCastExpr>(Parent) ||
+        llvm::isa<clang::CXXFunctionalCastExpr>(Parent) ||
+        llvm::isa<clang::MaterializeTemporaryExpr>(Parent) ||
+        llvm::isa<clang::ConstantExpr>(Parent) ||
+        llvm::isa<clang::ParenExpr>(Parent)) {
+      Cur = Parent;
+      continue;
+    }
+    // Used as a subexpression of something real (function argument,
+    // return value, ...): not the zero-length-statement pattern.
+    return;
+  }
+
+  diag(Temp->getExprLoc(),
+       "obs::Span temporary is destroyed at the end of this statement "
+       "and records a zero-length span; name it ('obs::Span "
+       "span(...);') so it covers the scope it is meant to time");
+}
+
+}  // namespace rascal_tidy

@@ -1,0 +1,30 @@
+// rascal-span-raii: obs::Span is an RAII timer — it measures the
+// interval between construction and destruction.  Constructed as an
+// unnamed temporary (`obs::Span("solve");`) it is destroyed at the
+// end of the same full-expression and records a zero-length span,
+// silently corrupting the profile.  The check flags Span temporaries
+// in discarded-value statements; a named local
+// (`obs::Span span("solve");`) is the fix.
+#pragma once
+
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace rascal_tidy {
+
+class SpanRaiiCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  SpanRaiiCheck(llvm::StringRef Name, clang::tidy::ClangTidyContext *Context);
+  bool isLanguageVersionSupported(
+      const clang::LangOptions &LangOpts) const override;
+  void registerMatchers(clang::ast_matchers::MatchFinder *Finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(clang::tidy::ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  std::string SpanClass;
+};
+
+}  // namespace rascal_tidy

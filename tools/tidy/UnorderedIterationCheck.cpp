@@ -1,0 +1,115 @@
+#include "UnorderedIterationCheck.h"
+
+#include "PathFilter.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+using namespace clang::ast_matchers;
+
+namespace rascal_tidy {
+
+namespace {
+
+// "std::unordered_map", stripped of template arguments, for the
+// diagnostic text.
+std::string containerName(clang::QualType T) {
+  if (const clang::CXXRecordDecl *RD =
+          T.getCanonicalType()->getAsCXXRecordDecl()) {
+    return RD->getQualifiedNameAsString();
+  }
+  return "unordered container";
+}
+
+}  // namespace
+
+UnorderedIterationCheck::UnorderedIterationCheck(
+    llvm::StringRef Name, clang::tidy::ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      AllowedPaths(Options.get("AllowedPaths", "").str()) {}
+
+bool UnorderedIterationCheck::isLanguageVersionSupported(
+    const clang::LangOptions &LangOpts) const {
+  return LangOpts.CPlusPlus;
+}
+
+void UnorderedIterationCheck::storeOptions(
+    clang::tidy::ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "AllowedPaths", AllowedPaths);
+}
+
+void UnorderedIterationCheck::registerMatchers(MatchFinder *Finder) {
+  const auto UnorderedDecl = cxxRecordDecl(
+      hasAnyName("::std::unordered_map", "::std::unordered_set",
+                 "::std::unordered_multimap", "::std::unordered_multiset"));
+  const auto UnorderedType = clang::ast_matchers::qualType(
+      hasUnqualifiedDesugaredType(recordType(hasDeclaration(UnorderedDecl))));
+
+  Finder->addMatcher(
+      cxxForRangeStmt(
+          hasRangeInit(
+              clang::ast_matchers::expr(hasType(UnorderedType)).bind("range")))
+          .bind("loop"),
+      this);
+  // Explicit iterator loops and algorithm calls: m.begin(), m.cbegin()
+  // and friends.  The implicit begin() a range-for desugars into is
+  // excluded (it sits in the compiler-generated '__begin' variable),
+  // so each loop is reported exactly once.
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(
+              hasAnyName("begin", "cbegin", "rbegin", "crbegin"))),
+          on(clang::ast_matchers::expr(
+                 anyOf(hasType(UnorderedType),
+                       hasType(pointsTo(UnorderedDecl))))
+                 .bind("obj")),
+          unless(hasAncestor(varDecl(matchesName("__begin")))))
+          .bind("begincall"),
+      this);
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("::std::begin", "::std::cbegin",
+                                              "::std::rbegin",
+                                              "::std::crbegin"))),
+               hasArgument(0, clang::ast_matchers::expr(hasType(UnorderedType))
+                                  .bind("freearg")))
+          .bind("freebegin"),
+      this);
+}
+
+void UnorderedIterationCheck::check(const MatchFinder::MatchResult &Result) {
+  const clang::SourceManager &SM = *Result.SourceManager;
+  clang::SourceLocation Loc;
+  clang::QualType ContainerType;
+
+  if (const auto *Loop =
+          Result.Nodes.getNodeAs<clang::CXXForRangeStmt>("loop")) {
+    const auto *Range = Result.Nodes.getNodeAs<clang::Expr>("range");
+    Loc = Loop->getForLoc();
+    ContainerType = Range->getType();
+  } else if (const auto *Call = Result.Nodes.getNodeAs<clang::CXXMemberCallExpr>(
+                 "begincall")) {
+    const auto *Obj = Result.Nodes.getNodeAs<clang::Expr>("obj");
+    Loc = Call->getExprLoc();
+    ContainerType = Obj->getType();
+    if (ContainerType->isPointerType())
+      ContainerType = ContainerType->getPointeeType();
+  } else if (const auto *Free =
+                 Result.Nodes.getNodeAs<clang::CallExpr>("freebegin")) {
+    const auto *Arg = Result.Nodes.getNodeAs<clang::Expr>("freearg");
+    Loc = Free->getExprLoc();
+    ContainerType = Arg->getType();
+  } else {
+    return;
+  }
+
+  if (pathIsUnder(fileOf(SM, Loc), AllowedPaths)) return;
+  diag(Loc,
+       "iteration over '%0' has unspecified order and can leak into "
+       "results, breaking thread-count bit-identity; iterate a sorted "
+       "snapshot, or annotate with NOLINT(rascal-unordered-iteration) "
+       "plus a one-line justification if order provably never escapes")
+      << containerName(ContainerType);
+}
+
+}  // namespace rascal_tidy

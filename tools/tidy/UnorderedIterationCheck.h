@@ -1,0 +1,35 @@
+// rascal-unordered-iteration: iteration order of unordered
+// associative containers depends on hash seeding, insertion history
+// and load factor, so any loop over one can leak an unspecified
+// order into results and break the bit-identical-at-any-thread-count
+// contract (DESIGN.md).  The check flags range-for loops and
+// begin()/cbegin()-family iteration over std::unordered_{map,set,
+// multimap,multiset}.  Keyed operations (find, count, insert, erase
+// by key) are untouched.  Known-safe sites — where the iteration
+// result provably never reaches output, e.g. membership sets that
+// are only probed — carry a NOLINT(rascal-unordered-iteration)
+// annotation with a one-line justification.
+#pragma once
+
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace rascal_tidy {
+
+class UnorderedIterationCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  UnorderedIterationCheck(llvm::StringRef Name,
+                          clang::tidy::ClangTidyContext *Context);
+  bool isLanguageVersionSupported(
+      const clang::LangOptions &LangOpts) const override;
+  void registerMatchers(clang::ast_matchers::MatchFinder *Finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(clang::tidy::ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  std::string AllowedPaths;
+};
+
+}  // namespace rascal_tidy

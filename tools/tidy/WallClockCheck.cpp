@@ -1,0 +1,70 @@
+#include "WallClockCheck.h"
+
+#include "PathFilter.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+using namespace clang::ast_matchers;
+
+namespace rascal_tidy {
+
+WallClockCheck::WallClockCheck(llvm::StringRef Name,
+                               clang::tidy::ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      AllowedPaths(
+          Options.get("AllowedPaths", "src/resil/;src/obs/;bench/").str()) {}
+
+bool WallClockCheck::isLanguageVersionSupported(
+    const clang::LangOptions &LangOpts) const {
+  return LangOpts.CPlusPlus;
+}
+
+void WallClockCheck::storeOptions(
+    clang::tidy::ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "AllowedPaths", AllowedPaths);
+}
+
+void WallClockCheck::registerMatchers(MatchFinder *Finder) {
+  // std::chrono clock reads.  high_resolution_clock is an alias of
+  // system_clock or steady_clock in practice, so naming all three
+  // catches it under every standard library.
+  Finder->addMatcher(
+      callExpr(callee(cxxMethodDecl(
+                   hasName("now"),
+                   ofClass(hasAnyName("::std::chrono::steady_clock",
+                                      "::std::chrono::system_clock",
+                                      "::std::chrono::high_resolution_clock")))))
+          .bind("now"),
+      this);
+  // C / POSIX clock reads.
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName(
+                   "::time", "::clock", "::gettimeofday", "::clock_gettime",
+                   "::timespec_get", "::localtime", "::localtime_r",
+                   "::gmtime", "::gmtime_r", "::ctime", "::ctime_r",
+                   "::ftime", "::times"))))
+          .bind("cclock"),
+      this);
+}
+
+void WallClockCheck::check(const MatchFinder::MatchResult &Result) {
+  const clang::SourceManager &SM = *Result.SourceManager;
+  const clang::CallExpr *Call =
+      Result.Nodes.getNodeAs<clang::CallExpr>("now");
+  if (Call == nullptr) Call = Result.Nodes.getNodeAs<clang::CallExpr>("cclock");
+  if (Call == nullptr) return;
+  if (pathIsUnder(fileOf(SM, Call->getExprLoc()), AllowedPaths)) return;
+
+  const clang::FunctionDecl *FD = Call->getDirectCallee();
+  diag(Call->getExprLoc(),
+       "wall-clock read ('%0') in engine code is a hidden input that "
+       "poisons checkpoint digests and bit-identity; take time from "
+       "the model, or route telemetry through obs::wall_now_ns() / "
+       "resil (allowed under: %1)")
+      << (FD != nullptr ? FD->getQualifiedNameAsString()
+                        : std::string("clock read"))
+      << AllowedPaths;
+}
+
+}  // namespace rascal_tidy

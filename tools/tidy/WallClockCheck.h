@@ -1,0 +1,32 @@
+// rascal-wall-clock: a wall-clock read inside solver/simulator code
+// is a hidden input — it poisons checkpoint digests (resume would
+// diverge from the uninterrupted run) and breaks bit-identity
+// between hosts.  Engine code must take time from its inputs;
+// telemetry and deadline code read clocks only inside the
+// AllowedPaths modules (default src/resil/, src/obs/, bench/),
+// which own the obs::wall_now_ns() / resil::steady_now_ns()
+// funnels everything else is expected to call.
+#pragma once
+
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace rascal_tidy {
+
+class WallClockCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  WallClockCheck(llvm::StringRef Name,
+                 clang::tidy::ClangTidyContext *Context);
+  bool isLanguageVersionSupported(
+      const clang::LangOptions &LangOpts) const override;
+  void registerMatchers(clang::ast_matchers::MatchFinder *Finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(clang::tidy::ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  std::string AllowedPaths;
+};
+
+}  // namespace rascal_tidy

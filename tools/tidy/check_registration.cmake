@@ -1,0 +1,21 @@
+# Smoke test: load the plugin and verify every rascal- check shows up
+# in `clang-tidy --list-checks`.
+execute_process(
+  COMMAND ${CLANG_TIDY} --load ${PLUGIN} --checks=-*,rascal-* --list-checks
+  OUTPUT_VARIABLE listing
+  ERROR_VARIABLE listing_err
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "clang-tidy --load failed (${rc}): ${listing_err}")
+endif()
+foreach(check
+    rascal-ambient-rng
+    rascal-unordered-iteration
+    rascal-wall-clock
+    rascal-span-raii
+    rascal-signal-handler-safety)
+  if(NOT listing MATCHES "${check}")
+    message(FATAL_ERROR
+      "check '${check}' missing from --list-checks output:\n${listing}")
+  endif()
+endforeach()

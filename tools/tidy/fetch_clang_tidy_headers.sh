@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Vendors the clang-tidy framework headers (ClangTidyCheck.h and
+# friends) that distro LLVM packages do not ship.  They are fetched
+# from the llvm-project release tag matching the installed LLVM so
+# the plugin ABI lines up with the clang-tidy binary that loads it.
+#
+# Usage: fetch_clang_tidy_headers.sh <dest-dir> [llvm-version]
+#   dest-dir      headers land in <dest-dir>/clang-tidy/
+#   llvm-version  e.g. 18.1.3; default: `llvm-config --version`
+set -euo pipefail
+
+dest="${1:?usage: fetch_clang_tidy_headers.sh <dest-dir> [llvm-version]}"
+version="${2:-}"
+
+if [[ -z "${version}" ]]; then
+  for cfg in llvm-config llvm-config-19 llvm-config-18 llvm-config-17 \
+             llvm-config-16 llvm-config-15 llvm-config-14; do
+    if command -v "${cfg}" >/dev/null 2>&1; then
+      version="$("${cfg}" --version)"
+      break
+    fi
+  done
+fi
+if [[ -z "${version}" ]]; then
+  echo "error: no llvm-config found; pass the LLVM version explicitly" >&2
+  exit 1
+fi
+# llvm-config may report suffixed versions like 18.1.3rc2.
+version="${version%%rc*}"
+
+tag="llvmorg-${version}"
+base="https://raw.githubusercontent.com/llvm/llvm-project/${tag}/clang-tools-extra/clang-tidy"
+out="${dest}/clang-tidy"
+mkdir -p "${out}/utils"
+
+# The transitive include closure of ClangTidyCheck.h as of LLVM 15-19.
+headers=(
+  ClangTidy.h
+  ClangTidyCheck.h
+  ClangTidyDiagnosticConsumer.h
+  ClangTidyModule.h
+  ClangTidyModuleRegistry.h
+  ClangTidyOptions.h
+  ClangTidyProfiling.h
+  FileExtensionsSet.h
+  NoLintDirectiveHandler.h
+  GlobList.h
+)
+
+fetch() {
+  local rel="$1"
+  local url="${base}/${rel}"
+  local target="${out}/${rel}"
+  if command -v curl >/dev/null 2>&1; then
+    curl -fsSL --retry 3 -o "${target}" "${url}"
+  else
+    wget -q -O "${target}" "${url}"
+  fi
+}
+
+for h in "${headers[@]}"; do
+  echo "fetching ${h} @ ${tag}"
+  # FileExtensionsSet.h only exists from LLVM 16; tolerate 404s on
+  # headers that a given release does not have.
+  if ! fetch "${h}"; then
+    echo "  (not present in ${tag}; skipping)"
+    rm -f "${out}/${h}"
+  fi
+done
+
+echo "clang-tidy headers for LLVM ${version} vendored under ${out}"

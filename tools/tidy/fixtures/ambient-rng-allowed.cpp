@@ -1,0 +1,14 @@
+// Negative fixture: the harness places this file under src/stats/
+// (the AllowedPaths default), where explicitly-seeded engine
+// construction is the blessed implementation detail of
+// stats::RandomEngine.  Zero findings expected.
+// RASCAL-CHECKS: rascal-ambient-rng
+// RASCAL-PATH: src/stats/engine_fixture.cpp
+// CHECK-MESSAGES-NONE
+#include <cstdint>
+#include <random>
+
+std::uint64_t blessed_engine(std::uint64_t seed) {
+  std::mt19937_64 gen(seed);
+  return gen();
+}

@@ -1,0 +1,46 @@
+// Positive fixture: every ambient randomness source the check bans.
+// This file is compiled from a path OUTSIDE src/stats/, so raw engine
+// construction is also a finding.
+// RASCAL-CHECKS: rascal-ambient-rng
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int bad_c_rand() {
+  return rand();
+  // CHECK-MESSAGES: [[@LINE-1]] rascal-ambient-rng: ambient C random source 'rand'
+}
+
+void bad_c_srand() {
+  srand(42);
+  // CHECK-MESSAGES: [[@LINE-1]] rascal-ambient-rng: ambient C random source 'srand'
+}
+
+double bad_drand48() {
+  return drand48();
+  // CHECK-MESSAGES: [[@LINE-1]] rascal-ambient-rng: ambient C random source 'drand48'
+}
+
+unsigned bad_random_device() {
+  std::random_device rd;
+  // CHECK-MESSAGES: [[@LINE-1]] rascal-ambient-rng: std::random_device is nondeterministic
+  return rd();
+}
+
+unsigned bad_time_seeded_engine() {
+  std::mt19937 gen(static_cast<unsigned>(time(nullptr)));
+  // CHECK-MESSAGES: [[@LINE-1]] rascal-ambient-rng: seeded from a nondeterministic source
+  return gen();
+}
+
+unsigned bad_engine_outside_rng_module() {
+  std::mt19937_64 gen(12345u);
+  // CHECK-MESSAGES: [[@LINE-1]] rascal-ambient-rng: raw <random> engine constructed outside
+  return static_cast<unsigned>(gen());
+}
+
+int bad_engine_typedef() {
+  std::minstd_rand gen(7u);
+  // CHECK-MESSAGES: [[@LINE-1]] rascal-ambient-rng: raw <random> engine constructed outside
+  return static_cast<int>(gen());
+}

@@ -1,0 +1,47 @@
+// rascal-signal-handler-safety fixture.  good_handler mirrors the
+// real resil handler: it funnels through a helper that only touches
+// lock-free atomics and async-signal-safe calls, which the transitive
+// walk must accept.  The bad handlers exercise each flagged category.
+// RASCAL-CHECKS: rascal-signal-handler-safety
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <unistd.h>
+
+namespace {
+
+std::atomic<int> g_last_signal{0};
+
+void record_request(int signum) {
+  g_last_signal.store(signum, std::memory_order_relaxed);
+}
+
+void good_handler(int signum) {
+  record_request(signum);
+  write(2, "sig\n", 4);
+}
+
+void bad_stdio_handler(int signum) {
+  std::printf("caught %d\n", signum);
+  // CHECK-MESSAGES: [[@LINE-1]] rascal-signal-handler-safety: 'printf' is not async-signal-safe
+  record_request(signum);
+}
+
+void bad_throwing_handler(int signum) {
+  if (signum != 0) throw signum;
+  // CHECK-MESSAGES: [[@LINE-1]] rascal-signal-handler-safety: 'throw' is reachable
+}
+
+void bad_alloc_handler(int signum) {
+  int *slot = new int(signum);
+  // CHECK-MESSAGES: [[@LINE-1]] rascal-signal-handler-safety: heap allocation is reachable
+  delete slot;
+  // CHECK-MESSAGES: [[@LINE-1]] rascal-signal-handler-safety: heap allocation is reachable
+}
+
+}  // namespace
+
+void install_good() { std::signal(SIGTERM, good_handler); }
+void install_bad_stdio() { std::signal(SIGINT, bad_stdio_handler); }
+void install_bad_throw() { std::signal(SIGINT, bad_throwing_handler); }
+void install_bad_alloc() { std::signal(SIGINT, bad_alloc_handler); }

@@ -1,0 +1,37 @@
+// rascal-span-raii fixture: unnamed Span temporaries die at the end
+// of the statement and time nothing; named spans and spans passed as
+// arguments are fine.  Mirrors the signature of rascal::obs::Span.
+// RASCAL-CHECKS: rascal-span-raii
+namespace rascal {
+namespace obs {
+struct Span {
+  explicit Span(const char *name);
+  ~Span();
+};
+}  // namespace obs
+}  // namespace rascal
+
+void solve();
+void consume_span(rascal::obs::Span &&span);
+
+void bad_discarded_temporary() {
+  rascal::obs::Span("solve");
+  // CHECK-MESSAGES: [[@LINE-1]] rascal-span-raii: obs::Span temporary is destroyed
+  solve();
+}
+
+void bad_temporary_in_if(bool verbose) {
+  if (verbose)
+    rascal::obs::Span("verbose-solve");
+  // CHECK-MESSAGES: [[@LINE-1]] rascal-span-raii: obs::Span temporary is destroyed
+  solve();
+}
+
+void good_named_span() {
+  rascal::obs::Span span("solve");
+  solve();
+}
+
+void good_span_as_argument() {
+  consume_span(rascal::obs::Span("handoff"));
+}

@@ -1,0 +1,19 @@
+// Negative fixture: the NOLINT allowlist mechanism.  Membership
+// queries are fine without annotation; order-insensitive reductions
+// are fine WITH a justified NOLINT.  Zero findings expected.
+// RASCAL-CHECKS: rascal-unordered-iteration
+// CHECK-MESSAGES-NONE
+#include <unordered_map>
+#include <unordered_set>
+
+bool membership_is_fine(const std::unordered_set<int> &s, int key) {
+  return s.count(key) != 0;  // no iteration, no finding
+}
+
+long allowlisted_reduction(const std::unordered_map<int, long> &m) {
+  long total = 0;
+  // Commutative sum: iteration order provably never escapes.
+  for (const auto &kv : m)  // NOLINT(rascal-unordered-iteration)
+    total += kv.second;
+  return total;
+}

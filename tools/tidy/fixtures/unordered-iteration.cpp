@@ -1,0 +1,29 @@
+// Positive fixture: every iteration form over unordered containers.
+// RASCAL-CHECKS: rascal-unordered-iteration
+#include <iterator>
+#include <unordered_map>
+#include <unordered_set>
+
+int bad_range_for(const std::unordered_map<int, int> &m) {
+  int total = 0;
+  for (const auto &kv : m) total += kv.second;
+  // CHECK-MESSAGES: [[@LINE-1]] rascal-unordered-iteration: iteration over 'std::unordered_map'
+  return total;
+}
+
+int bad_iterator_loop(const std::unordered_set<int> &s) {
+  auto it = s.cbegin();
+  // CHECK-MESSAGES: [[@LINE-1]] rascal-unordered-iteration: iteration over 'std::unordered_set'
+  return (it == s.cend()) ? 0 : *it;
+}
+
+int bad_begin_via_pointer(const std::unordered_multiset<int> *s) {
+  auto it = s->begin();
+  // CHECK-MESSAGES: [[@LINE-1]] rascal-unordered-iteration: iteration over 'std::unordered_multiset'
+  return *it;
+}
+
+auto bad_free_begin(const std::unordered_map<int, int> &m) {
+  return std::begin(m);
+  // CHECK-MESSAGES: [[@LINE-1]] rascal-unordered-iteration: iteration over 'std::unordered_map'
+}

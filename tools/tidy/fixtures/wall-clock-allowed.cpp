@@ -1,0 +1,13 @@
+// Negative fixture: the harness places this file under src/obs/,
+// where clock reads are the telemetry funnel's job.  Zero findings
+// expected.
+// RASCAL-CHECKS: rascal-wall-clock
+// RASCAL-PATH: src/obs/telemetry_fixture.cpp
+// CHECK-MESSAGES-NONE
+#include <chrono>
+
+long long telemetry_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}

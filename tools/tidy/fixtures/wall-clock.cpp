@@ -1,0 +1,28 @@
+// Positive fixture: wall-clock reads from engine code (this file is
+// outside the src/resil/;src/obs/;bench/ allowlist).
+// RASCAL-CHECKS: rascal-wall-clock
+#include <chrono>
+#include <ctime>
+
+long long bad_steady_clock() {
+  auto t0 = std::chrono::steady_clock::now();
+  // CHECK-MESSAGES: [[@LINE-1]] rascal-wall-clock: wall-clock read ('std::chrono::steady_clock::now')
+  return t0.time_since_epoch().count();
+}
+
+long long bad_system_clock() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+  // CHECK-MESSAGES: [[@LINE-1]] rascal-wall-clock: wall-clock read ('std::chrono::system_clock::now')
+}
+
+long bad_c_time() {
+  return static_cast<long>(time(nullptr));
+  // CHECK-MESSAGES: [[@LINE-1]] rascal-wall-clock: wall-clock read ('time')
+}
+
+long bad_clock_gettime() {
+  timespec ts{};
+  clock_gettime(0, &ts);
+  // CHECK-MESSAGES: [[@LINE-1]] rascal-wall-clock: wall-clock read ('clock_gettime')
+  return ts.tv_sec;
+}

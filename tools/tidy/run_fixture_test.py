@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Fixture harness for the rascal-tidy plugin.
+
+Runs `clang-tidy --load <plugin>` over one fixture and compares the
+emitted rascal-* warnings against the fixture's inline annotations:
+
+  // RASCAL-CHECKS: rascal-ambient-rng         (required; comma/space list)
+  // RASCAL-PATH: src/stats/fixture.cpp        (optional; the fixture is
+  //                                            copied to this path under a
+  //                                            temp dir so AllowedPaths
+  //                                            filtering sees it there)
+  // CHECK-MESSAGES: [[@LINE-1]] rascal-foo: substring of the message
+  // CHECK-MESSAGES-NONE                       (fixture must be clean)
+
+Matching is deliberately lenient — line + check name + message
+substring, no columns — so fixtures survive small wording tweaks.
+Every annotation must be matched by a warning and every rascal-*
+warning on the fixture file must be matched by an annotation.
+"""
+
+import argparse
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+ANNOT_RE = re.compile(
+    r"//\s*CHECK-MESSAGES:\s*\[\[@LINE(?P<off>[+-]\d+)?\]\]\s*"
+    r"(?P<check>rascal-[a-z-]+):\s*(?P<substr>.*\S)"
+)
+NONE_RE = re.compile(r"//\s*CHECK-MESSAGES-NONE\b")
+CHECKS_RE = re.compile(r"//\s*RASCAL-CHECKS:\s*(?P<checks>[\w, -]+\S)")
+PATH_RE = re.compile(r"//\s*RASCAL-PATH:\s*(?P<path>\S+)")
+# WarningsAsErrors promotes findings to 'error: ... [check,-warnings-
+# as-errors]'; accept both renderings so the harness works under any
+# surrounding .clang-tidy config.
+DIAG_RE = re.compile(
+    r"^(?P<file>.+?):(?P<line>\d+):\d+:\s+(?:warning|error):\s+"
+    r"(?P<msg>.*?)\s+\[(?P<check>[\w.-]+)(?:,-warnings-as-errors)?\]\s*$"
+)
+
+
+def parse_fixture(text):
+    expected = []  # list of (line, check, substring)
+    checks = None
+    relpath = None
+    expect_none = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        m = ANNOT_RE.search(line)
+        if m:
+            off = int(m.group("off") or 0)
+            expected.append((lineno + off, m.group("check"),
+                             m.group("substr").strip()))
+            continue
+        if NONE_RE.search(line):
+            expect_none = True
+            continue
+        m = CHECKS_RE.search(line)
+        if m:
+            checks = re.split(r"[,\s]+", m.group("checks").strip())
+            checks = [c for c in checks if c]
+            continue
+        m = PATH_RE.search(line)
+        if m:
+            relpath = m.group("path")
+    return checks, relpath, expected, expect_none
+
+
+def run_clang_tidy(clang_tidy, plugin, checks, target, extra_args):
+    cmd = [
+        clang_tidy,
+        f"--load={plugin}",
+        "--checks=-*," + ",".join(checks),
+        str(target),
+        "--",
+    ] + extra_args
+    return subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.PIPE, text=True)
+
+
+def collect_diags(stdout, target):
+    target = pathlib.Path(target).resolve()
+    diags = []
+    for line in stdout.splitlines():
+        m = DIAG_RE.match(line)
+        if m is None:
+            continue
+        try:
+            diag_file = pathlib.Path(m.group("file")).resolve()
+        except OSError:
+            continue
+        if diag_file != target:
+            continue
+        if not m.group("check").startswith("rascal-"):
+            continue
+        diags.append((int(m.group("line")), m.group("check"),
+                      m.group("msg")))
+    return diags
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--clang-tidy", required=True)
+    ap.add_argument("--plugin", required=True)
+    ap.add_argument("--fixture", required=True)
+    ap.add_argument("--std", default="c++17")
+    args = ap.parse_args()
+
+    fixture = pathlib.Path(args.fixture)
+    text = fixture.read_text()
+    checks, relpath, expected, expect_none = parse_fixture(text)
+
+    if not checks:
+        print(f"FAIL: {fixture}: missing '// RASCAL-CHECKS:' header")
+        return 2
+    if expect_none and expected:
+        print(f"FAIL: {fixture}: CHECK-MESSAGES-NONE conflicts with "
+              "CHECK-MESSAGES annotations")
+        return 2
+    if not expect_none and not expected:
+        print(f"FAIL: {fixture}: no CHECK-MESSAGES annotations and no "
+              "CHECK-MESSAGES-NONE marker")
+        return 2
+
+    with tempfile.TemporaryDirectory(prefix="rascal-tidy-") as tmp:
+        target = pathlib.Path(tmp) / (relpath or fixture.name)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(fixture, target)
+
+        proc = run_clang_tidy(
+            args.clang_tidy, args.plugin, checks, target,
+            [f"-std={args.std}", "-w"])
+        diags = collect_diags(proc.stdout, target)
+        # clang-tidy exits nonzero when findings are promoted to
+        # errors (fine, we compare them below) and when it could not
+        # parse the file or load the plugin (a harness failure —
+        # distinguished by the absence of rascal diagnostics).
+        if proc.returncode != 0 and not diags:
+            print(f"FAIL: {fixture}: clang-tidy failed "
+                  f"(rc={proc.returncode})")
+            sys.stdout.write(proc.stdout)
+            sys.stderr.write(proc.stderr)
+            return 2
+
+    failures = []
+    unmatched = list(diags)
+    for line, check, substr in expected:
+        hit = None
+        for d in unmatched:
+            if d[0] == line and d[1] == check and substr in d[2]:
+                hit = d
+                break
+        if hit is None:
+            failures.append(
+                f"expected [{check}] at line {line} containing "
+                f"'{substr}' — not emitted")
+        else:
+            unmatched.remove(hit)
+    for line, check, msg in unmatched:
+        failures.append(
+            f"unexpected [{check}] at line {line}: {msg}")
+
+    if failures:
+        print(f"FAIL: {fixture.name}: {len(failures)} mismatch(es)")
+        for f in failures:
+            print(f"  {f}")
+        print("--- full clang-tidy output ---")
+        sys.stdout.write(proc.stdout)
+        return 1
+
+    kind = "clean" if expect_none else f"{len(expected)} finding(s)"
+    print(f"PASS: {fixture.name} ({kind})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""CI gate: run the rascal-* checks over the whole codebase.
+
+Reads compile_commands.json from the build directory (the top-level
+CMakeLists exports it unconditionally), filters the translation units
+to the gated source roots, and runs `clang-tidy --load <plugin>
+--checks=-*,rascal-*` over each.  Any rascal-* warning fails the gate;
+suppressions must be explicit NOLINT(rascal-...) annotations with a
+justification comment in the source.
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import subprocess
+import sys
+
+# The repo .clang-tidy sets WarningsAsErrors: '*', which renders
+# findings as 'error: ... [check,-warnings-as-errors]'; match both.
+DIAG_RE = re.compile(
+    r"^(?P<file>.+?):(?P<line>\d+):(?P<col>\d+):\s+(?:warning|error):\s+"
+    r"(?P<msg>.*?)\s+\[(?P<check>rascal-[\w-]+)(?:,-warnings-as-errors)?\]\s*$"
+)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--clang-tidy", required=True)
+    ap.add_argument("--plugin", required=True)
+    ap.add_argument("--build-dir", required=True)
+    ap.add_argument("--source-root", default=".")
+    ap.add_argument("--paths", nargs="+", default=["src", "tools"],
+                    help="source roots (relative to --source-root) to gate")
+    args = ap.parse_args()
+
+    build_dir = pathlib.Path(args.build_dir).resolve()
+    source_root = pathlib.Path(args.source_root).resolve()
+    compdb = build_dir / "compile_commands.json"
+    if not compdb.exists():
+        print(f"gate: no {compdb}; configure with "
+              "CMAKE_EXPORT_COMPILE_COMMANDS (the default here)")
+        return 2
+
+    roots = [(source_root / p).resolve() for p in args.paths]
+    files = []
+    for entry in json.loads(compdb.read_text()):
+        f = pathlib.Path(entry["directory"], entry["file"]).resolve()
+        if any(r in f.parents for r in roots) and f.suffix in (
+                ".cpp", ".cc", ".cxx"):
+            files.append(f)
+    files = sorted(set(files))
+    if not files:
+        print("gate: no translation units under "
+              + ", ".join(args.paths))
+        return 2
+    print(f"gate: {len(files)} translation unit(s) under "
+          + ", ".join(args.paths))
+
+    findings = []
+    failed_tus = []
+    for f in files:
+        proc = subprocess.run(
+            [args.clang_tidy, f"--load={args.plugin}",
+             "--checks=-*,rascal-*", "-p", str(build_dir),
+             "--quiet", str(f)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        tu_findings = [m.groupdict()
+                       for m in map(DIAG_RE.match,
+                                    proc.stdout.splitlines()) if m]
+        findings.extend(tu_findings)
+        status = f"{len(tu_findings)} finding(s)" if tu_findings else "clean"
+        if proc.returncode != 0 and not tu_findings:
+            # nonzero without findings = the TU did not parse
+            failed_tus.append(f)
+            status = f"ERROR (rc={proc.returncode})"
+            sys.stderr.write(proc.stderr)
+        print(f"  {f.relative_to(source_root)}: {status}")
+
+    if failed_tus:
+        print(f"gate: {len(failed_tus)} translation unit(s) failed to "
+              "analyze")
+        return 2
+    if findings:
+        print(f"gate: FAILED — {len(findings)} rascal-* finding(s):")
+        for d in findings:
+            rel = pathlib.Path(d["file"]).resolve()
+            try:
+                rel = rel.relative_to(source_root)
+            except ValueError:
+                pass
+            print(f"  {rel}:{d['line']}:{d['col']}: "
+                  f"[{d['check']}] {d['msg']}")
+        return 1
+    print("gate: PASSED — zero rascal-* findings")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Self-test for run_fixture_test.py that needs no clang toolchain.
+
+The container building this repo has no clang-tidy, so the plugin and
+its fixtures only compile in CI.  This test keeps the harness itself
+honest everywhere: it fabricates a mock clang-tidy (a python script
+that emits a warning for every `EMIT(check, message)` marker in the
+input file) and asserts the harness verdict for the four interesting
+cases — all annotations matched, a missing diagnostic, an unexpected
+diagnostic, and CHECK-MESSAGES-NONE both holding and violated.
+"""
+
+import os
+import pathlib
+import stat
+import subprocess
+import sys
+import tempfile
+
+HERE = pathlib.Path(__file__).resolve().parent
+
+MOCK_CLANG_TIDY = r'''#!/usr/bin/env python3
+import re, sys
+args = sys.argv[1:]
+if "--" in args:
+    args = args[:args.index("--")]
+target = next(a for a in args if not a.startswith("-"))
+for lineno, line in enumerate(open(target), start=1):
+    m = re.search(r"EMIT\(([\w-]+),\s*(.+?)\)", line)
+    if m:
+        print(f"{target}:{lineno}:1: warning: {m.group(2)} [{m.group(1)}]")
+'''
+
+
+def write_executable(path, text):
+    path.write_text(text)
+    path.chmod(path.stat().st_mode | stat.S_IXUSR)
+
+
+def run_harness(tmp, mock, fixture_text):
+    fixture = tmp / "fixture.cpp"
+    fixture.write_text(fixture_text)
+    proc = subprocess.run(
+        [sys.executable, str(HERE / "run_fixture_test.py"),
+         "--clang-tidy", str(mock), "--plugin", "/nonexistent.so",
+         "--fixture", str(fixture)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    return proc
+
+
+def expect(name, proc, want_rc, want_substr=None):
+    ok = proc.returncode == want_rc and (
+        want_substr is None or want_substr in proc.stdout)
+    print(f"{'ok' if ok else 'FAIL'}: {name}")
+    if not ok:
+        print(f"  want rc={want_rc}"
+              + (f" containing '{want_substr}'" if want_substr else ""))
+        print(f"  got rc={proc.returncode}, output:")
+        for line in proc.stdout.splitlines():
+            print(f"    {line}")
+    return ok
+
+
+def main():
+    results = []
+    with tempfile.TemporaryDirectory(prefix="rascal-tidy-selftest-") as d:
+        tmp = pathlib.Path(d)
+        mock = tmp / "mock-clang-tidy"
+        write_executable(mock, MOCK_CLANG_TIDY)
+
+        results.append(expect(
+            "matched annotations pass",
+            run_harness(tmp, mock, (
+                "// RASCAL-CHECKS: rascal-demo\n"
+                "int x;  // EMIT(rascal-demo, banned construct here)\n"
+                "// CHECK-MESSAGES: [[@LINE-1]] rascal-demo: banned construct\n"
+            )),
+            0, "PASS"))
+
+        results.append(expect(
+            "missing diagnostic fails",
+            run_harness(tmp, mock, (
+                "// RASCAL-CHECKS: rascal-demo\n"
+                "int x;\n"
+                "// CHECK-MESSAGES: [[@LINE-1]] rascal-demo: banned construct\n"
+            )),
+            1, "not emitted"))
+
+        results.append(expect(
+            "unexpected diagnostic fails",
+            run_harness(tmp, mock, (
+                "// RASCAL-CHECKS: rascal-demo\n"
+                "int x;  // EMIT(rascal-demo, banned construct here)\n"
+                "int y;  // EMIT(rascal-demo, second finding)\n"
+                "// CHECK-MESSAGES: [[@LINE-2]] rascal-demo: banned construct\n"
+            )),
+            1, "unexpected"))
+
+        results.append(expect(
+            "wrong-line annotation fails",
+            run_harness(tmp, mock, (
+                "// RASCAL-CHECKS: rascal-demo\n"
+                "int x;  // EMIT(rascal-demo, banned construct here)\n"
+                "// CHECK-MESSAGES: [[@LINE]] rascal-demo: banned construct\n"
+            )),
+            1, "not emitted"))
+
+        results.append(expect(
+            "clean fixture with NONE marker passes",
+            run_harness(tmp, mock, (
+                "// RASCAL-CHECKS: rascal-demo\n"
+                "// CHECK-MESSAGES-NONE\n"
+                "int x;\n"
+            )),
+            0, "clean"))
+
+        results.append(expect(
+            "violated NONE marker fails",
+            run_harness(tmp, mock, (
+                "// RASCAL-CHECKS: rascal-demo\n"
+                "// CHECK-MESSAGES-NONE\n"
+                "int x;  // EMIT(rascal-demo, sneaky finding)\n"
+            )),
+            1, "unexpected"))
+
+        results.append(expect(
+            "non-rascal diagnostics are ignored",
+            run_harness(tmp, mock, (
+                "// RASCAL-CHECKS: rascal-demo\n"
+                "// CHECK-MESSAGES-NONE\n"
+                "int x;  // EMIT(clang-analyzer-foo, other tool noise)\n"
+            )),
+            0, "clean"))
+
+        results.append(expect(
+            "missing RASCAL-CHECKS header is a harness error",
+            run_harness(tmp, mock, "int x;\n"),
+            2, "RASCAL-CHECKS"))
+
+        # RASCAL-PATH relocation: the mock prints the path it was
+        # given; the harness must still attribute diagnostics to the
+        # relocated copy.
+        results.append(expect(
+            "RASCAL-PATH relocation keeps attribution",
+            run_harness(tmp, mock, (
+                "// RASCAL-CHECKS: rascal-demo\n"
+                "// RASCAL-PATH: src/stats/moved.cpp\n"
+                "int x;  // EMIT(rascal-demo, finding in moved file)\n"
+                "// CHECK-MESSAGES: [[@LINE-1]] rascal-demo: finding in moved\n"
+            )),
+            0, "PASS"))
+
+    # The shipped fixtures must at least parse (annotation syntax,
+    # headers present) even where clang-tidy is unavailable.
+    sys.path.insert(0, str(HERE))
+    import run_fixture_test as rft
+    for fixture in sorted((HERE / "fixtures").glob("*.cpp")):
+        checks, _relpath, expected, expect_none = rft.parse_fixture(
+            fixture.read_text())
+        ok = bool(checks) and (bool(expected) != expect_none)
+        print(f"{'ok' if ok else 'FAIL'}: fixture parses: {fixture.name} "
+              f"({len(expected)} annotation(s)"
+              f"{', expect-none' if expect_none else ''})")
+        results.append(ok)
+
+    if all(results):
+        print(f"selftest: {len(results)} assertions passed")
+        return 0
+    print("selftest: FAILURES present")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
