@@ -413,4 +413,53 @@ OracleReport check_krylov_consensus(const ctmc::Ctmc& chain,
   return report;
 }
 
+OracleReport check_shared_cache_consensus(const ctmc::Ctmc& chain,
+                                          const OracleOptions& options) {
+  OracleReport report;
+
+  std::vector<ctmc::SteadyStateMethod> methods = {
+      ctmc::SteadyStateMethod::kGth, ctmc::SteadyStateMethod::kLu};
+  if (options.include_iterative) {
+    methods.push_back(ctmc::SteadyStateMethod::kPower);
+    methods.push_back(ctmc::SteadyStateMethod::kGaussSeidel);
+  }
+
+  for (const auto method : methods) {
+    const std::string name = method_name(method);
+    const ctmc::SteadyState fresh = ctmc::solve_steady_state(chain, method);
+
+    ctmc::SharedSolveCache shared;
+    ctmc::SolveCache first_worker;
+    first_worker.set_shared(&shared);
+    ctmc::SolveCache second_worker;
+    second_worker.set_shared(&shared);
+
+    const auto expect_bits = [&](const std::string& what,
+                                 const ctmc::SteadyState& got) {
+      for (std::size_t s = 0; s < chain.num_states(); ++s) {
+        report.expect_close(what + " pi[" + chain.state_name(s) + "]",
+                            got.probabilities[s], fresh.probabilities[s],
+                            0.0);
+      }
+      report.expect_close(what + " residual", got.residual, fresh.residual,
+                          0.0);
+    };
+
+    // Cold miss: solved locally, published to the shared tier.
+    expect_bits(name + " cold miss", first_worker.steady_state(chain, method));
+    // Local hit: served from the worker's own entry.
+    expect_bits(name + " local hit", first_worker.steady_state(chain, method));
+    // Shared hit: a different worker's cache pulls the published copy.
+    expect_bits(name + " shared hit",
+                second_worker.steady_state(chain, method));
+
+    const ctmc::SharedSolveCache::Stats stats = shared.stats();
+    report.expect_close(name + " shared tier published",
+                        static_cast<double>(stats.insertions), 1.0, 0.0);
+    report.expect_close(name + " shared tier hit",
+                        static_cast<double>(stats.hits), 1.0, 0.0);
+  }
+  return report;
+}
+
 }  // namespace rascal::check

@@ -98,4 +98,15 @@ struct OracleOptions {
 [[nodiscard]] OracleReport check_krylov_consensus(
     const ctmc::Ctmc& chain, const OracleOptions& options = {});
 
+/// Bit-identity gate for the shared concurrent solve cache: for each
+/// steady-state method, the distribution served by a worker-local
+/// SolveCache on a cold miss, on a local hit, and on a shared-tier
+/// hit from a different worker's cache must all reproduce the direct
+/// solve_steady_state() result exactly — tolerance zero.  Also checks
+/// that the shared tier actually recorded the publish and the
+/// cross-cache hit (a silently disabled cache would pass bit-identity
+/// trivially).
+[[nodiscard]] OracleReport check_shared_cache_consensus(
+    const ctmc::Ctmc& chain, const OracleOptions& options = {});
+
 }  // namespace rascal::check

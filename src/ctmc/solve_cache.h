@@ -11,16 +11,116 @@
 // Because the solvers are deterministic, a cache hit is bit-identical
 // to a fresh solve — gated by the src/check/ oracle.
 //
-// The cache also owns the worker's SolveWorkspace, so one object per
-// worker provides both memoization and allocation-free scratch.  Not
-// thread-safe; give each worker its own.
+// Two tiers share one key scheme (steady_state_key):
+//
+//   * SolveCache — worker-local, single entry, also owns the worker's
+//     SolveWorkspace.  Not thread-safe; give each worker its own.
+//   * SharedSolveCache — process-wide, sharded, fixed-memory
+//     concurrent table (transposition-table idiom: every key maps to
+//     exactly one slot, colliding inserts evict).  Attach one to many
+//     SolveCaches via set_shared() and a parametric sweep dispatched
+//     across workers never recomputes an identical CTMC.  Hits return
+//     byte-exact copies of the stored distribution, so results stay
+//     bit-identical across thread counts and cold/warm caches (also
+//     oracle-gated, check_shared_cache_consensus).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <vector>
 
 #include "ctmc/steady_state.h"
 
 namespace rascal::ctmc {
+
+/// Exact key of a steady-state solve: the generator digest plus every
+/// SolveControl field that can change the computed bits (method,
+/// validation, max_iterations, escalate, sparse_threshold, precond,
+/// gmres_restart).  The cancellation token and workspace pointer are
+/// excluded: they never change the solution.  Two solves with equal
+/// keys are bit-identical; the property suite asserts every field
+/// (and every transition rate) discriminates.
+[[nodiscard]] std::uint64_t steady_state_key(const Ctmc& chain,
+                                             SteadyStateMethod method,
+                                             Validation validation,
+                                             const SolveControl& control);
+
+/// Process-wide concurrent solve cache: a fixed number of slots split
+/// across mutex-guarded shards.  Each key owns exactly one slot
+/// (multiplicative hash), so memory is bounded by `capacity` stored
+/// distributions and an insert colliding with a live different-key
+/// slot evicts it (counted).  Lookups copy the stored SteadyState out
+/// under the shard lock, so a returned value is never touched by a
+/// concurrent eviction.
+class SharedSolveCache {
+ public:
+  struct Config {
+    /// Total slot count across all shards (0 disables the cache:
+    /// lookups miss, inserts drop).  Bounds resident results.
+    std::size_t capacity = 1024;
+    /// Shard count (rounded up to a power of two, capped by
+    /// capacity).  One mutex per shard keeps workers out of each
+    /// other's way.
+    std::size_t shards = 16;
+  };
+
+  /// Point-in-time statistics.  Counters are cumulative over the
+  /// cache lifetime; occupancy/evictions reflect slot state.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t occupancy = 0;  // live slots
+    std::size_t capacity = 0;   // total slots
+  };
+
+  SharedSolveCache() : SharedSolveCache(Config{}) {}
+  explicit SharedSolveCache(const Config& config);
+
+  /// True when the cache has at least one slot.
+  [[nodiscard]] bool enabled() const noexcept { return !shards_.empty(); }
+
+  /// On a key match copies the stored solution into `out` and returns
+  /// true; otherwise leaves `out` untouched.
+  [[nodiscard]] bool lookup(std::uint64_t key, SteadyState& out) const;
+
+  /// Stores `value` in the key's slot, evicting whatever different
+  /// key lived there.  Re-inserting an existing key refreshes it.
+  void insert(std::uint64_t key, const SteadyState& value);
+
+  [[nodiscard]] Stats stats() const;
+
+  /// Drops every stored entry (slots keep their memory reserved).
+  void clear();
+
+ private:
+  struct Slot {
+    bool used = false;
+    std::uint64_t key = 0;
+    SteadyState value;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<Slot> slots;
+    std::size_t used = 0;
+  };
+
+  // 64-bit multiplicative spread of the FNV key: the low bits pick
+  // the shard, the high bits the slot, so both stay well mixed even
+  // for keys that differ in few bits.
+  [[nodiscard]] std::size_t shard_index(std::uint64_t key) const noexcept;
+  [[nodiscard]] std::size_t slot_index(std::uint64_t key) const noexcept;
+
+  std::vector<Shard> shards_;
+  std::size_t slots_per_shard_ = 0;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
 
 class SolveCache {
  public:
@@ -28,6 +128,12 @@ class SolveCache {
   [[nodiscard]] linalg::SolveWorkspace& workspace() noexcept {
     return workspace_;
   }
+
+  /// Attaches a cross-worker shared tier: consulted when the local
+  /// entry misses, published to after every fresh solve.  Not owned;
+  /// pass nullptr to detach.  The shared tier never changes results —
+  /// its entries were produced by the identical deterministic solve.
+  void set_shared(SharedSolveCache* shared) noexcept { shared_ = shared; }
 
   /// As solve_steady_state(), but returns the stored result when the
   /// chain's generator, the method, and the control knobs that affect
@@ -50,6 +156,7 @@ class SolveCache {
 
  private:
   linalg::SolveWorkspace workspace_;
+  SharedSolveCache* shared_ = nullptr;  // optional cross-worker tier
   SteadyState cached_;
   std::uint64_t key_ = 0;
   bool valid_ = false;

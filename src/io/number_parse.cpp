@@ -1,0 +1,73 @@
+#include "io/number_parse.h"
+
+#include <cctype>
+#include <cmath>
+#include <stdexcept>
+
+namespace rascal::io {
+
+namespace {
+
+// std::stod is laxer than the CLI contract: it skips leading
+// whitespace and accepts hexfloats ("0x1p3").  Both are rejected up
+// front so the std parsers only ever see plain decimal tokens.
+bool plausible_decimal(const std::string& text) {
+  if (text.empty()) return false;
+  if (std::isspace(static_cast<unsigned char>(text.front()))) return false;
+  const std::size_t start =
+      (text[0] == '-' || text[0] == '+') ? 1 : 0;
+  if (text.size() > start + 1 && text[start] == '0' &&
+      (text[start + 1] == 'x' || text[start + 1] == 'X')) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parse_finite_double(const std::string& text, double& out) {
+  if (!plausible_decimal(text)) return false;
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size() || !std::isfinite(value)) return false;
+    out = value;
+    return true;
+  } catch (const std::exception&) {
+    return false;  // empty, non-numeric, or out of double range
+  }
+}
+
+bool parse_size(const std::string& text, std::size_t& out) {
+  // stoul happily wraps "-3" to a huge count and skips whitespace;
+  // demand a leading digit.
+  if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0]))) {
+    return false;
+  }
+  try {
+    std::size_t used = 0;
+    const unsigned long value = std::stoul(text, &used);
+    if (used != text.size()) return false;
+    out = static_cast<std::size_t>(value);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parse_uint64(const std::string& text, std::uint64_t& out) {
+  if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0]))) {
+    return false;
+  }
+  try {
+    std::size_t used = 0;
+    const unsigned long long value = std::stoull(text, &used);
+    if (used != text.size()) return false;
+    out = value;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace rascal::io

@@ -1,0 +1,29 @@
+// Strict numeric parsing for untrusted text (CLI flags, serve-mode
+// request fields).  Every helper requires the WHOLE token to parse —
+// trailing garbage ("1.5junk") is rejected, not silently dropped —
+// and parse_finite_double additionally rejects non-finite values
+// ("nan", "inf", "1e999"): a NaN failure rate or an infinite deadline
+// is always an input mistake, and letting it through produces garbage
+// far downstream of the message that could have named the bad flag.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace rascal::io {
+
+/// Parses `text` as a finite double.  Returns false (leaving `out`
+/// untouched) on empty input, trailing characters, overflow, or a
+/// non-finite result (nan/inf in any capitalisation).
+[[nodiscard]] bool parse_finite_double(const std::string& text, double& out);
+
+/// Parses `text` as a non-negative size.  Whole-token match required;
+/// rejects negative values ("-3" is not a count, not 2^64-3).
+[[nodiscard]] bool parse_size(const std::string& text, std::size_t& out);
+
+/// Parses `text` as an unsigned 64-bit integer (seeds).  Whole-token
+/// match required; rejects negative values.
+[[nodiscard]] bool parse_uint64(const std::string& text, std::uint64_t& out);
+
+}  // namespace rascal::io

@@ -1,0 +1,248 @@
+#include "serve/batch.h"
+
+#include <atomic>
+#include <istream>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "core/metrics.h"
+#include "core/thread_pool.h"
+#include "io/model_file.h"
+#include "obs/obs.h"
+#include "obs/progress.h"
+#include "resil/chaos.h"
+#include "serve/request.h"
+#include "serve/sink.h"
+
+namespace rascal::serve {
+
+namespace {
+
+double metric_value(OutputKind kind, const core::AvailabilityMetrics& m) {
+  switch (kind) {
+    case OutputKind::kAvailability: return m.availability;
+    case OutputKind::kUnavailability: return m.unavailability;
+    case OutputKind::kDowntime: return m.downtime_minutes_per_year;
+    case OutputKind::kMtbf: return m.mtbf_hours;
+    case OutputKind::kMttf: return m.mttf_hours;
+    case OutputKind::kMttr: return m.mttr_hours;
+    case OutputKind::kRewardRate: return m.expected_reward_rate;
+    case OutputKind::kFailureFrequency: return m.failure_frequency;
+  }
+  return 0.0;
+}
+
+std::vector<double> solve_request(const Request& request,
+                                  const io::ModelFile& file,
+                                  ctmc::SolveCache& cache,
+                                  const resil::CancellationToken* cancel) {
+  const ctmc::Ctmc chain = file.bind(request.overrides);
+  ctmc::SolveControl control;
+  control.max_iterations = request.max_iterations;
+  control.sparse_threshold = request.sparse_threshold;
+  control.precond = request.precond;
+  control.gmres_restart = request.gmres_restart;
+  control.cancel = cancel;
+  const ctmc::SteadyState& steady = cache.steady_state(
+      chain, request.method, ctmc::Validation::kOn, control);
+  const core::AvailabilityMetrics metrics =
+      core::availability_metrics(chain, steady);
+  std::vector<double> values;
+  values.reserve(request.outputs.size());
+  for (const OutputKind kind : request.outputs) {
+    values.push_back(metric_value(kind, metrics));
+  }
+  return values;
+}
+
+}  // namespace
+
+double BatchResult::hit_rate() const noexcept {
+  const double hits =
+      static_cast<double>(cache.hits) + static_cast<double>(worker_hits);
+  const double total = hits + static_cast<double>(cache.misses);
+  // Shared misses count exactly the lookups neither tier answered: a
+  // local hit never consults the shared tier, a local miss always
+  // does.  worker_misses would double-count them.
+  return total > 0.0 ? hits / total : 0.0;
+}
+
+std::vector<std::string> read_request_lines(std::istream& in) {
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+std::uint64_t batch_checkpoint_digest(const std::vector<std::string>& lines) {
+  resil::DigestBuilder digest;
+  digest.add_str("serve").add_u64(lines.size());
+  for (const std::string& line : lines) digest.add_str(line);
+  return digest.value();
+}
+
+BatchResult run_batch(const std::vector<std::string>& lines,
+                      std::ostream& out, const BatchOptions& options) {
+  const obs::Span span("serve.batch");
+  const std::size_t n = lines.size();
+  const resil::CancellationToken* cancel = options.control.cancel;
+  resil::Checkpointer* checkpoint = options.control.checkpoint;
+
+  BatchResult result;
+  result.requests = n;
+
+  // Everything that can fail without touching a solver is resolved
+  // serially up front: parse every line, then load every distinct
+  // model once.  The parallel region below only ever sees requests
+  // that are structurally able to run.
+  std::vector<std::optional<Request>> requests(n);
+  std::vector<unsigned char> status(n, 0);  // 0 pending, 1 ok, 2 failed
+  std::vector<std::string> errors(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    try {
+      requests[i] = parse_request(lines[i]);
+    } catch (const RequestError& failure) {
+      status[i] = 2;
+      errors[i] = failure.what();
+    }
+  }
+
+  std::map<std::string, io::ModelFile> models;
+  std::map<std::string, std::string> model_errors;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!requests[i]) continue;
+    const std::string& path = requests[i]->model_path;
+    if (models.count(path) != 0 || model_errors.count(path) != 0) continue;
+    try {
+      models.emplace(path, io::load_model(path));
+    } catch (const std::exception& failure) {
+      model_errors.emplace(path, failure.what());
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!requests[i] || status[i] != 0) continue;
+    const auto bad = model_errors.find(requests[i]->model_path);
+    if (bad != model_errors.end()) {
+      status[i] = 2;
+      errors[i] = "model '" + requests[i]->model_path + "': " + bad->second;
+    }
+  }
+
+  // Checkpoint replay: completed indices come back as their exact
+  // result bits (kOk) or their recorded failure message (kFailed), so
+  // the re-rendered records are byte-identical to the first run's.
+  std::vector<std::vector<double>> values(n);
+  if (checkpoint != nullptr) {
+    if (checkpoint->total() != n) {
+      throw resil::CheckpointError(
+          "run_batch: checkpoint total does not match the request count");
+    }
+    for (const resil::CheckpointEntry& entry : checkpoint->entries()) {
+      const std::size_t i = static_cast<std::size_t>(entry.index);
+      if (i >= n || status[i] != 0 || !requests[i]) continue;
+      if (entry.status == resil::EntryStatus::kOk) {
+        if (entry.words.size() != requests[i]->outputs.size()) {
+          throw resil::CheckpointError(
+              "run_batch: checkpoint entry has wrong payload size");
+        }
+        values[i].reserve(entry.words.size());
+        for (const std::uint64_t word : entry.words) {
+          values[i].push_back(resil::bits_f64(word));
+        }
+        status[i] = 1;
+      } else {
+        status[i] = 2;
+        errors[i] = entry.note;
+      }
+      ++result.restored;
+    }
+  }
+
+  ctmc::SharedSolveCache::Config cache_config;
+  cache_config.capacity = options.cache_capacity;
+  ctmc::SharedSolveCache shared(cache_config);
+  std::atomic<std::uint64_t> worker_hits{0};
+  std::atomic<std::uint64_t> worker_misses{0};
+
+  ResultsSink sink(out);
+  // Pre-resolved records (parse/model errors, checkpoint replays) go
+  // to the sink before the workers start: their indices would
+  // otherwise gap the contiguous prefix forever.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (status[i] == 1) {
+      sink.push(i, render_result_line(i, *requests[i], values[i]));
+    } else if (status[i] == 2) {
+      sink.push(i, render_error_line(
+                       i, requests[i] ? requests[i]->id : "", errors[i]));
+    }
+  }
+
+  obs::Progress progress("serve.batch", n);
+  core::parallel_for(
+      n, core::resolve_threads(options.threads),
+      [&](std::size_t begin, std::size_t end) {
+        ctmc::SolveCache local;
+        local.set_shared(shared.enabled() ? &shared : nullptr);
+        for (std::size_t i = begin; i < end; ++i) {
+          if (status[i] != 0) continue;  // pre-resolved or restored
+          if (cancel != nullptr && cancel->cancelled()) break;  // drain
+          const Request& request = *requests[i];
+          try {
+            resil::chaos::worker_hook(i);
+            const obs::Span request_span("serve.batch.request");
+            values[i] = solve_request(request, models.at(request.model_path),
+                                      local, cancel);
+            status[i] = 1;
+            if (checkpoint != nullptr) {
+              resil::CheckpointEntry entry{i, resil::EntryStatus::kOk, {}, {}};
+              entry.words.reserve(values[i].size());
+              for (const double v : values[i]) {
+                entry.words.push_back(resil::f64_bits(v));
+              }
+              checkpoint->record(std::move(entry));
+            }
+            sink.push(i, render_result_line(i, request, values[i]));
+          } catch (const resil::CancelledError&) {
+            break;  // interrupted mid-solve: leave the index pending
+          } catch (const std::exception& failure) {
+            status[i] = 2;
+            errors[i] = failure.what();
+            if (checkpoint != nullptr) {
+              checkpoint->record(
+                  {i, resil::EntryStatus::kFailed, {}, failure.what()});
+            }
+            sink.push(i, render_error_line(i, request.id, errors[i]));
+            if (obs::enabled()) {
+              obs::counter("serve.batch.requests_failed").add(1);
+            }
+          }
+          progress.tick();
+        }
+        worker_hits.fetch_add(local.hits(), std::memory_order_relaxed);
+        worker_misses.fetch_add(local.misses(), std::memory_order_relaxed);
+      });
+  progress.finish();
+  if (checkpoint != nullptr) checkpoint->flush();
+  result.written = sink.close();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (status[i] == 1) ++result.succeeded;
+    else if (status[i] == 2) ++result.failed;
+  }
+  result.interrupted = cancel != nullptr && cancel->cancelled() &&
+                       result.succeeded + result.failed < n;
+  if (result.interrupted) result.interrupt_reason = cancel->describe();
+  result.cache = shared.stats();
+  result.worker_hits = worker_hits.load(std::memory_order_relaxed);
+  result.worker_misses = worker_misses.load(std::memory_order_relaxed);
+  if (obs::enabled()) {
+    obs::counter("serve.batch.requests").add(n);
+  }
+  return result;
+}
+
+}  // namespace rascal::serve

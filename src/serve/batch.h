@@ -1,0 +1,66 @@
+// Batch/serve execution: dispatch a stream of solve requests across
+// the thread pool, share solved distributions through the concurrent
+// solve cache, and emit one JSONL result record per request.
+//
+// The runner owns the full determinism contract of the serve mode:
+// the sink bytes are identical at any RASCAL_THREADS, with a cold or
+// warm cache, and across a kill/resume (checkpoint replay of exact
+// result bits).  A malformed request line becomes a per-request error
+// record, never a process abort.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ctmc/solve_cache.h"
+#include "resil/resil.h"
+
+namespace rascal::serve {
+
+struct BatchOptions {
+  /// Worker threads (0 = RASCAL_THREADS / hardware default).
+  std::size_t threads = 0;
+  /// Shared solve-cache slots (0 disables the shared tier; workers
+  /// keep their single-entry local caches either way).
+  std::size_t cache_capacity = 1024;
+  /// Cancellation / checkpoint / failure policy.  skip_failures is
+  /// implied: a failing request always becomes an error record.
+  resil::ExecutionControl control;
+};
+
+struct BatchResult {
+  std::size_t requests = 0;
+  std::size_t succeeded = 0;  // "status":"ok" records
+  std::size_t failed = 0;     // "status":"error" records
+  std::size_t restored = 0;   // replayed from the checkpoint
+  std::size_t written = 0;    // records the sink actually emitted
+  bool interrupted = false;   // drained before finishing
+  std::string interrupt_reason;
+  /// Shared-tier statistics plus the per-worker local caches.
+  ctmc::SharedSolveCache::Stats cache;
+  std::uint64_t worker_hits = 0;
+  std::uint64_t worker_misses = 0;
+
+  /// Fraction of solve lookups answered by either cache tier.
+  [[nodiscard]] double hit_rate() const noexcept;
+};
+
+/// Reads one request line per record, keeping blank lines (they
+/// become error records) so request indices always equal input line
+/// numbers minus one.  Trailing newline does not create a record.
+[[nodiscard]] std::vector<std::string> read_request_lines(std::istream& in);
+
+/// Fingerprint of the request stream for checkpoint compatibility:
+/// resuming against a different stream is rejected.
+[[nodiscard]] std::uint64_t batch_checkpoint_digest(
+    const std::vector<std::string>& lines);
+
+/// Runs every request and writes the result records to `out` in
+/// request order.  Throws only on infrastructure failures (checkpoint
+/// mismatch); per-request problems are error records in the stream.
+BatchResult run_batch(const std::vector<std::string>& lines,
+                      std::ostream& out, const BatchOptions& options);
+
+}  // namespace rascal::serve

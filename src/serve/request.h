@@ -1,0 +1,100 @@
+// Solve-request records for the batch/serve execution mode.
+//
+// A request stream is JSONL: one self-contained JSON object per line,
+// read from a file (`rascal_cli batch`) or stdin (`rascal_cli
+// serve`).  Each request names a model file, optional parameter
+// overrides, the solver configuration, and which metrics to report:
+//
+//   {"model": "examples/models/hadb_pair.rasc",
+//    "set": {"FIR": 0.0005, "La_hadb": 0.00023},
+//    "method": "gmres", "precond": "ilu0",
+//    "outputs": ["availability", "downtime"], "id": "sweep-17"}
+//
+// Only "model" is required.  Unknown fields are rejected (a typoed
+// "methd" must not silently solve with the default), numeric fields
+// must be finite (strict io/number_parse rules), and a malformed line
+// becomes a per-request error record in the results sink — never a
+// process abort.  docs/serving.md documents the full schema.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ctmc/steady_state.h"
+#include "expr/parameter_set.h"
+
+namespace rascal::serve {
+
+/// Malformed request line (bad JSON, unknown field, non-finite
+/// number, missing "model").  Caught by the batch runner and turned
+/// into an error record carrying this message.
+class RequestError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Metrics a request may ask for (the "outputs" array).
+enum class OutputKind {
+  kAvailability,
+  kUnavailability,
+  kDowntime,          // minutes per year
+  kMtbf,              // hours
+  kMttf,              // hours
+  kMttr,              // hours
+  kRewardRate,        // expected reward rate (performability)
+  kFailureFrequency,  // system failures per hour
+};
+
+[[nodiscard]] const char* to_string(OutputKind kind);
+[[nodiscard]] bool parse_output(const std::string& name, OutputKind& out);
+[[nodiscard]] bool parse_method(const std::string& name,
+                                ctmc::SteadyStateMethod& out);
+[[nodiscard]] bool parse_precond(const std::string& name,
+                                 linalg::PrecondKind& out);
+
+/// One parsed solve request.
+struct Request {
+  std::string id;          // echoed in the response when non-empty
+  std::string model_path;  // required
+  expr::ParameterSet overrides;
+  ctmc::SteadyStateMethod method = ctmc::SteadyStateMethod::kGth;
+  linalg::PrecondKind precond = linalg::PrecondKind::kIlu0;
+  std::size_t sparse_threshold = 0;
+  std::size_t max_iterations = 0;
+  std::size_t gmres_restart = 0;
+  /// Defaults to {availability, downtime} when the line has no
+  /// "outputs" array.
+  std::vector<OutputKind> outputs = {OutputKind::kAvailability,
+                                     OutputKind::kDowntime};
+};
+
+/// Parses one JSONL line.  Throws RequestError on any problem; the
+/// message carries a byte offset so a 10^4-line campaign file is
+/// debuggable.
+[[nodiscard]] Request parse_request(const std::string& line);
+
+/// JSON string escaping for ids and error messages embedded in result
+/// records (quotes, backslashes, control characters).
+[[nodiscard]] std::string escape_json(const std::string& text);
+
+/// Schema tag stamped into every result record.  Bump when the record
+/// shape changes so downstream query tooling can dispatch.
+inline constexpr const char* kResultSchema = "rascal.serve.v1";
+
+/// Renders the result record of a successful solve: values are
+/// printed with %.17g so records round-trip exactly and rendering is
+/// deterministic (byte-identical across thread counts and cache
+/// temperature).  `values` aligns with `request.outputs`.
+[[nodiscard]] std::string render_result_line(std::size_t index,
+                                             const Request& request,
+                                             const std::vector<double>& values);
+
+/// Renders a per-request error record (parse failure, unknown model,
+/// solver error).  `id` may be empty (unparsable lines have none).
+[[nodiscard]] std::string render_error_line(std::size_t index,
+                                            const std::string& id,
+                                            const std::string& error);
+
+}  // namespace rascal::serve

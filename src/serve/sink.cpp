@@ -1,0 +1,72 @@
+#include "serve/sink.h"
+
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace rascal::serve {
+
+ResultsSink::ResultsSink(std::ostream& out) : out_(out) {
+  writer_ = std::thread([this] { writer_loop(); });
+}
+
+ResultsSink::~ResultsSink() { close(); }
+
+void ResultsSink::push(std::size_t index, std::string line) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closing_) return;  // late completion after close(): checkpoint has it
+    pending_.emplace(index, std::move(line));
+    if (obs::enabled()) {
+      obs::gauge("serve.sink.buffered")
+          .set(static_cast<double>(pending_.size()));
+    }
+  }
+  ready_cv_.notify_one();
+}
+
+std::size_t ResultsSink::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closing_ && !writer_.joinable()) return written_;
+    closing_ = true;
+  }
+  ready_cv_.notify_one();
+  if (writer_.joinable()) writer_.join();
+  return written_;
+}
+
+std::size_t ResultsSink::written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return written_;
+}
+
+void ResultsSink::writer_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    ready_cv_.wait(lock, [this] {
+      return closing_ ||
+             (!pending_.empty() && pending_.begin()->first == next_index_);
+    });
+    // Drain the contiguous prefix; drop the stream lock per record so
+    // workers are never blocked on disk.
+    while (!pending_.empty() && pending_.begin()->first == next_index_) {
+      const std::string line = std::move(pending_.begin()->second);
+      pending_.erase(pending_.begin());
+      lock.unlock();
+      out_ << line << '\n';
+      lock.lock();
+      ++next_index_;
+      ++written_;
+      if (obs::enabled()) {
+        obs::counter("serve.sink.records").add(1);
+        obs::gauge("serve.sink.buffered")
+            .set(static_cast<double>(pending_.size()));
+      }
+    }
+    if (closing_) break;
+  }
+  out_.flush();
+}
+
+}  // namespace rascal::serve

@@ -1,0 +1,66 @@
+// Structured results sink for batch/serve campaigns.
+//
+// Workers finish requests in whatever order the pool schedules them,
+// but the sink must emit records in request order so the output file
+// is byte-identical at any RASCAL_THREADS and diffable across runs.
+// A dedicated writer thread (the gacspp COutput idiom: producers
+// enqueue under a mutex, one consumer owns the stream) buffers
+// out-of-order completions and appends each line the moment its index
+// becomes the next contiguous one.
+//
+// The writer never reads clocks or randomness, so sink activity can
+// never perturb solver determinism.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+
+namespace rascal::serve {
+
+class ResultsSink {
+ public:
+  /// The sink appends to `out` (not owned; must outlive the sink)
+  /// from its writer thread until close() — no other writer may touch
+  /// the stream in between.
+  explicit ResultsSink(std::ostream& out);
+
+  /// Joins the writer (close()) if the owner forgot to.
+  ~ResultsSink();
+
+  ResultsSink(const ResultsSink&) = delete;
+  ResultsSink& operator=(const ResultsSink&) = delete;
+
+  /// Hands record `index` to the writer.  Thread-safe; each index
+  /// must be pushed at most once.  `line` must not contain newlines
+  /// (one record per line is the JSONL contract).
+  void push(std::size_t index, std::string line);
+
+  /// Drains the contiguous prefix, flushes the stream, and stops the
+  /// writer thread.  Records still gapped at close (an interrupted
+  /// run killed the request that would have filled the gap) are
+  /// dropped — the checkpoint has them, and the resumed run re-emits
+  /// the full stream.  Returns the number of records written.
+  std::size_t close();
+
+  /// Records written so far (monotonic; final after close()).
+  [[nodiscard]] std::size_t written() const;
+
+ private:
+  void writer_loop();
+
+  std::ostream& out_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_cv_;
+  std::map<std::size_t, std::string> pending_;  // index-ordered buffer
+  std::size_t next_index_ = 0;  // the only index allowed to write next
+  std::size_t written_ = 0;
+  bool closing_ = false;
+  std::thread writer_;
+};
+
+}  // namespace rascal::serve

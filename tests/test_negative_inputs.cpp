@@ -4,11 +4,13 @@
 // it "((((..." walks off the stack.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 
 #include "expr/expression.h"
 #include "expr/lexer.h"
 #include "io/model_file.h"
+#include "io/number_parse.h"
 
 namespace rascal {
 namespace {
@@ -132,6 +134,65 @@ TEST(ModelFileNegative, UnknownParameterSurfacesAtBindTime) {
       "state A reward 1\nstate B reward 0\nrate A B lambda_undefined\n"
       "rate B A 1");
   EXPECT_THROW((void)file.bind({}), std::exception);
+}
+
+// ---- strict numeric parsing (io/number_parse) -------------------------
+//
+// Regression tests for two CLI bugs: `--set lambda=1.5junk` was
+// silently accepted (raw std::stod ignored the trailing garbage) and
+// non-finite values ("nan", "inf", "1e999") flowed into the solvers.
+// Every CLI numeric flag now routes through these parsers.
+
+TEST(NumberParseNegative, RejectsTrailingGarbage) {
+  const char* cases[] = {"1.5junk", "1.5 ", " 2", "0x10", "1,5",
+                         "1.5e", "2.0.0", "--3", "1e5x"};
+  double value = 0.0;
+  for (const char* text : cases) {
+    EXPECT_FALSE(io::parse_finite_double(text, value))
+        << "accepted: \"" << text << "\"";
+  }
+}
+
+TEST(NumberParseNegative, RejectsNonFiniteValues) {
+  const char* cases[] = {"nan",  "NaN",  "-nan", "inf",   "INF",
+                         "-inf", "infinity", "1e999", "-1e999"};
+  double value = 0.0;
+  for (const char* text : cases) {
+    EXPECT_FALSE(io::parse_finite_double(text, value))
+        << "accepted: \"" << text << "\"";
+  }
+}
+
+TEST(NumberParseNegative, AcceptsOrdinaryFiniteNumbers) {
+  double value = 0.0;
+  ASSERT_TRUE(io::parse_finite_double("1.5", value));
+  EXPECT_DOUBLE_EQ(value, 1.5);
+  ASSERT_TRUE(io::parse_finite_double("-2e-4", value));
+  EXPECT_DOUBLE_EQ(value, -2e-4);
+  ASSERT_TRUE(io::parse_finite_double("0", value));
+  EXPECT_DOUBLE_EQ(value, 0.0);
+}
+
+TEST(NumberParseNegative, SizeRejectsSignsGarbageAndEmpty) {
+  std::size_t count = 0;
+  const char* cases[] = {"", "-1", "+1", "3.5", "12junk", "junk", " 7"};
+  for (const char* text : cases) {
+    EXPECT_FALSE(io::parse_size(text, count))
+        << "accepted: \"" << text << "\"";
+  }
+  ASSERT_TRUE(io::parse_size("42", count));
+  EXPECT_EQ(count, 42u);
+}
+
+TEST(NumberParseNegative, Uint64RejectsSignsAndGarbage) {
+  std::uint64_t value = 0;
+  const char* cases[] = {"", "-1", "+2", "1.0", "5x", "0b11"};
+  for (const char* text : cases) {
+    EXPECT_FALSE(io::parse_uint64(text, value))
+        << "accepted: \"" << text << "\"";
+  }
+  ASSERT_TRUE(io::parse_uint64("18446744073709551615", value));
+  EXPECT_EQ(value, 18446744073709551615ull);
 }
 
 }  // namespace

@@ -1,0 +1,239 @@
+// Unit tests for the batch/serve layer: the strict JSONL request
+// parser (hostile input becomes a typed RequestError, never a crash
+// or silent default), the deterministic record rendering, the ordered
+// results sink, and the end-to-end batch runner including per-request
+// error records and cold/warm cache bit-identity.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/batch.h"
+#include "serve/request.h"
+#include "serve/sink.h"
+
+namespace rascal::serve {
+namespace {
+
+// ---- request parsing --------------------------------------------------
+
+TEST(ServeRequest, ParsesFullRequest) {
+  const Request request = parse_request(
+      R"({"model": "m.rasc", "id": "r1", "set": {"FIR": 0.001, "La": 2e-4},)"
+      R"( "method": "gmres", "precond": "jacobi", "sparse_threshold": 50,)"
+      R"( "max_iterations": 200, "gmres_restart": 30,)"
+      R"( "outputs": ["availability", "mtbf", "reward_rate"]})");
+  EXPECT_EQ(request.model_path, "m.rasc");
+  EXPECT_EQ(request.id, "r1");
+  EXPECT_DOUBLE_EQ(request.overrides.get("FIR"), 0.001);
+  EXPECT_DOUBLE_EQ(request.overrides.get("La"), 2e-4);
+  EXPECT_EQ(request.method, ctmc::SteadyStateMethod::kGmres);
+  EXPECT_EQ(request.precond, linalg::PrecondKind::kJacobi);
+  EXPECT_EQ(request.sparse_threshold, 50u);
+  EXPECT_EQ(request.max_iterations, 200u);
+  EXPECT_EQ(request.gmres_restart, 30u);
+  ASSERT_EQ(request.outputs.size(), 3u);
+  EXPECT_EQ(request.outputs[0], OutputKind::kAvailability);
+  EXPECT_EQ(request.outputs[1], OutputKind::kMtbf);
+  EXPECT_EQ(request.outputs[2], OutputKind::kRewardRate);
+}
+
+TEST(ServeRequest, MinimalRequestGetsDefaults) {
+  const Request request = parse_request(R"({"model": "m.rasc"})");
+  EXPECT_EQ(request.method, ctmc::SteadyStateMethod::kGth);
+  EXPECT_EQ(request.precond, linalg::PrecondKind::kIlu0);
+  ASSERT_EQ(request.outputs.size(), 2u);
+  EXPECT_EQ(request.outputs[0], OutputKind::kAvailability);
+  EXPECT_EQ(request.outputs[1], OutputKind::kDowntime);
+}
+
+TEST(ServeRequest, RejectsHostileInput) {
+  const char* cases[] = {
+      "",                                          // empty line
+      "not json",                                  // not an object
+      R"({"set": {"FIR": 1}})",                    // missing model
+      R"({"model": ""})",                          // empty model path
+      R"({"model": "m.rasc", "methd": "lu"})",     // typoed field
+      R"({"model": "m.rasc", "method": "qr"})",    // unknown method
+      R"({"model": "m.rasc", "precond": "amg"})",  // unknown precond
+      R"({"model": "m.rasc", "outputs": []})",     // empty outputs
+      R"({"model": "m.rasc", "outputs": ["upness"]})",  // unknown output
+      R"({"model": "m.rasc", "set": {"FIR": nan}})",    // non-finite
+      R"({"model": "m.rasc", "set": {"FIR": 1e999}})",  // overflows
+      R"({"model": "m.rasc", "set": {"": 1}})",         // empty name
+      R"({"model": "m.rasc", "max_iterations": -3})",   // negative count
+      R"({"model": "m.rasc", "max_iterations": 1.5})",  // fractional
+      R"({"model": "m.rasc"} trailing)",                // trailing text
+      R"({"model": "m.rasc")",                          // unterminated
+      R"({"model": "m.rasc", "set": {"FIR": }})",       // missing value
+  };
+  for (const char* line : cases) {
+    EXPECT_THROW((void)parse_request(line), RequestError)
+        << "accepted: " << line;
+  }
+}
+
+TEST(ServeRequest, ErrorsCarryByteOffsets) {
+  try {
+    (void)parse_request(R"({"model": "m.rasc", "bogus": 1})");
+    FAIL() << "unknown field accepted";
+  } catch (const RequestError& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+  }
+}
+
+// ---- record rendering -------------------------------------------------
+
+TEST(ServeRender, ResultLineIsDeterministicJson) {
+  Request request;
+  request.id = "sweep-17";
+  request.outputs = {OutputKind::kAvailability, OutputKind::kDowntime};
+  const std::string line = render_result_line(3, request, {0.5, 1.0 / 3.0});
+  EXPECT_EQ(line,
+            "{\"schema\":\"rascal.serve.v1\",\"index\":3,\"id\":\"sweep-17\","
+            "\"status\":\"ok\",\"results\":{\"availability\":0.5,"
+            "\"downtime\":0.33333333333333331}}");
+}
+
+TEST(ServeRender, ErrorLineEscapesMessage) {
+  const std::string line =
+      render_error_line(0, "id\"x", "bad \"input\"\nline2");
+  EXPECT_EQ(line,
+            "{\"schema\":\"rascal.serve.v1\",\"index\":0,\"id\":\"id\\\"x\","
+            "\"status\":\"error\",\"error\":\"bad \\\"input\\\"\\nline2\"}");
+}
+
+// ---- results sink -----------------------------------------------------
+
+TEST(ServeSink, WritesRecordsInIndexOrder) {
+  std::ostringstream out;
+  {
+    ResultsSink sink(out);
+    // Deliberately out of order: nothing may appear until index 0
+    // lands, then the whole contiguous prefix drains.
+    sink.push(2, "two");
+    sink.push(1, "one");
+    sink.push(0, "zero");
+    sink.push(3, "three");
+    EXPECT_EQ(sink.close(), 4u);
+  }
+  EXPECT_EQ(out.str(), "zero\none\ntwo\nthree\n");
+}
+
+TEST(ServeSink, CloseDropsGappedRecords) {
+  std::ostringstream out;
+  ResultsSink sink(out);
+  sink.push(0, "zero");
+  sink.push(2, "two");  // index 1 never arrives (interrupted worker)
+  EXPECT_EQ(sink.close(), 1u);
+  EXPECT_EQ(out.str(), "zero\n");
+}
+
+// ---- batch runner -----------------------------------------------------
+
+class ServeBatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    model_path_ = testing::TempDir() + "serve_batch_model.rasc";
+    std::ofstream model(model_path_);
+    model << "model test pair\n"
+             "param La 0.002\n"
+             "param Mu 0.5\n"
+             "state Up reward 1\n"
+             "state Down reward 0\n"
+             "rate Up Down La\n"
+             "rate Down Up Mu\n";
+  }
+
+  void TearDown() override { std::remove(model_path_.c_str()); }
+
+  [[nodiscard]] std::string request_line(const char* extra = "") const {
+    return std::string("{\"model\": \"") + model_path_ + "\"" + extra + "}";
+  }
+
+  std::string model_path_;
+};
+
+TEST_F(ServeBatchTest, MalformedLineBecomesErrorRecordNotAbort) {
+  const std::vector<std::string> lines = {
+      request_line(), "garbage", request_line(", \"id\": \"ok2\"")};
+  std::ostringstream out;
+  const BatchResult result = run_batch(lines, out, {});
+  EXPECT_EQ(result.requests, 3u);
+  EXPECT_EQ(result.succeeded, 2u);
+  EXPECT_EQ(result.failed, 1u);
+  EXPECT_EQ(result.written, 3u);
+
+  std::istringstream records(out.str());
+  std::string record;
+  ASSERT_TRUE(std::getline(records, record));
+  EXPECT_NE(record.find("\"index\":0,\"status\":\"ok\""), std::string::npos);
+  ASSERT_TRUE(std::getline(records, record));
+  EXPECT_NE(record.find("\"index\":1,\"status\":\"error\""),
+            std::string::npos);
+  ASSERT_TRUE(std::getline(records, record));
+  EXPECT_NE(record.find("\"id\":\"ok2\",\"status\":\"ok\""),
+            std::string::npos);
+}
+
+TEST_F(ServeBatchTest, UnknownModelBecomesErrorRecord) {
+  const std::vector<std::string> lines = {
+      "{\"model\": \"/nonexistent/void.rasc\"}", request_line()};
+  std::ostringstream out;
+  const BatchResult result = run_batch(lines, out, {});
+  EXPECT_EQ(result.failed, 1u);
+  EXPECT_EQ(result.succeeded, 1u);
+  EXPECT_NE(out.str().find("\"status\":\"error\""), std::string::npos);
+}
+
+TEST_F(ServeBatchTest, ColdAndWarmCacheBitIdentical) {
+  // Ten requests over three distinct parameter points: the shared
+  // cache must hit and the bytes must match a cache-disabled run.
+  std::vector<std::string> lines;
+  for (int i = 0; i < 10; ++i) {
+    const char* sets[] = {", \"set\": {\"La\": 0.001}",
+                          ", \"set\": {\"La\": 0.002}",
+                          ", \"set\": {\"La\": 0.003}"};
+    lines.push_back(request_line(sets[i % 3]));
+  }
+
+  std::ostringstream warm_out;
+  BatchOptions warm;
+  warm.cache_capacity = 64;
+  const BatchResult warm_result = run_batch(lines, warm_out, warm);
+  EXPECT_EQ(warm_result.succeeded, 10u);
+  EXPECT_GT(warm_result.cache.hits + warm_result.worker_hits, 0u);
+  EXPECT_GT(warm_result.hit_rate(), 0.0);
+
+  std::ostringstream cold_out;
+  BatchOptions cold;
+  cold.cache_capacity = 0;  // shared tier off
+  const BatchResult cold_result = run_batch(lines, cold_out, cold);
+  EXPECT_EQ(cold_result.succeeded, 10u);
+  EXPECT_EQ(cold_result.cache.hits, 0u);
+
+  EXPECT_EQ(warm_out.str(), cold_out.str());
+}
+
+TEST_F(ServeBatchTest, ChecksumDigestCoversEveryLine) {
+  const std::vector<std::string> a = {request_line(), request_line()};
+  std::vector<std::string> b = a;
+  b[1] += " ";
+  EXPECT_NE(batch_checkpoint_digest(a), batch_checkpoint_digest(b));
+}
+
+TEST(ServeReadLines, KeepsBlankLinesAndStripsCr) {
+  std::istringstream in("one\r\n\nthree");
+  const std::vector<std::string> lines = read_request_lines(in);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "one");
+  EXPECT_EQ(lines[1], "");
+  EXPECT_EQ(lines[2], "three");
+}
+
+}  // namespace
+}  // namespace rascal::serve

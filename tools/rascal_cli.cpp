@@ -15,6 +15,10 @@
 //              [--samples N] [--seed S] [--lhs] [--threads N]
 //              [--metric availability|downtime|mtbf] [--set NAME=VALUE ...]
 //   rascal_cli campaign [--trials N] [--seed S] [--threads N] [--fir P]
+//   rascal_cli batch REQUESTS.jsonl [--out FILE] [--threads N]
+//              [--cache-entries N]     (JSONL solve requests -> records)
+//   rascal_cli serve [--out FILE] [--threads N] [--cache-entries N]
+//              (batch over stdin; see docs/serving.md for the schema)
 //
 // Every subcommand additionally accepts --trace FILE (write a Chrome
 // trace-event JSON viewable in Perfetto / chrome://tracing) and
@@ -22,7 +26,7 @@
 // never touches the RNG stream, so traced runs produce bit-identical
 // numerical output on stdout.
 //
-// Long-running subcommands (uncertainty, campaign) additionally accept
+// Long-running subcommands (uncertainty, campaign, batch, serve) accept
 // --checkpoint FILE / --resume / --deadline SECS: the run writes
 // periodic atomic checkpoints, drains cleanly on SIGINT/SIGTERM or
 // deadline expiry with partial results clearly marked, and a resumed
@@ -37,6 +41,7 @@
 // Methods: gth (default), lu, power, gauss-seidel.
 #include <csignal>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -54,12 +59,14 @@
 #include "faultinj/injector.h"
 #include "io/dot_export.h"
 #include "io/model_file.h"
+#include "io/number_parse.h"
 #include "lint/lint.h"
 #include "obs/trace.h"
 #include "report/ascii_plot.h"
 #include "report/diagnostics.h"
 #include "report/table.h"
 #include "resil/resil.h"
+#include "serve/batch.h"
 
 namespace {
 
@@ -121,6 +128,13 @@ int usage() {
          " [--fir P]\n"
          "             (fault-injection campaign on the simulated"
          " testbed)\n"
+         "  rascal_cli batch  REQUESTS.jsonl [--out FILE] [--threads N]"
+         " [--cache-entries N]\n"
+         "             (one JSONL solve request per line -> one JSONL"
+         " result record per line)\n"
+         "  rascal_cli serve  [--out FILE] [--threads N]"
+         " [--cache-entries N]\n"
+         "             (batch over stdin; schema in docs/serving.md)\n"
          "\n"
          "  global flags (any subcommand):\n"
          "    --trace FILE   write a Chrome trace-event JSON"
@@ -131,7 +145,7 @@ int usage() {
          "    --max-iter-budget N   cap iterative-solver iterations"
          " per solve\n"
          "\n"
-         "  resilience flags (uncertainty, campaign):\n"
+         "  resilience flags (uncertainty, campaign, batch, serve):\n"
          "    --checkpoint FILE  write periodic atomic checkpoints of"
          " completed indices\n"
          "    --resume           continue from FILE; resumed output is"
@@ -183,36 +197,42 @@ struct Arguments {
   bool resume = false;             // continue from checkpoint_path
   double deadline_seconds = 0.0;   // 0 = no deadline
   std::size_t max_iter_budget = 0; // 0 = library default
+
+  // batch/serve
+  std::string out_path;              // empty = results to stdout
+  std::size_t cache_entries = 1024;  // shared solve-cache slots; 0 off
 };
 
+// Every numeric flag goes through io/number_parse: the whole token
+// must be consumed (no "1.5junk") and the value must be finite (no
+// "nan", "inf", "1e999").  A rejected value prints the reason here
+// and the flag loop bails out to usage() with exit code 2.
 bool parse_double(const char* text, double& out) {
-  try {
-    std::size_t used = 0;
-    out = std::stod(text, &used);
-    return used == std::string(text).size();
-  } catch (const std::exception&) {
-    return false;
-  }
+  if (io::parse_finite_double(text, out)) return true;
+  std::cerr << "invalid value '" << text << "': expected a finite number\n";
+  return false;
 }
 
 bool parse_size(const char* text, std::size_t& out) {
-  try {
-    std::size_t used = 0;
-    out = static_cast<std::size_t>(std::stoul(text, &used));
-    return used == std::string(text).size();
-  } catch (const std::exception&) {
-    return false;
-  }
+  if (io::parse_size(text, out)) return true;
+  std::cerr << "invalid value '" << text
+            << "': expected a non-negative integer\n";
+  return false;
 }
 
 bool parse_set(const std::string& text, expr::ParameterSet& out) {
   const auto eq = text.find('=');
-  if (eq == std::string::npos || eq == 0) return false;
-  try {
-    out.set(text.substr(0, eq), std::stod(text.substr(eq + 1)));
-  } catch (const std::exception&) {
+  if (eq == std::string::npos || eq == 0) {
+    std::cerr << "invalid --set '" << text << "': expected NAME=VALUE\n";
     return false;
   }
+  double value = 0.0;
+  if (!io::parse_finite_double(text.substr(eq + 1), value)) {
+    std::cerr << "invalid --set '" << text
+              << "': value must be a finite number\n";
+    return false;
+  }
+  out.set(text.substr(0, eq), value);
   return true;
 }
 
@@ -222,6 +242,7 @@ bool parse_range(const std::string& text, stats::ParameterRange& out) {
   const auto colon = text.find(':', eq == std::string::npos ? 0 : eq);
   if (eq == std::string::npos || eq == 0 || colon == std::string::npos ||
       colon < eq + 2 || colon + 1 >= text.size()) {
+    std::cerr << "invalid --range '" << text << "': expected NAME=LO:HI\n";
     return false;
   }
   out.name = text.substr(0, eq);
@@ -230,13 +251,10 @@ bool parse_range(const std::string& text, stats::ParameterRange& out) {
 }
 
 bool parse_uint64(const char* text, std::uint64_t& out) {
-  try {
-    std::size_t used = 0;
-    out = std::stoull(text, &used);
-    return used == std::string(text).size();
-  } catch (const std::exception&) {
-    return false;
-  }
+  if (io::parse_uint64(text, out)) return true;
+  std::cerr << "invalid value '" << text
+            << "': expected a non-negative integer\n";
+  return false;
 }
 
 const char* method_name(ctmc::SteadyStateMethod method) {
@@ -273,11 +291,12 @@ bool parse_precond(const std::string& name, linalg::PrecondKind& out) {
 bool parse_arguments(int argc, char** argv, Arguments& args) {
   if (argc < 2) return false;
   args.command = argv[1];
-  // `campaign` drives the built-in simulated testbed and takes no
-  // model file; every other subcommand requires one (or a directory,
-  // for `golden`) as its first positional argument.
+  // `campaign` drives the built-in simulated testbed and `serve`
+  // reads requests from stdin; every other subcommand requires a
+  // positional argument (a model file, the golden directory, or the
+  // batch request file).
   int first_flag = 2;
-  if (args.command != "campaign") {
+  if (args.command != "campaign" && args.command != "serve") {
     if (argc < 3) return false;
     args.model_path = argv[2];
     first_flag = 3;
@@ -353,6 +372,13 @@ bool parse_arguments(int argc, char** argv, Arguments& args) {
     } else if (flag == "--max-iter-budget") {
       const char* value = next();
       if (!value || !parse_size(value, args.max_iter_budget)) return false;
+    } else if (flag == "--out") {
+      const char* value = next();
+      if (!value) return false;
+      args.out_path = value;
+    } else if (flag == "--cache-entries") {
+      const char* value = next();
+      if (!value || !parse_size(value, args.cache_entries)) return false;
     } else if (flag == "--update-golden") {
       args.update_golden = true;
     } else if (flag == "--json") {
@@ -803,6 +829,79 @@ int run_campaign_cmd(const Arguments& args) {
   return kExitOk;
 }
 
+// `batch FILE` and `serve` (stdin) share one runner.  The result
+// stream (stdout or --out FILE) carries nothing but the JSONL
+// records: the summary, cache statistics, and partial-result marker
+// all go to stderr, so the sink is byte-comparable across thread
+// counts, cache temperature, and kill/resume.
+int run_serve_cmd(const Arguments& args) {
+  std::vector<std::string> lines;
+  if (args.command == "serve") {
+    lines = serve::read_request_lines(std::cin);
+  } else {
+    std::ifstream in(args.model_path);
+    if (!in) {
+      std::cerr << "error: cannot open request file '" << args.model_path
+                << "'\n";
+      return kExitModelError;
+    }
+    lines = serve::read_request_lines(in);
+  }
+
+  serve::BatchOptions options;
+  options.threads = args.threads;
+  options.cache_capacity = args.cache_entries;
+  options.control.cancel = &g_cancel;
+
+  std::optional<resil::Checkpointer> checkpoint;
+  const int checkpoint_error =
+      open_checkpoint(args, "serve", serve::batch_checkpoint_digest(lines),
+                      lines.size(), checkpoint);
+  if (checkpoint_error != kExitOk) return checkpoint_error;
+  if (checkpoint) options.control.checkpoint = &*checkpoint;
+
+  std::ofstream out_file;
+  std::ostream* out = &std::cout;
+  if (!args.out_path.empty()) {
+    out_file.open(args.out_path, std::ios::trunc);
+    if (!out_file) {
+      std::cerr << "error: cannot write '" << args.out_path << "'\n";
+      return kExitModelError;
+    }
+    out = &out_file;
+  }
+
+  const serve::BatchResult result = serve::run_batch(lines, *out, options);
+
+  if (result.interrupted) {
+    std::cerr << "*** PARTIAL RESULTS: interrupted ("
+              << result.interrupt_reason << ") after "
+              << result.succeeded + result.failed << "/" << result.requests
+              << " requests ***\n";
+  }
+  std::cerr << "serve: " << result.succeeded << " ok, " << result.failed
+            << " failed of " << result.requests << " requests";
+  if (result.restored > 0) {
+    std::cerr << " (" << result.restored << " restored from checkpoint)";
+  }
+  std::cerr << "\n";
+  const ctmc::SharedSolveCache::Stats& cache = result.cache;
+  std::cerr << "solve cache: " << cache.hits << " shared hits, "
+            << result.worker_hits << " worker hits, " << cache.misses
+            << " misses, " << cache.evictions << " evictions, "
+            << cache.occupancy << "/" << cache.capacity << " slots, "
+            << "hit rate " << static_cast<int>(result.hit_rate() * 100.0)
+            << "%\n";
+  if (checkpoint) {
+    std::cerr << "checkpoint written to '" << checkpoint->path() << "' ("
+              << checkpoint->size() << "/" << checkpoint->total()
+              << " indices)\n";
+  }
+  if (result.interrupted) return interrupted_exit_code();
+  if (result.failed > 0) return kExitModelError;
+  return kExitOk;
+}
+
 int run_dot(const Arguments& args) {
   const io::ModelFile file = io::load_model(args.model_path);
   io::DotOptions options;
@@ -823,6 +922,9 @@ int dispatch(const Arguments& args) {
   if (args.command == "golden") return run_golden(args);
   if (args.command == "uncertainty") return run_uncertainty(args);
   if (args.command == "campaign") return run_campaign_cmd(args);
+  if (args.command == "batch" || args.command == "serve") {
+    return run_serve_cmd(args);
+  }
   return usage();
 }
 
@@ -852,7 +954,8 @@ int main(int argc, char** argv) {
   // final checkpoint is flushed, and partial results are printed.  For
   // the quick interactive commands default signal disposition (kill) is
   // the right behaviour, so handlers are not installed there.
-  if (args.command == "uncertainty" || args.command == "campaign") {
+  if (args.command == "uncertainty" || args.command == "campaign" ||
+      args.command == "batch" || args.command == "serve") {
     resil::install_signal_handlers(g_cancel);
   }
   if (args.deadline_seconds > 0.0) {
