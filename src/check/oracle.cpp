@@ -9,6 +9,8 @@
 #include "ctmc/transient.h"
 #include "linalg/expm.h"
 #include "linalg/workspace.h"
+#include "resil/retry.h"
+#include "serve/supervise.h"
 
 namespace rascal::check {
 
@@ -458,6 +460,115 @@ OracleReport check_shared_cache_consensus(const ctmc::Ctmc& chain,
                         static_cast<double>(stats.insertions), 1.0, 0.0);
     report.expect_close(name + " shared tier hit",
                         static_cast<double>(stats.hits), 1.0, 0.0);
+  }
+  return report;
+}
+
+OracleReport check_retry_consensus(const ctmc::Ctmc& chain,
+                                   const OracleOptions& options) {
+  OracleReport report;
+
+  std::vector<ctmc::SteadyStateMethod> methods = {
+      ctmc::SteadyStateMethod::kGth, ctmc::SteadyStateMethod::kGmres,
+      ctmc::SteadyStateMethod::kBiCgStab};
+  if (options.include_iterative) {
+    methods.push_back(ctmc::SteadyStateMethod::kPower);
+    methods.push_back(ctmc::SteadyStateMethod::kGaussSeidel);
+  }
+
+  for (const auto method : methods) {
+    const std::string name = method_name(method);
+    const ctmc::SteadyState direct = ctmc::solve_steady_state(chain, method);
+
+    serve::SolveSpec spec;
+    spec.method = method;
+    serve::SupervisionOptions supervision;
+    supervision.retry.max_attempts = 3;
+
+    // Every fault count the policy can absorb must recover to the
+    // exact bits of the never-faulted solve: a retried transient
+    // replays the identical attempt, so the record cannot reveal
+    // whether the fault happened.
+    for (std::size_t faults = 0; faults + 1 <= supervision.retry.max_attempts;
+         ++faults) {
+      supervision.inject_transient_faults = faults;
+      ctmc::SolveCache cache;  // cold per run: no bits smuggled across
+      const serve::SupervisedSolve solved =
+          serve::supervised_solve(chain, spec, cache, supervision);
+      const std::string what =
+          name + " recovered after " + std::to_string(faults) + " fault(s)";
+      for (std::size_t s = 0; s < chain.num_states(); ++s) {
+        report.expect_close(what + " pi[" + chain.state_name(s) + "]",
+                            solved.steady.probabilities[s],
+                            direct.probabilities[s], 0.0);
+      }
+      report.expect_close(what + " residual", solved.steady.residual,
+                          direct.residual, 0.0);
+      report.expect_close(what + " attempts consumed",
+                          static_cast<double>(solved.attempts),
+                          static_cast<double>(faults + 1), 0.0);
+      report.expect_close(what + " stayed on rung 0",
+                          static_cast<double>(solved.rung), 0.0, 0.0);
+      report.expect_close(what + " no fallback annotation",
+                          solved.fallback.empty() ? 1.0 : 0.0, 1.0, 0.0);
+    }
+
+    // One fault past the budget: the supervisor must throw the
+    // transient (classified, never a silent partial result).
+    supervision.inject_transient_faults = supervision.retry.max_attempts;
+    double exhausted_as_transient = 0.0;
+    try {
+      ctmc::SolveCache cache;
+      (void)serve::supervised_solve(chain, spec, cache, supervision);
+    } catch (const std::exception& failure) {
+      if (resil::classify(failure) == resil::ErrorClass::kTransient) {
+        exhausted_as_transient = 1.0;
+      }
+    }
+    report.expect_close(name + " exhausted budget throws transient",
+                        exhausted_as_transient, 1.0, 0.0);
+  }
+
+  // The ladder is a pure function of its inputs: identical rungs on
+  // repeated calls, rung 0 always the requested configuration, the
+  // dense descent terminating on exact GTH and the sparse descent
+  // never leaving the Krylov family.
+  const auto rung_eq = [](const serve::LadderRung& a,
+                          const serve::LadderRung& b) {
+    return a.method == b.method && a.precond == b.precond;
+  };
+  for (const bool dense : {true, false}) {
+    const std::size_t states = dense ? 8 : 1u << 20;
+    const std::string regime = dense ? "dense" : "sparse";
+    const std::vector<serve::LadderRung> first = serve::fallback_ladder(
+        ctmc::SteadyStateMethod::kGmres, linalg::PrecondKind::kIlu0, states, 0);
+    const std::vector<serve::LadderRung> second = serve::fallback_ladder(
+        ctmc::SteadyStateMethod::kGmres, linalg::PrecondKind::kIlu0, states, 0);
+    bool stable = first.size() == second.size();
+    for (std::size_t i = 0; stable && i < first.size(); ++i) {
+      stable = rung_eq(first[i], second[i]);
+    }
+    report.expect_close(regime + " ladder deterministic", stable ? 1.0 : 0.0,
+                        1.0, 0.0);
+    report.expect_close(
+        regime + " ladder rung 0 is the request",
+        first.front().method == ctmc::SteadyStateMethod::kGmres ? 1.0 : 0.0,
+        1.0, 0.0);
+    if (dense) {
+      report.expect_close(
+          "dense ladder ends on exact GTH",
+          first.back().method == ctmc::SteadyStateMethod::kGth ? 1.0 : 0.0,
+          1.0, 0.0);
+    } else {
+      bool krylov_only = true;
+      for (const serve::LadderRung& rung : first) {
+        krylov_only = krylov_only &&
+                      (rung.method == ctmc::SteadyStateMethod::kGmres ||
+                       rung.method == ctmc::SteadyStateMethod::kBiCgStab);
+      }
+      report.expect_close("sparse ladder never densifies",
+                          krylov_only ? 1.0 : 0.0, 1.0, 0.0);
+    }
   }
   return report;
 }

@@ -109,4 +109,18 @@ struct OracleOptions {
 [[nodiscard]] OracleReport check_shared_cache_consensus(
     const ctmc::Ctmc& chain, const OracleOptions& options = {});
 
+/// Bit-identity gate for the serve supervision layer (retry +
+/// fallback ladder): a supervised solve that recovers from injected
+/// transient faults must reproduce the direct solve_steady_state()
+/// result exactly — tolerance zero — for every injected-fault count
+/// the retry policy can absorb, while consuming exactly faults+1
+/// attempts, staying on rung 0, and carrying no fallback annotation.
+/// Exhausting the policy must throw a TransientError (never return a
+/// partial result), and the fallback ladder itself must be a pure
+/// function of its inputs (same rungs on every call, rung 0 the
+/// requested configuration, dense descents ending on exact GTH,
+/// sparse descents never densifying).
+[[nodiscard]] OracleReport check_retry_consensus(
+    const ctmc::Ctmc& chain, const OracleOptions& options = {});
+
 }  // namespace rascal::check

@@ -1,6 +1,7 @@
 #include "ctmc/solve_cache.h"
 
 #include "obs/obs.h"
+#include "resil/chaos.h"
 #include "resil/checkpoint.h"
 
 namespace rascal::ctmc {
@@ -156,7 +157,20 @@ const SteadyState& SolveCache::steady_state(const Ctmc& chain,
   cached_ = solve_steady_state(chain, method, validation, control);
   key_ = key;
   valid_ = true;
-  if (shared_ != nullptr) shared_->insert(key, cached_);
+  if (shared_ != nullptr) {
+    // The shared tier is an accelerator, never a dependency: a failed
+    // publish (chaos `cache-publish-fail`, simulating a full or
+    // poisoned shard) costs other workers a recompute but can never
+    // change any result bit.
+    if (resil::chaos::enabled() &&
+        resil::chaos::tick("cache-publish-fail")) {
+      if (obs::enabled()) {
+        obs::counter("ctmc.shared_cache.publish_failures").add(1);
+      }
+    } else {
+      shared_->insert(key, cached_);
+    }
+  }
   return cached_;
 }
 

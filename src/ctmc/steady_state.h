@@ -9,6 +9,7 @@
 #include "linalg/precond.h"
 #include "linalg/workspace.h"
 #include "resil/cancel.h"
+#include "resil/retry.h"
 
 namespace rascal::ctmc {
 
@@ -30,9 +31,15 @@ inline constexpr std::size_t kDefaultSparseThreshold = 2048;
 
 /// An iterative method exhausted its iteration budget without meeting
 /// tolerance (and escalation was disabled or also failed).
-class NonConvergenceError : public std::runtime_error {
+/// Retryable: a supervisor can escalate the budget or descend the
+/// fallback ladder (resil/retry.h).
+class NonConvergenceError : public std::runtime_error,
+                            public resil::ErrorClassTag {
  public:
   using std::runtime_error::runtime_error;
+  [[nodiscard]] resil::ErrorClass error_class() const noexcept override {
+    return resil::ErrorClass::kNonConvergence;
+  }
 };
 
 /// Per-solve resource budget and escalation policy.

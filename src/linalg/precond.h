@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "linalg/sparse.h"
+#include "resil/retry.h"
 
 namespace rascal::linalg {
 
@@ -42,13 +43,20 @@ enum class PrecondKind {
 ///   P002  jacobi: zero or missing diagonal entry
 ///   P003  ilu0: empty row (state with no entries at all)
 ///   P004  ilu0: zero pivot (missing diagonal, or eliminated to zero)
-class PrecondError : public std::invalid_argument {
+class PrecondError : public std::invalid_argument,
+                     public resil::ErrorClassTag {
  public:
   PrecondError(std::string code, const std::string& message)
       : std::invalid_argument("[" + code + "] " + message),
         code_(std::move(code)) {}
 
   [[nodiscard]] const std::string& code() const noexcept { return code_; }
+
+  /// Retryable: the fallback ladder downgrades the preconditioner
+  /// (ilu0 -> jacobi -> none) instead of failing the request.
+  [[nodiscard]] resil::ErrorClass error_class() const noexcept override {
+    return resil::ErrorClass::kPrecond;
+  }
 
  private:
   std::string code_;

@@ -77,6 +77,11 @@ void configure(std::string_view spec) {
 }
 
 bool enabled() noexcept {
+  // The env spec must be folded in before the first answer: call
+  // sites guard hooks with `enabled() &&`, and the very first such
+  // guard in a process (e.g. worker-abandon at index 0) would
+  // otherwise short-circuit before anything parsed RASCAL_CHAOS.
+  init_from_env_once();
   return g_enabled.load(std::memory_order_relaxed);
 }
 

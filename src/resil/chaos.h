@@ -7,12 +7,24 @@
 //   worker-throw@7        throw ChaosError when worker index 7 starts
 //   sigterm@40            raise(SIGTERM) when worker index 40 starts
 //   solver-nonconverge@0  force the 0th iterative solve to not converge
+//   solver-fault@0        0th supervised solve attempt throws a
+//                         retryable resil::TransientError (serve)
+//   sink-write-fail@2     2nd results-sink record write fails
+//   checkpoint-write-fail@0  0th checkpoint flush fails as if ENOSPC
+//                            hit the tmp+rename write
+//   cache-publish-fail@0  0th publish to the shared solve cache is
+//                         dropped (results must stay bit-identical)
+//   worker-abandon@5      the worker chunk containing index 5 returns
+//                         without recording anything (simulated
+//                         worker death; the sink must surface gaps)
 //
-// Index-keyed sites (`worker-throw`, `sigterm`) fire when the named
-// sample/trial/replication index is processed; occurrence-keyed sites
-// (`solver-nonconverge`) fire on the K-th call to tick() for that
-// site, whichever solve that happens to be.  All sites are
-// deterministic so the chaos ctests can assert exact outcomes.
+// Index-keyed sites (`worker-throw`, `sigterm`, `worker-abandon`)
+// fire when the named sample/trial/replication index is processed;
+// occurrence-keyed sites (all others) fire on the K-th call to tick()
+// for that site, whichever operation that happens to be.  All sites
+// are deterministic so the chaos ctests can assert exact outcomes.
+// Site names are free-form: hooks pass whatever string they arm, and
+// tools/chaos_matrix.sh sweeps every site against every entry point.
 //
 // When no spec is configured, enabled() is a single relaxed atomic
 // load and every hook is a no-op.

@@ -7,6 +7,7 @@
 #include <sys/stat.h>
 
 #include "obs/obs.h"
+#include "resil/chaos.h"
 
 namespace rascal::resil {
 
@@ -200,6 +201,16 @@ void Checkpointer::set_flush_every(std::size_t every) noexcept {
   flush_every_ = every > 0 ? every : 1;
 }
 
+void Checkpointer::set_write_failure_policy(
+    WriteFailurePolicy policy) noexcept {
+  write_failure_policy_ = policy;
+}
+
+std::uint64_t Checkpointer::write_failures() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return write_failures_;
+}
+
 std::size_t Checkpointer::resume_from_disk() {
   if (!checkpoint_file_exists(path_)) return 0;
   CheckpointFile file = load_checkpoint_file(path_);
@@ -291,22 +302,42 @@ std::string Checkpointer::serialize_locked() const {
 }
 
 void Checkpointer::flush_locked() {
+  // Any failure below keeps the entries in memory (unflushed_ stays
+  // nonzero) so a later flush retries the full set; under kTolerate
+  // the failure is counted instead of thrown.
+  const auto fail = [this](const std::string& message) {
+    if (write_failure_policy_ == WriteFailurePolicy::kAbort) {
+      throw CheckpointError(message);
+    }
+    ++write_failures_;
+    if (obs::enabled()) {
+      obs::counter("resil.checkpoint.write_failures").add(1);
+    }
+  };
+  if (chaos::enabled() && chaos::tick("checkpoint-write-fail")) {
+    // Simulated ENOSPC on the tmp+rename write: nothing reached disk,
+    // the previous checkpoint (if any) is still intact.
+    fail("checkpoint: write to '" + path_ + ".tmp' failed (chaos)");
+    return;
+  }
   const std::string text = serialize_locked();
   const std::string tmp = path_ + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
-      throw CheckpointError("checkpoint: cannot open '" + tmp +
-                            "' for writing");
+      fail("checkpoint: cannot open '" + tmp + "' for writing");
+      return;
     }
     out.write(text.data(), static_cast<std::streamsize>(text.size()));
     out.flush();
     if (!out) {
-      throw CheckpointError("checkpoint: write to '" + tmp + "' failed");
+      fail("checkpoint: write to '" + tmp + "' failed");
+      return;
     }
   }
   if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
-    throw CheckpointError("checkpoint: rename to '" + path_ + "' failed");
+    fail("checkpoint: rename to '" + path_ + "' failed");
+    return;
   }
   unflushed_ = 0;
   if (obs::enabled()) {

@@ -80,6 +80,17 @@ class DigestBuilder {
 /// entry set is atomically rewritten to `path`.
 class Checkpointer {
  public:
+  /// What a failed flush (ENOSPC, unwritable tmp, failed rename) does
+  /// to the run.  kAbort preserves the historic contract: the flush
+  /// throws CheckpointError and the run dies.  kTolerate makes the
+  /// checkpoint best-effort: the failure is counted (write_failures(),
+  /// `resil.checkpoint.write_failures`), the entries stay in memory,
+  /// and the next flush retries the full set — batch/serve runs keep
+  /// streaming results even when the checkpoint volume is full.
+  /// Either way the on-disk file is never left half-written: the tmp
+  /// file is discarded and the previous checkpoint stays intact.
+  enum class WriteFailurePolicy { kAbort, kTolerate };
+
   /// Does not touch the filesystem; call resume_from_disk() to load.
   Checkpointer(std::string path, std::string kind, std::uint64_t digest,
                std::uint64_t total);
@@ -105,6 +116,12 @@ class Checkpointer {
   /// Test hook: overrides the flush cadence.
   void set_flush_every(std::size_t every) noexcept;
 
+  void set_write_failure_policy(WriteFailurePolicy policy) noexcept;
+
+  /// Flush attempts that failed and were tolerated (kTolerate only;
+  /// under kAbort the first failure throws instead).
+  [[nodiscard]] std::uint64_t write_failures() const;
+
  private:
   void flush_locked();
   [[nodiscard]] std::string serialize_locked() const;
@@ -114,10 +131,12 @@ class Checkpointer {
   std::uint64_t digest_ = 0;
   std::uint64_t total_ = 0;
   std::size_t flush_every_ = 32;
+  WriteFailurePolicy write_failure_policy_ = WriteFailurePolicy::kAbort;
 
   mutable std::mutex mutex_;
   std::map<std::uint64_t, CheckpointEntry> entries_;
   std::size_t unflushed_ = 0;
+  std::uint64_t write_failures_ = 0;
 };
 
 /// Parses and verifies a checkpoint file into its raw parts.  Used by

@@ -1,0 +1,75 @@
+#include "resil/retry.h"
+
+#include <limits>
+
+#include "resil/cancel.h"
+#include "resil/checkpoint.h"
+
+namespace rascal::resil {
+
+const char* to_string(ErrorClass cls) noexcept {
+  switch (cls) {
+    case ErrorClass::kParse: return "parse";
+    case ErrorClass::kModel: return "model";
+    case ErrorClass::kAdmission: return "admission";
+    case ErrorClass::kNonConvergence: return "nonconvergence";
+    case ErrorClass::kPrecond: return "precond";
+    case ErrorClass::kTransient: return "transient";
+    case ErrorClass::kCancelled: return "cancelled";
+    case ErrorClass::kSinkWrite: return "sink-write";
+    case ErrorClass::kCheckpointWrite: return "checkpoint-write";
+    case ErrorClass::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+bool retryable(ErrorClass cls) noexcept {
+  switch (cls) {
+    case ErrorClass::kNonConvergence:
+    case ErrorClass::kPrecond:
+    case ErrorClass::kTransient:
+      return true;
+    case ErrorClass::kParse:
+    case ErrorClass::kModel:
+    case ErrorClass::kAdmission:
+    case ErrorClass::kCancelled:
+    case ErrorClass::kSinkWrite:
+    case ErrorClass::kCheckpointWrite:
+    case ErrorClass::kInternal:
+      return false;
+  }
+  return false;
+}
+
+ErrorClass classify(const std::exception& failure) noexcept {
+  if (const auto* tagged = dynamic_cast<const ErrorClassTag*>(&failure)) {
+    return tagged->error_class();
+  }
+  if (dynamic_cast<const CancelledError*>(&failure) != nullptr) {
+    return ErrorClass::kCancelled;
+  }
+  if (dynamic_cast<const CheckpointError*>(&failure) != nullptr) {
+    return ErrorClass::kCheckpointWrite;
+  }
+  // Untagged domain errors come from model binding / validation (lint
+  // diagnostics derive from std::domain_error) — structurally
+  // permanent.
+  if (dynamic_cast<const std::domain_error*>(&failure) != nullptr ||
+      dynamic_cast<const std::invalid_argument*>(&failure) != nullptr) {
+    return ErrorClass::kModel;
+  }
+  return ErrorClass::kInternal;
+}
+
+std::size_t RetryPolicy::iterations_for_attempt(
+    std::size_t attempt) const noexcept {
+  if (base_iterations == 0) return 0;
+  // base << attempt, saturating: once the shift would overflow the
+  // budget is pinned at max, so the schedule stays monotone.
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  if (attempt >= 8 * sizeof(std::size_t)) return kMax;
+  if (base_iterations > (kMax >> attempt)) return kMax;
+  return base_iterations << attempt;
+}
+
+}  // namespace rascal::resil

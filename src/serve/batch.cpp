@@ -33,28 +33,44 @@ double metric_value(OutputKind kind, const core::AvailabilityMetrics& m) {
   return 0.0;
 }
 
-std::vector<double> solve_request(const Request& request,
-                                  const io::ModelFile& file,
-                                  ctmc::SolveCache& cache,
-                                  const resil::CancellationToken* cancel) {
-  const ctmc::Ctmc chain = file.bind(request.overrides);
-  ctmc::SolveControl control;
-  control.max_iterations = request.max_iterations;
-  control.sparse_threshold = request.sparse_threshold;
-  control.precond = request.precond;
-  control.gmres_restart = request.gmres_restart;
-  control.cancel = cancel;
-  const ctmc::SteadyState& steady = cache.steady_state(
-      chain, request.method, ctmc::Validation::kOn, control);
-  const core::AvailabilityMetrics metrics =
-      core::availability_metrics(chain, steady);
+struct SolveOutcome {
   std::vector<double> values;
-  values.reserve(request.outputs.size());
+  std::string fallback;  // annotation when a lower rung answered
+};
+
+SolveOutcome solve_request(const Request& request, const io::ModelFile& file,
+                           ctmc::SolveCache& cache,
+                           const SupervisionOptions& supervision,
+                           const resil::CancellationToken* cancel) {
+  const ctmc::Ctmc chain = file.bind(request.overrides);
+  SolveSpec spec;
+  spec.method = request.method;
+  spec.precond = request.precond;
+  spec.sparse_threshold = request.sparse_threshold;
+  spec.max_iterations = request.max_iterations;
+  spec.gmres_restart = request.gmres_restart;
+  const SupervisedSolve solved =
+      supervised_solve(chain, spec, cache, supervision, cancel);
+  const core::AvailabilityMetrics metrics =
+      core::availability_metrics(chain, solved.steady);
+  SolveOutcome out;
+  out.fallback = solved.fallback;
+  out.values.reserve(request.outputs.size());
   for (const OutputKind kind : request.outputs) {
-    values.push_back(metric_value(kind, metrics));
+    out.values.push_back(metric_value(kind, metrics));
   }
-  return values;
+  return out;
 }
+
+// Request completion states tracked by the runner.  Every request
+// must leave kPending exactly once (or stay pending only when the run
+// was interrupted / a worker died — both surfaced, never silent).
+enum : unsigned char {
+  kPending = 0,
+  kOk = 1,
+  kFailed = 2,
+  kShed = 3,
+};
 
 }  // namespace
 
@@ -78,10 +94,20 @@ std::vector<std::string> read_request_lines(std::istream& in) {
   return lines;
 }
 
-std::uint64_t batch_checkpoint_digest(const std::vector<std::string>& lines) {
+std::uint64_t batch_checkpoint_digest(const std::vector<std::string>& lines,
+                                      const SupervisionOptions& supervision) {
   resil::DigestBuilder digest;
   digest.add_str("serve").add_u64(lines.size());
   for (const std::string& line : lines) digest.add_str(line);
+  // Supervision knobs that change which records a run emits: a resume
+  // under different retry/shedding rules would splice incompatible
+  // streams together.
+  digest.add_str("supervision")
+      .add_u64(supervision.retry.max_attempts)
+      .add_u64(supervision.fallback_ladder ? 1 : 0)
+      .add_u64(supervision.admission_states)
+      .add_u64(supervision.admission_nnz)
+      .add_u64(supervision.queue_cap);
   return digest.value();
 }
 
@@ -91,23 +117,28 @@ BatchResult run_batch(const std::vector<std::string>& lines,
   const std::size_t n = lines.size();
   const resil::CancellationToken* cancel = options.control.cancel;
   resil::Checkpointer* checkpoint = options.control.checkpoint;
+  const SupervisionOptions& supervision = options.supervision;
 
   BatchResult result;
   result.requests = n;
 
   // Everything that can fail without touching a solver is resolved
-  // serially up front: parse every line, then load every distinct
-  // model once.  The parallel region below only ever sees requests
-  // that are structurally able to run.
+  // serially up front: parse every line, load every distinct model
+  // once, then run admission in request-index order.  The parallel
+  // region below only ever sees requests that are structurally able
+  // and admitted to run, so its behaviour (and the output bytes) are
+  // independent of RASCAL_THREADS.
   std::vector<std::optional<Request>> requests(n);
-  std::vector<unsigned char> status(n, 0);  // 0 pending, 1 ok, 2 failed
+  std::vector<unsigned char> status(n, kPending);
   std::vector<std::string> errors(n);
+  std::vector<std::string> classes(n);  // taxonomy slug per error
   for (std::size_t i = 0; i < n; ++i) {
     try {
       requests[i] = parse_request(lines[i]);
     } catch (const RequestError& failure) {
-      status[i] = 2;
+      status[i] = kFailed;
       errors[i] = failure.what();
+      classes[i] = resil::to_string(failure.error_class());
     }
   }
 
@@ -124,18 +155,52 @@ BatchResult run_batch(const std::vector<std::string>& lines,
     }
   }
   for (std::size_t i = 0; i < n; ++i) {
-    if (!requests[i] || status[i] != 0) continue;
+    if (!requests[i] || status[i] != kPending) continue;
     const auto bad = model_errors.find(requests[i]->model_path);
     if (bad != model_errors.end()) {
-      status[i] = 2;
+      status[i] = kFailed;
       errors[i] = "model '" + requests[i]->model_path + "': " + bad->second;
+      classes[i] = resil::to_string(resil::ErrorClass::kModel);
     }
   }
 
+  // Admission control, decided before checkpoint replay so a resumed
+  // run sheds exactly the requests the first run shed: the verdict is
+  // a pure function of the stream and the supervision options, both
+  // covered by the checkpoint digest.
+  std::size_t admitted = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (status[i] != kPending || !requests[i]) continue;
+    std::string reason =
+        admission_verdict(models.at(requests[i]->model_path), supervision);
+    const bool by_size = !reason.empty();
+    if (reason.empty() && supervision.queue_cap != 0 &&
+        admitted >= supervision.queue_cap) {
+      reason = "queue full: " + std::to_string(supervision.queue_cap) +
+               " requests already admitted";
+    }
+    if (reason.empty()) {
+      ++admitted;
+      continue;
+    }
+    status[i] = kShed;
+    errors[i] = reason;
+    if (obs::enabled()) {
+      obs::counter(by_size ? "serve.shed.admission" : "serve.shed.queue")
+          .add(1);
+    }
+  }
+  if (obs::enabled()) {
+    obs::gauge("serve.admission.admitted").set(static_cast<double>(admitted));
+  }
+
   // Checkpoint replay: completed indices come back as their exact
-  // result bits (kOk) or their recorded failure message (kFailed), so
-  // the re-rendered records are byte-identical to the first run's.
+  // result bits (kOk; the note carries the fallback annotation) or
+  // their recorded failure (kFailed; words[0] carries the error
+  // class), so the re-rendered records are byte-identical to the
+  // first run's.
   std::vector<std::vector<double>> values(n);
+  std::vector<std::string> fallbacks(n);
   if (checkpoint != nullptr) {
     if (checkpoint->total() != n) {
       throw resil::CheckpointError(
@@ -143,7 +208,7 @@ BatchResult run_batch(const std::vector<std::string>& lines,
     }
     for (const resil::CheckpointEntry& entry : checkpoint->entries()) {
       const std::size_t i = static_cast<std::size_t>(entry.index);
-      if (i >= n || status[i] != 0 || !requests[i]) continue;
+      if (i >= n || status[i] != kPending || !requests[i]) continue;
       if (entry.status == resil::EntryStatus::kOk) {
         if (entry.words.size() != requests[i]->outputs.size()) {
           throw resil::CheckpointError(
@@ -153,10 +218,15 @@ BatchResult run_batch(const std::vector<std::string>& lines,
         for (const std::uint64_t word : entry.words) {
           values[i].push_back(resil::bits_f64(word));
         }
-        status[i] = 1;
+        fallbacks[i] = entry.note;
+        status[i] = kOk;
       } else {
-        status[i] = 2;
+        status[i] = kFailed;
         errors[i] = entry.note;
+        if (!entry.words.empty()) {
+          classes[i] = resil::to_string(
+              static_cast<resil::ErrorClass>(entry.words.front()));
+        }
       }
       ++result.restored;
     }
@@ -169,15 +239,27 @@ BatchResult run_batch(const std::vector<std::string>& lines,
   std::atomic<std::uint64_t> worker_misses{0};
 
   ResultsSink sink(out);
-  // Pre-resolved records (parse/model errors, checkpoint replays) go
-  // to the sink before the workers start: their indices would
-  // otherwise gap the contiguous prefix forever.
+  // A gap at close means a worker died between claiming an index and
+  // pushing its record; the filler keeps the stream complete and the
+  // loss loud (counted, classed, exit 3).
+  sink.set_gap_filler([](std::size_t index) {
+    return render_error_line(index, "",
+                             "request record lost: worker abandoned or run "
+                             "interrupted before completion",
+                             "lost");
+  });
+  // Pre-resolved records (parse/model errors, shed requests,
+  // checkpoint replays) go to the sink before the workers start:
+  // their indices would otherwise gap the contiguous prefix forever.
   for (std::size_t i = 0; i < n; ++i) {
-    if (status[i] == 1) {
-      sink.push(i, render_result_line(i, *requests[i], values[i]));
-    } else if (status[i] == 2) {
-      sink.push(i, render_error_line(
-                       i, requests[i] ? requests[i]->id : "", errors[i]));
+    if (status[i] == kOk) {
+      sink.push(i, render_result_line(i, *requests[i], values[i],
+                                      fallbacks[i]));
+    } else if (status[i] == kFailed) {
+      sink.push(i, render_error_line(i, requests[i] ? requests[i]->id : "",
+                                     errors[i], classes[i]));
+    } else if (status[i] == kShed) {
+      sink.push(i, render_shed_line(i, requests[i]->id, errors[i]));
     }
   }
 
@@ -188,34 +270,50 @@ BatchResult run_batch(const std::vector<std::string>& lines,
         ctmc::SolveCache local;
         local.set_shared(shared.enabled() ? &shared : nullptr);
         for (std::size_t i = begin; i < end; ++i) {
-          if (status[i] != 0) continue;  // pre-resolved or restored
+          if (status[i] != kPending) continue;  // pre-resolved or restored
           if (cancel != nullptr && cancel->cancelled()) break;  // drain
+          if (resil::chaos::enabled() &&
+              resil::chaos::fires_at("worker-abandon", i)) {
+            // Simulated worker death: the chunk vanishes without
+            // recording anything.  The sink's gap accounting is what
+            // turns this into a loud failure instead of a short file.
+            return;
+          }
           const Request& request = *requests[i];
           try {
             resil::chaos::worker_hook(i);
             const obs::Span request_span("serve.batch.request");
-            values[i] = solve_request(request, models.at(request.model_path),
-                                      local, cancel);
-            status[i] = 1;
+            SolveOutcome outcome =
+                solve_request(request, models.at(request.model_path), local,
+                              supervision, cancel);
+            values[i] = std::move(outcome.values);
+            status[i] = kOk;
             if (checkpoint != nullptr) {
-              resil::CheckpointEntry entry{i, resil::EntryStatus::kOk, {}, {}};
+              resil::CheckpointEntry entry{i, resil::EntryStatus::kOk, {},
+                                           outcome.fallback};
               entry.words.reserve(values[i].size());
               for (const double v : values[i]) {
                 entry.words.push_back(resil::f64_bits(v));
               }
               checkpoint->record(std::move(entry));
             }
-            sink.push(i, render_result_line(i, request, values[i]));
+            sink.push(i, render_result_line(i, request, values[i],
+                                            outcome.fallback));
           } catch (const resil::CancelledError&) {
             break;  // interrupted mid-solve: leave the index pending
           } catch (const std::exception& failure) {
-            status[i] = 2;
+            const resil::ErrorClass cls = resil::classify(failure);
+            status[i] = kFailed;
             errors[i] = failure.what();
+            classes[i] = resil::to_string(cls);
             if (checkpoint != nullptr) {
-              checkpoint->record(
-                  {i, resil::EntryStatus::kFailed, {}, failure.what()});
+              checkpoint->record({i,
+                                  resil::EntryStatus::kFailed,
+                                  {static_cast<std::uint64_t>(cls)},
+                                  failure.what()});
             }
-            sink.push(i, render_error_line(i, request.id, errors[i]));
+            sink.push(i, render_error_line(i, request.id, errors[i],
+                                           classes[i]));
             if (obs::enabled()) {
               obs::counter("serve.batch.requests_failed").add(1);
             }
@@ -228,19 +326,31 @@ BatchResult run_batch(const std::vector<std::string>& lines,
   progress.finish();
   if (checkpoint != nullptr) checkpoint->flush();
   result.written = sink.close();
+  result.gaps = sink.gaps();
+  result.sink_write_failures = sink.write_failures();
 
+  std::size_t pending = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    if (status[i] == 1) ++result.succeeded;
-    else if (status[i] == 2) ++result.failed;
+    if (status[i] == kOk) ++result.succeeded;
+    else if (status[i] == kFailed) ++result.failed;
+    else if (status[i] == kShed) ++result.shed;
+    else ++pending;
   }
-  result.interrupted = cancel != nullptr && cancel->cancelled() &&
-                       result.succeeded + result.failed < n;
-  if (result.interrupted) result.interrupt_reason = cancel->describe();
+  result.interrupted = cancel != nullptr && cancel->cancelled() && pending > 0;
+  if (result.interrupted) {
+    result.interrupt_reason = cancel->describe();
+  } else {
+    // Not interrupted, yet some requests never completed: a worker
+    // abandoned its chunk.  The sink already emitted gap records for
+    // the interior ones; `lost` makes the trailing ones loud too.
+    result.lost = pending;
+  }
   result.cache = shared.stats();
   result.worker_hits = worker_hits.load(std::memory_order_relaxed);
   result.worker_misses = worker_misses.load(std::memory_order_relaxed);
   if (obs::enabled()) {
     obs::counter("serve.batch.requests").add(n);
+    if (result.lost > 0) obs::counter("serve.batch.requests_lost").add(result.lost);
   }
   return result;
 }

@@ -33,6 +33,13 @@ class RequestReader {
     } else {
       while (true) {
         const std::string key = parse_string();
+        // Duplicate keys are hostile input: JSON leaves their meaning
+        // undefined, and "last one wins" would let an attacker smuggle
+        // a second "model" past a prefix-scanning auditor.
+        for (const std::string& prior : seen_keys_) {
+          if (prior == key) fail("duplicate field '" + key + "'");
+        }
+        seen_keys_.push_back(key);
         expect(':');
         parse_field(key, request, has_model, has_outputs);
         skip_whitespace();
@@ -197,6 +204,7 @@ class RequestReader {
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  std::vector<std::string> seen_keys_;
 };
 
 }  // namespace
@@ -276,13 +284,18 @@ std::string escape_json(const std::string& text) {
 }
 
 std::string render_result_line(std::size_t index, const Request& request,
-                               const std::vector<double>& values) {
+                               const std::vector<double>& values,
+                               const std::string& fallback) {
   std::ostringstream os;
   os << "{\"schema\":\"" << kResultSchema << "\",\"index\":" << index;
   if (!request.id.empty()) {
     os << ",\"id\":\"" << escape_json(request.id) << "\"";
   }
-  os << ",\"status\":\"ok\",\"results\":{";
+  os << ",\"status\":\"ok\"";
+  if (!fallback.empty()) {
+    os << ",\"fallback\":\"" << escape_json(fallback) << "\"";
+  }
+  os << ",\"results\":{";
   for (std::size_t k = 0; k < request.outputs.size(); ++k) {
     if (k > 0) os << ",";
     os << "\"" << to_string(request.outputs[k])
@@ -293,11 +306,25 @@ std::string render_result_line(std::size_t index, const Request& request,
 }
 
 std::string render_error_line(std::size_t index, const std::string& id,
-                              const std::string& error) {
+                              const std::string& error,
+                              const std::string& error_class) {
   std::ostringstream os;
   os << "{\"schema\":\"" << kResultSchema << "\",\"index\":" << index;
   if (!id.empty()) os << ",\"id\":\"" << escape_json(id) << "\"";
-  os << ",\"status\":\"error\",\"error\":\"" << escape_json(error) << "\"}";
+  os << ",\"status\":\"error\"";
+  if (!error_class.empty()) {
+    os << ",\"class\":\"" << escape_json(error_class) << "\"";
+  }
+  os << ",\"error\":\"" << escape_json(error) << "\"}";
+  return os.str();
+}
+
+std::string render_shed_line(std::size_t index, const std::string& id,
+                             const std::string& reason) {
+  std::ostringstream os;
+  os << "{\"schema\":\"" << kResultSchema << "\",\"index\":" << index;
+  if (!id.empty()) os << ",\"id\":\"" << escape_json(id) << "\"";
+  os << ",\"status\":\"shed\",\"reason\":\"" << escape_json(reason) << "\"}";
   return os.str();
 }
 

@@ -24,15 +24,20 @@
 
 #include "ctmc/steady_state.h"
 #include "expr/parameter_set.h"
+#include "resil/retry.h"
 
 namespace rascal::serve {
 
-/// Malformed request line (bad JSON, unknown field, non-finite
-/// number, missing "model").  Caught by the batch runner and turned
-/// into an error record carrying this message.
-class RequestError : public std::runtime_error {
+/// Malformed request line (bad JSON, unknown field, duplicate field,
+/// non-finite number, missing "model").  Caught by the batch runner
+/// and turned into an error record carrying this message.
+class RequestError : public std::runtime_error,
+                     public resil::ErrorClassTag {
  public:
   using std::runtime_error::runtime_error;
+  [[nodiscard]] resil::ErrorClass error_class() const noexcept override {
+    return resil::ErrorClass::kParse;
+  }
 };
 
 /// Metrics a request may ask for (the "outputs" array).
@@ -86,15 +91,30 @@ inline constexpr const char* kResultSchema = "rascal.serve.v1";
 /// Renders the result record of a successful solve: values are
 /// printed with %.17g so records round-trip exactly and rendering is
 /// deterministic (byte-identical across thread counts and cache
-/// temperature).  `values` aligns with `request.outputs`.
-[[nodiscard]] std::string render_result_line(std::size_t index,
-                                             const Request& request,
-                                             const std::vector<double>& values);
+/// temperature).  `values` aligns with `request.outputs`.  A
+/// non-empty `fallback` annotates a request the supervisor recovered
+/// on a lower rung of the fallback ladder (e.g. "gth",
+/// "precond:jacobi"): the numbers are honest, but they were not
+/// produced by the configuration the request asked for, and the
+/// record says so — degraded results are never silent.
+[[nodiscard]] std::string render_result_line(
+    std::size_t index, const Request& request,
+    const std::vector<double>& values, const std::string& fallback = "");
 
 /// Renders a per-request error record (parse failure, unknown model,
 /// solver error).  `id` may be empty (unparsable lines have none).
-[[nodiscard]] std::string render_error_line(std::size_t index,
-                                            const std::string& id,
-                                            const std::string& error);
+/// `error_class` is the resil taxonomy slug (resil::to_string); empty
+/// omits the field (legacy records and checkpoint-replayed failures).
+[[nodiscard]] std::string render_error_line(
+    std::size_t index, const std::string& id, const std::string& error,
+    const std::string& error_class = "");
+
+/// Renders the record of a request refused by admission control
+/// ("status":"shed").  Shed requests are accounted for — distinct
+/// from errors so a stream consumer can tell "your request was bad"
+/// from "the server refused to run it under current limits".
+[[nodiscard]] std::string render_shed_line(std::size_t index,
+                                           const std::string& id,
+                                           const std::string& reason);
 
 }  // namespace rascal::serve

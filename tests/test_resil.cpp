@@ -198,6 +198,41 @@ TEST(Checkpointer, AtomicWriteLeavesNoTempFile) {
   std::remove(path.c_str());
 }
 
+TEST(Checkpointer, WriteFailureAbortsByDefault) {
+  const std::string path = temp_path("abort_policy.json");
+  std::remove(path.c_str());
+  chaos::configure("checkpoint-write-fail@0");
+  Checkpointer writer(path, "unit", 1, 4);
+  writer.record(ok_entry(0, {1}));
+  EXPECT_THROW(writer.flush(), CheckpointError);
+  chaos::configure("");
+  std::remove(path.c_str());
+}
+
+TEST(Checkpointer, ToleratedWriteFailureRetainsEntriesForRetry) {
+  const std::string path = temp_path("tolerate_policy.json");
+  std::remove(path.c_str());
+  Checkpointer writer(path, "unit", 1, 4);
+  writer.set_write_failure_policy(
+      Checkpointer::WriteFailurePolicy::kTolerate);
+  writer.record(ok_entry(0, {f64_bits(0.25)}));
+  writer.record(ok_entry(1, {f64_bits(0.75)}));
+
+  chaos::configure("checkpoint-write-fail@0");
+  writer.flush();  // simulated ENOSPC: counted, not thrown
+  chaos::configure("");
+  EXPECT_EQ(writer.write_failures(), 1u);
+  EXPECT_FALSE(checkpoint_file_exists(path));
+
+  // The entries survived in memory: the next flush lands everything.
+  writer.flush();
+  EXPECT_EQ(writer.write_failures(), 1u);
+  ASSERT_TRUE(checkpoint_file_exists(path));
+  const CheckpointFile file = load_checkpoint_file(path);
+  EXPECT_EQ(file.entries.size(), 2u);
+  std::remove(path.c_str());
+}
+
 TEST(Checkpointer, MissingFileResumesEmpty) {
   const std::string path = temp_path("missing.json");
   std::remove(path.c_str());

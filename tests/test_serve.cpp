@@ -11,9 +11,11 @@
 #include <string>
 #include <vector>
 
+#include "resil/chaos.h"
 #include "serve/batch.h"
 #include "serve/request.h"
 #include "serve/sink.h"
+#include "serve/supervise.h"
 
 namespace rascal::serve {
 namespace {
@@ -124,13 +126,59 @@ TEST(ServeSink, WritesRecordsInIndexOrder) {
   EXPECT_EQ(out.str(), "zero\none\ntwo\nthree\n");
 }
 
-TEST(ServeSink, CloseDropsGappedRecords) {
+TEST(ServeSink, CloseCountsGapsAndKeepsLaterRecordsWithoutFiller) {
   std::ostringstream out;
   ResultsSink sink(out);
   sink.push(0, "zero");
-  sink.push(2, "two");  // index 1 never arrives (interrupted worker)
-  EXPECT_EQ(sink.close(), 1u);
-  EXPECT_EQ(out.str(), "zero\n");
+  sink.push(2, "two");  // index 1 never arrives (dead worker)
+  EXPECT_EQ(sink.close(), 2u);
+  // Without a filler nothing is emitted for the hole, but the gap is
+  // counted and the later record is no longer silently dropped.
+  EXPECT_EQ(out.str(), "zero\ntwo\n");
+  EXPECT_EQ(sink.gaps(), 1u);
+}
+
+TEST(ServeSink, CloseFillsGapsThroughTheFiller) {
+  std::ostringstream out;
+  ResultsSink sink(out);
+  sink.set_gap_filler([](std::size_t index) {
+    return "gap:" + std::to_string(index);
+  });
+  sink.push(0, "zero");
+  sink.push(3, "three");  // indices 1 and 2 never arrive
+  EXPECT_EQ(sink.close(), 4u);
+  EXPECT_EQ(out.str(), "zero\ngap:1\ngap:2\nthree\n");
+  EXPECT_EQ(sink.gaps(), 2u);
+  EXPECT_EQ(sink.write_failures(), 0u);
+}
+
+TEST(ServeSink, TrailingUnpushedIndicesAreNotGaps) {
+  std::ostringstream out;
+  ResultsSink sink(out);
+  sink.set_gap_filler([](std::size_t index) {
+    return "gap:" + std::to_string(index);
+  });
+  sink.push(0, "zero");
+  sink.push(1, "one");  // an interrupted run simply stops here
+  EXPECT_EQ(sink.close(), 2u);
+  EXPECT_EQ(out.str(), "zero\none\n");
+  EXPECT_EQ(sink.gaps(), 0u);
+}
+
+TEST(ServeSink, ChaosWriteFailureIsCountedNotSilent) {
+  resil::chaos::configure("sink-write-fail@1");
+  std::ostringstream out;
+  {
+    ResultsSink sink(out);
+    sink.push(0, "zero");
+    sink.push(1, "one");
+    sink.push(2, "two");
+    EXPECT_EQ(sink.close(), 3u);
+    EXPECT_EQ(sink.write_failures(), 1u);
+  }
+  resil::chaos::configure("");
+  // Record 1 was refused by the stream; later indices keep flowing.
+  EXPECT_EQ(out.str(), "zero\ntwo\n");
 }
 
 // ---- batch runner -----------------------------------------------------
@@ -224,6 +272,159 @@ TEST_F(ServeBatchTest, ChecksumDigestCoversEveryLine) {
   std::vector<std::string> b = a;
   b[1] += " ";
   EXPECT_NE(batch_checkpoint_digest(a), batch_checkpoint_digest(b));
+}
+
+TEST_F(ServeBatchTest, ChecksumDigestCoversSupervisionKnobs) {
+  // Resuming under different retry or shedding rules would splice
+  // incompatible record streams: every knob must change the digest.
+  const std::vector<std::string> lines = {request_line()};
+  const std::uint64_t base = batch_checkpoint_digest(lines);
+  SupervisionOptions changed;
+  changed.retry.max_attempts = 5;
+  EXPECT_NE(batch_checkpoint_digest(lines, changed), base);
+  changed = {};
+  changed.fallback_ladder = false;
+  EXPECT_NE(batch_checkpoint_digest(lines, changed), base);
+  changed = {};
+  changed.admission_states = 10;
+  EXPECT_NE(batch_checkpoint_digest(lines, changed), base);
+  changed = {};
+  changed.queue_cap = 7;
+  EXPECT_NE(batch_checkpoint_digest(lines, changed), base);
+}
+
+TEST_F(ServeBatchTest, AdmissionStateCapShedsWithDistinctRecords) {
+  const std::vector<std::string> lines = {request_line(", \"id\": \"big\""),
+                                          request_line()};
+  std::ostringstream out;
+  BatchOptions options;
+  options.supervision.admission_states = 1;  // the pair model has 2
+  const BatchResult result = run_batch(lines, out, options);
+  EXPECT_EQ(result.shed, 2u);
+  EXPECT_EQ(result.succeeded, 0u);
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_EQ(result.written, 2u);
+  EXPECT_FALSE(result.lossy());
+  std::istringstream records(out.str());
+  std::string record;
+  ASSERT_TRUE(std::getline(records, record));
+  EXPECT_NE(record.find("\"id\":\"big\",\"status\":\"shed\""),
+            std::string::npos)
+      << record;
+  EXPECT_NE(record.find("admission: model declares 2 states, cap is 1"),
+            std::string::npos)
+      << record;
+}
+
+TEST_F(ServeBatchTest, QueueCapShedsTailInIndexOrder) {
+  std::vector<std::string> lines;
+  for (int i = 0; i < 4; ++i) lines.push_back(request_line());
+  std::ostringstream out;
+  BatchOptions options;
+  options.supervision.queue_cap = 2;
+  const BatchResult result = run_batch(lines, out, options);
+  EXPECT_EQ(result.succeeded, 2u);
+  EXPECT_EQ(result.shed, 2u);
+  std::istringstream records(out.str());
+  std::string record;
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(std::getline(records, record));
+    const char* expected = i < 2 ? "\"status\":\"ok\"" : "\"status\":\"shed\"";
+    EXPECT_NE(record.find(expected), std::string::npos)
+        << "index " << i << ": " << record;
+    if (i >= 2) {
+      EXPECT_NE(record.find("queue full: 2 requests already admitted"),
+                std::string::npos)
+          << record;
+    }
+  }
+}
+
+TEST_F(ServeBatchTest, TransientChaosFaultRecoversBitIdentically) {
+  const std::vector<std::string> lines = {request_line(), request_line()};
+  std::ostringstream clean_out;
+  const BatchResult clean = run_batch(lines, clean_out, {});
+  EXPECT_EQ(clean.succeeded, 2u);
+
+  resil::chaos::configure("solver-fault@0");
+  std::ostringstream faulted_out;
+  const BatchResult faulted = run_batch(lines, faulted_out, {});
+  resil::chaos::configure("");
+  EXPECT_EQ(faulted.succeeded, 2u);
+  EXPECT_EQ(faulted.failed, 0u);
+  // A recovered transient is invisible in the stream: same bytes.
+  EXPECT_EQ(faulted_out.str(), clean_out.str());
+}
+
+TEST_F(ServeBatchTest, ExhaustedRetriesBecomeClassifiedErrorRecords) {
+  const std::vector<std::string> lines = {request_line(", \"id\": \"doomed\"")};
+  // Default policy allows 3 attempts; arm a fault for each of them.
+  resil::chaos::configure("solver-fault@0,solver-fault@1,solver-fault@2");
+  std::ostringstream out;
+  BatchOptions options;
+  options.threads = 1;  // occurrence-keyed site: keep the order exact
+  const BatchResult result = run_batch(lines, out, options);
+  resil::chaos::configure("");
+  EXPECT_EQ(result.failed, 1u);
+  EXPECT_EQ(result.succeeded, 0u);
+  EXPECT_NE(out.str().find("\"id\":\"doomed\",\"status\":\"error\","
+                           "\"class\":\"transient\""),
+            std::string::npos)
+      << out.str();
+}
+
+TEST_F(ServeBatchTest, AbandonedWorkerChunkIsGapFilledAndCounted) {
+  const std::vector<std::string> lines = {request_line(), request_line()};
+  resil::chaos::configure("worker-abandon@0");
+  std::ostringstream out;
+  BatchOptions options;
+  options.threads = 2;  // index 0 and 1 land in different chunks
+  const BatchResult result = run_batch(lines, out, options);
+  resil::chaos::configure("");
+  EXPECT_EQ(result.succeeded, 1u);
+  EXPECT_EQ(result.gaps, 1u);
+  EXPECT_EQ(result.lost, 1u);
+  EXPECT_TRUE(result.lossy());
+  EXPECT_FALSE(result.interrupted);
+  EXPECT_EQ(result.written, 2u);  // the gap record keeps the stream whole
+  std::istringstream records(out.str());
+  std::string record;
+  ASSERT_TRUE(std::getline(records, record));
+  EXPECT_NE(record.find("\"index\":0,\"status\":\"error\",\"class\":\"lost\""),
+            std::string::npos)
+      << record;
+  ASSERT_TRUE(std::getline(records, record));
+  EXPECT_NE(record.find("\"index\":1"), std::string::npos) << record;
+  EXPECT_NE(record.find("\"status\":\"ok\""), std::string::npos) << record;
+}
+
+TEST_F(ServeBatchTest, HostileCorpusEveryRequestAccountedFor) {
+  // Adversarial stream: none of these may abort the process, leak a
+  // record, or stall the run — each line ends as exactly one record.
+  std::vector<std::string> lines;
+  lines.push_back(std::string(100000, '{'));            // deep nesting
+  lines.push_back(std::string(10u << 20, 'x'));         // 10 MiB garbage
+  lines.push_back(std::string("{\"model\": \"m\0.rasc\"}", 21));  // NUL
+  lines.push_back("{\"model\": \"m.rasc\xC3");          // truncated UTF-8
+  lines.push_back("{\"model\": \"a.rasc\", \"model\": \"b.rasc\"}");  // dup
+  lines.push_back("{\"model\": \"" + std::string(1 << 20, 'a') + "\"}");
+  lines.push_back(request_line(", \"id\": \"survivor\""));
+  std::ostringstream out;
+  const BatchResult result = run_batch(lines, out, {});
+  EXPECT_EQ(result.requests, lines.size());
+  EXPECT_EQ(result.succeeded + result.failed + result.shed, lines.size());
+  EXPECT_EQ(result.succeeded, 1u);
+  EXPECT_EQ(result.written, lines.size());
+  EXPECT_FALSE(result.lossy());
+  // Duplicate keys are rejected, not last-wins silently.
+  EXPECT_NE(out.str().find("duplicate field"), std::string::npos);
+  EXPECT_NE(out.str().find("\"id\":\"survivor\",\"status\":\"ok\""),
+            std::string::npos);
+  std::istringstream records(out.str());
+  std::string record;
+  std::size_t count = 0;
+  while (std::getline(records, record)) ++count;
+  EXPECT_EQ(count, lines.size());
 }
 
 TEST(ServeReadLines, KeepsBlankLinesAndStripsCr) {

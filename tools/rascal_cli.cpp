@@ -130,10 +130,16 @@ int usage() {
          " testbed)\n"
          "  rascal_cli batch  REQUESTS.jsonl [--out FILE] [--threads N]"
          " [--cache-entries N]\n"
+         "             [--max-attempts N] [--admission-states N]"
+         " [--admission-nnz N] [--queue-cap N]\n"
          "             (one JSONL solve request per line -> one JSONL"
-         " result record per line)\n"
+         " result record per line;\n"
+         "              supervised: deterministic retry/fallback ladder,"
+         " admission shedding)\n"
          "  rascal_cli serve  [--out FILE] [--threads N]"
          " [--cache-entries N]\n"
+         "             [--max-attempts N] [--admission-states N]"
+         " [--admission-nnz N] [--queue-cap N]\n"
          "             (batch over stdin; schema in docs/serving.md)\n"
          "\n"
          "  global flags (any subcommand):\n"
@@ -152,9 +158,10 @@ int usage() {
          " byte-identical\n"
          "\n"
          "  exit codes: 0 ok; 1 internal error; 2 usage; 3 model/"
-         "validation error;\n"
-         "    4 nonconvergence or deadline; 128+N interrupted by"
-         " signal N\n";
+         "validation error\n"
+         "    (incl. failed/shed/lost batch records); 4 nonconvergence"
+         " or deadline;\n"
+         "    128+N interrupted by signal N\n";
   return kExitUsage;
 }
 
@@ -201,6 +208,12 @@ struct Arguments {
   // batch/serve
   std::string out_path;              // empty = results to stdout
   std::size_t cache_entries = 1024;  // shared solve-cache slots; 0 off
+
+  // batch/serve supervision (serve/supervise.h)
+  std::size_t max_attempts = 3;      // retry bound incl. first try
+  std::size_t admission_states = 0;  // 0 = no state-count cap
+  std::size_t admission_nnz = 0;     // 0 = no transition-count cap
+  std::size_t queue_cap = 0;         // 0 = unbounded in-flight queue
 };
 
 // Every numeric flag goes through io/number_parse: the whole token
@@ -379,6 +392,23 @@ bool parse_arguments(int argc, char** argv, Arguments& args) {
     } else if (flag == "--cache-entries") {
       const char* value = next();
       if (!value || !parse_size(value, args.cache_entries)) return false;
+    } else if (flag == "--max-attempts") {
+      const char* value = next();
+      if (!value || !parse_size(value, args.max_attempts)) return false;
+      if (args.max_attempts == 0) {
+        std::cerr << "invalid value '0': --max-attempts counts the first "
+                     "try, so it must be at least 1\n";
+        return false;
+      }
+    } else if (flag == "--admission-states") {
+      const char* value = next();
+      if (!value || !parse_size(value, args.admission_states)) return false;
+    } else if (flag == "--admission-nnz") {
+      const char* value = next();
+      if (!value || !parse_size(value, args.admission_nnz)) return false;
+    } else if (flag == "--queue-cap") {
+      const char* value = next();
+      if (!value || !parse_size(value, args.queue_cap)) return false;
     } else if (flag == "--update-golden") {
       args.update_golden = true;
     } else if (flag == "--json") {
@@ -852,13 +882,25 @@ int run_serve_cmd(const Arguments& args) {
   options.threads = args.threads;
   options.cache_capacity = args.cache_entries;
   options.control.cancel = &g_cancel;
+  options.supervision.retry.max_attempts = args.max_attempts;
+  options.supervision.retry.base_iterations = args.max_iter_budget;
+  options.supervision.admission_states = args.admission_states;
+  options.supervision.admission_nnz = args.admission_nnz;
+  options.supervision.queue_cap = args.queue_cap;
 
   std::optional<resil::Checkpointer> checkpoint;
-  const int checkpoint_error =
-      open_checkpoint(args, "serve", serve::batch_checkpoint_digest(lines),
-                      lines.size(), checkpoint);
+  const int checkpoint_error = open_checkpoint(
+      args, "serve",
+      serve::batch_checkpoint_digest(lines, options.supervision),
+      lines.size(), checkpoint);
   if (checkpoint_error != kExitOk) return checkpoint_error;
-  if (checkpoint) options.control.checkpoint = &*checkpoint;
+  if (checkpoint) {
+    // A full checkpoint volume must not kill a serving run: failures
+    // are counted and warned about below, and the next flush retries.
+    checkpoint->set_write_failure_policy(
+        resil::Checkpointer::WriteFailurePolicy::kTolerate);
+    options.control.checkpoint = &*checkpoint;
+  }
 
   std::ofstream out_file;
   std::ostream* out = &std::cout;
@@ -876,15 +918,29 @@ int run_serve_cmd(const Arguments& args) {
   if (result.interrupted) {
     std::cerr << "*** PARTIAL RESULTS: interrupted ("
               << result.interrupt_reason << ") after "
-              << result.succeeded + result.failed << "/" << result.requests
-              << " requests ***\n";
+              << result.succeeded + result.failed + result.shed << "/"
+              << result.requests << " requests ***\n";
   }
   std::cerr << "serve: " << result.succeeded << " ok, " << result.failed
-            << " failed of " << result.requests << " requests";
+            << " failed, " << result.shed << " shed of " << result.requests
+            << " requests";
   if (result.restored > 0) {
     std::cerr << " (" << result.restored << " restored from checkpoint)";
   }
   std::cerr << "\n";
+  if (result.gaps > 0) {
+    std::cerr << "error: " << result.gaps
+              << " gap record(s) filled at sink close — worker(s) died "
+                 "without reporting\n";
+  }
+  if (result.lost > 0) {
+    std::cerr << "error: " << result.lost
+              << " request(s) never completed (worker abandoned)\n";
+  }
+  if (result.sink_write_failures > 0) {
+    std::cerr << "error: " << result.sink_write_failures
+              << " record(s) could not be written to the output stream\n";
+  }
   const ctmc::SharedSolveCache::Stats& cache = result.cache;
   std::cerr << "solve cache: " << cache.hits << " shared hits, "
             << result.worker_hits << " worker hits, " << cache.misses
@@ -893,12 +949,18 @@ int run_serve_cmd(const Arguments& args) {
             << "hit rate " << static_cast<int>(result.hit_rate() * 100.0)
             << "%\n";
   if (checkpoint) {
+    if (checkpoint->write_failures() > 0) {
+      std::cerr << "warning: " << checkpoint->write_failures()
+                << " checkpoint flush(es) failed (tolerated; entries are "
+                   "retried on the next flush)\n";
+    }
     std::cerr << "checkpoint written to '" << checkpoint->path() << "' ("
               << checkpoint->size() << "/" << checkpoint->total()
               << " indices)\n";
   }
   if (result.interrupted) return interrupted_exit_code();
-  if (result.failed > 0) return kExitModelError;
+  if (result.lossy()) return kExitModelError;
+  if (result.failed > 0 || result.shed > 0) return kExitModelError;
   return kExitOk;
 }
 
